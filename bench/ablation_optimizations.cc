@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Ablation: each Section V optimization (plus the fusion extension)
+ * toggled in isolation on the workload it targets, normalized to the
+ * fully-optimized configuration (1.0, lower is better).
+ *
+ *  - shared-memory prefetch (V-B) on the Fig 8 imperfect nest;
+ *  - preallocation + layout (V-A) on sumWeightedCols (Fig 16's subject);
+ *  - vertical map-reduce fusion on the Fig 5 PageRank step.
+ */
+
+#include "apps/sums.h"
+#include "common.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+/** Fig 8: outer-level read reused across the inner reduce. */
+double
+fig8Time(const Gpu &gpu, bool prefetch)
+{
+    static std::shared_ptr<Program> prog;
+    static Arr a1, a2, out;
+    static Ex n, m;
+    if (!prog) {
+        ProgramBuilder b("fig8");
+        a1 = b.inF64("array1D");
+        a2 = b.inF64("array2D");
+        n = b.paramI64("I");
+        m = b.paramI64("J");
+        out = b.outF64("out");
+        Arr one = a1, two = a2;
+        Ex mm = m;
+        b.map(n, out, [&](Body &fn, Ex i) {
+            Ex scale = fn.let("scale", one(i));
+            return fn.reduce(mm, Op::Add, [&](Body &, Ex j) {
+                return two(i * mm + j) * scale;
+            });
+        });
+        prog = std::make_shared<Program>(b.build());
+    }
+    const int64_t I = 4096, J = 512;
+    static std::vector<double> d1, d2;
+    if (d1.empty()) {
+        Rng rng(21);
+        d1.resize(I);
+        d2.resize(I * J);
+        for (auto &v : d1)
+            v = rng.uniform(0, 1);
+        for (auto &v : d2)
+            v = rng.uniform(0, 1);
+    }
+    std::vector<double> o(I, 0.0);
+    Bindings args(*prog);
+    args.scalar(n, static_cast<double>(I));
+    args.scalar(m, static_cast<double>(J));
+    args.array(a1, d1);
+    args.array(a2, d2);
+    args.array(out, o);
+    CompileOptions copts;
+    copts.smemPrefetch = prefetch;
+    copts.paramValues = {{n.ref()->varId, static_cast<double>(I)},
+                         {m.ref()->varId, static_cast<double>(J)}};
+    return gpu.compileAndRun(*prog, args, copts).totalMs;
+}
+
+double
+preallocTime(const Gpu &gpu, const PreallocOptions &popts)
+{
+    SumsProgram sp = buildSum(true, true); // sumWeightedCols
+    const int64_t R = 2048, C = 2048;
+    CompileOptions base;
+    base.paramValues = {{sp.r.ref()->varId, static_cast<double>(R)},
+                        {sp.c.ref()->varId, static_cast<double>(C)}};
+    CompileResult full = compileProgram(*sp.prog, gpu.config(), base);
+    CompileOptions copts = base;
+    copts.strategy = Strategy::Fixed;
+    copts.fixedMapping = full.spec.mapping;
+    copts.prealloc = popts;
+    return runSum(gpu, sp, R, C, copts).totalMs;
+}
+
+double
+pagerankTime(const Gpu &gpu, bool fuse)
+{
+    // A single PageRank step at modest size (malloc mode is slow);
+    // compiled directly from the Fig 5 program so fusion can be toggled.
+    static std::shared_ptr<Program> prog;
+    static Arr start, nbrs, deg, prev, out;
+    static Ex n, damp;
+    if (!prog) {
+        ProgramBuilder b("pagerank_step");
+        start = b.inI64("rowStart");
+        nbrs = b.inI64("nbrs");
+        deg = b.inF64("degree");
+        prev = b.inF64("prev");
+        n = b.paramI64("numNodes");
+        damp = b.paramF64("damp");
+        out = b.outF64("rank");
+        Arr st = start, nb = nbrs, dg = deg, pv = prev;
+        Ex np = n, dp = damp;
+        b.map(np, out, [&](Body &fn, Ex v) {
+            Ex begin = fn.let("begin", st(v));
+            Ex cnt = fn.let("cnt", st(v + 1) - begin);
+            Arr weights = fn.map(cnt, [&](Body &, Ex e) {
+                return pv(nb(begin + e)) / dg(nb(begin + e));
+            });
+            Ex sum = fn.reduce(cnt, Op::Add,
+                               [&](Body &, Ex e) { return weights(e); });
+            return (1.0 - dp) / np + dp * sum;
+        });
+        prog = std::make_shared<Program>(b.build());
+    }
+    const int64_t N = 8192;
+    static std::vector<double> startD, nbrD, degD, prevD;
+    if (startD.empty()) {
+        Rng rng(31);
+        startD.push_back(0);
+        for (int64_t v = 0; v < N; v++) {
+            const int64_t d = 1 + rng.below(24);
+            for (int64_t e = 0; e < d; e++)
+                nbrD.push_back(static_cast<double>(rng.below(N)));
+            startD.push_back(static_cast<double>(nbrD.size()));
+        }
+        degD.assign(N, 1.0);
+        for (double x : nbrD)
+            degD[static_cast<int64_t>(x)] += 1.0;
+        prevD.assign(N, 1.0 / N);
+    }
+    std::vector<double> rank(N, 0.0);
+    Bindings args(*prog);
+    args.scalar(n, static_cast<double>(N));
+    args.scalar(damp, 0.85);
+    args.array(start, startD);
+    args.array(nbrs, nbrD);
+    args.array(deg, degD);
+    args.array(prev, prevD);
+    args.array(out, rank);
+    CompileOptions copts;
+    copts.fuseMapReduce = fuse;
+    copts.paramValues = {{n.ref()->varId, static_cast<double>(N)}};
+    return gpu.compileAndRun(*prog, args, copts).totalMs;
+}
+
+void
+runAblation()
+{
+    Gpu gpu;
+    banner("Ablation: each optimization toggled on its target workload",
+           "Time normalized to the fully optimized configuration "
+           "(= 1.0).");
+
+    std::vector<Row> rows;
+    {
+        const double with = fig8Time(gpu, true);
+        rows.push_back({"Fig8 smem prefetch",
+                        {1.0, fig8Time(gpu, false) / with}});
+    }
+    {
+        PreallocOptions fullOpt;
+        PreallocOptions noLayout;
+        noLayout.layoutFromMapping = false;
+        PreallocOptions mallocMode;
+        mallocMode.enable = false;
+        const double with = preallocTime(gpu, fullOpt);
+        rows.push_back({"prealloc layout (V-A)",
+                        {1.0, preallocTime(gpu, noLayout) / with}});
+        rows.push_back({"prealloc at all (V-A)",
+                        {1.0, preallocTime(gpu, mallocMode) / with}});
+    }
+    {
+        const double with = pagerankTime(gpu, true);
+        rows.push_back({"map-reduce fusion (Fig 5)",
+                        {1.0, pagerankTime(gpu, false) / with}});
+    }
+    table({"enabled", "disabled"}, rows, 28);
+}
+
+} // namespace
+} // namespace npp
+
+int
+main()
+{
+    npp::runAblation();
+    return 0;
+}

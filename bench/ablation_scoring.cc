@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablation: how good is each mapping-selection policy? For a set of
+ * kernels, compare (a) the paper's soft-constraint score, (b) the
+ * analytical time model (the Section VI-G future-work refinement), and
+ * (c) the empirical autotuner (top-8 candidates executed), all
+ * normalized to the best mapping any policy found (1.0 = found the
+ * best).
+ */
+
+#include "codegen/autotune.h"
+#include "common.h"
+#include "ir/builder.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+struct Kernel
+{
+    std::string label;
+    std::shared_ptr<Program> prog;
+    std::function<void(Bindings &)> bind;
+    std::unordered_map<int, double> params;
+};
+
+std::vector<double> &
+sharedData(int64_t n)
+{
+    static std::vector<double> d;
+    if (static_cast<int64_t>(d.size()) < n) {
+        Rng rng(11);
+        d.resize(n);
+        for (auto &v : d)
+            v = rng.uniform(0, 1);
+    }
+    return d;
+}
+
+Kernel
+sumKernel(bool byCols, int64_t R, int64_t C, const std::string &label)
+{
+    ProgramBuilder b(label);
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    if (byCols) {
+        b.map(c, out, [&](Body &fn, Ex j) {
+            return fn.reduce(r, Op::Add,
+                             [&](Body &, Ex i) { return m(i * c + j); });
+        });
+    } else {
+        b.map(r, out, [&](Body &fn, Ex i) {
+            return fn.reduce(c, Op::Add,
+                             [&](Body &, Ex j) { return m(i * c + j); });
+        });
+    }
+    Kernel k;
+    k.label = fmt("{} [{}x{}]", label, R, C);
+    k.prog = std::make_shared<Program>(b.build());
+    k.params = {{r.ref()->varId, static_cast<double>(R)},
+                {c.ref()->varId, static_cast<double>(C)}};
+    auto outLen = byCols ? C : R;
+    k.bind = [=](Bindings &args) {
+        args.scalar(r, static_cast<double>(R));
+        args.scalar(c, static_cast<double>(C));
+        args.array(m, sharedData(R * C));
+        static std::vector<double> outBuf;
+        outBuf.assign(outLen, 0.0);
+        args.array(out, outBuf);
+    };
+    return k;
+}
+
+double
+runWith(const Gpu &gpu, const Kernel &k, const CompileOptions &copts)
+{
+    Bindings args(*k.prog);
+    k.bind(args);
+    return gpu.compileAndRun(*k.prog, args, copts).totalMs;
+}
+
+void
+runAblation()
+{
+    Gpu gpu;
+    banner("Ablation: mapping-selection policy quality",
+           "Time of each policy's selected mapping, normalized to the "
+           "best mapping any policy found (1.0 = optimal).");
+
+    std::vector<Kernel> kernels;
+    kernels.push_back(sumKernel(false, 2048, 2048, "sumRows"));
+    kernels.push_back(sumKernel(false, 64, 65536, "sumRows-skewed"));
+    kernels.push_back(sumKernel(true, 16384, 256, "sumCols-tall"));
+    kernels.push_back(sumKernel(true, 256, 16384, "sumCols-wide"));
+
+    std::vector<Row> rows;
+    for (const auto &k : kernels) {
+        CompileOptions score;
+        score.paramValues = k.params;
+        const double tScore = runWith(gpu, k, score);
+
+        CompileOptions model = score;
+        model.objective = SearchObjective::StaticModel;
+        const double tModel = runWith(gpu, k, model);
+
+        Bindings args(*k.prog);
+        k.bind(args);
+        AutotuneOptions aopts;
+        aopts.topCandidates = 8;
+        AutotuneResult tuned = autotune(*k.prog, gpu, args, score, aopts);
+
+        const double best =
+            std::min({tScore, tModel, tuned.bestMs});
+        rows.push_back({k.label,
+                        {tScore / best, tModel / best,
+                         tuned.bestMs / best}});
+    }
+    table({"SoftScore", "StaticModel", "Autotune-8"}, rows, 26);
+
+    std::printf(
+        "\nReading: the paper's soft-constraint score already lands on\n"
+        "or near the best mapping; the analytical model closes part of\n"
+        "the false-negative gap of Fig 17; executing the top-8\n"
+        "candidates (autotuning) pins the optimum by construction.\n");
+}
+
+} // namespace
+} // namespace npp
+
+int
+main()
+{
+    npp::runAblation();
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: fixed-width table
+ * printing in the shape of the paper's charts, and the normalized-bar
+ * convention (each figure states what the bars are normalized to).
+ */
+
+#ifndef NPP_BENCH_COMMON_H
+#define NPP_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace npp {
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &title, const std::string &note)
+{
+    std::printf("\n%s\n", repeat("=", 72).c_str());
+    std::printf("%s\n", title.c_str());
+    if (!note.empty())
+        std::printf("%s\n", note.c_str());
+    std::printf("%s\n", repeat("=", 72).c_str());
+}
+
+/** One row of a normalized-bars table. */
+struct Row
+{
+    std::string label;
+    std::vector<double> values;
+};
+
+/** Print a table of normalized values with one column per series. */
+inline void
+table(const std::vector<std::string> &series, const std::vector<Row> &rows,
+      int labelWidth = 22)
+{
+    std::printf("%s", padRight("", labelWidth).c_str());
+    for (const auto &s : series)
+        std::printf("%s", padLeft(s, 14).c_str());
+    std::printf("\n");
+    for (const auto &row : rows) {
+        std::printf("%s", padRight(row.label, labelWidth).c_str());
+        for (double v : row.values)
+            std::printf("%s", padLeft(fixed(v, 2), 14).c_str());
+        std::printf("\n");
+    }
+}
+
+} // namespace npp
+
+#endif // NPP_BENCH_COMMON_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compiler itself: constraint
+ * generation, the Algorithm 1 search ("for typical loops it takes less
+ * than a few seconds", Section IV-D — here it is microseconds to
+ * milliseconds), CUDA emission, and simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/sums.h"
+#include "ir/builder.h"
+#include "sim/gpu.h"
+
+namespace npp {
+namespace {
+
+Program
+makeNested(int levels)
+{
+    ProgramBuilder b("nest");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    if (levels == 1) {
+        b.map(n, out, [&](Body &, Ex i) { return in(i) * 2.0; });
+    } else if (levels == 2) {
+        b.map(n, out, [&](Body &fn, Ex i) {
+            return fn.reduce(n, Op::Add, [&](Body &, Ex j) {
+                return in(i * n + j);
+            });
+        });
+    } else {
+        b.map(n, out, [&](Body &f0, Ex i) {
+            return f0.reduce(n, Op::Add, [&](Body &f1, Ex j) {
+                return f1.reduce(n, Op::Add, [&](Body &, Ex k) {
+                    return in((i * n + j) * n + k);
+                });
+            });
+        });
+    }
+    return b.build();
+}
+
+void
+BM_ConstraintGeneration(benchmark::State &state)
+{
+    Program p = makeNested(static_cast<int>(state.range(0)));
+    AnalysisEnv env;
+    env.prog = &p;
+    const DeviceConfig dev = teslaK20c();
+    for (auto _ : state) {
+        ConstraintSet cs = buildConstraints(p, env, dev);
+        benchmark::DoNotOptimize(cs.all.size());
+    }
+}
+BENCHMARK(BM_ConstraintGeneration)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_MappingSearch(benchmark::State &state)
+{
+    Program p = makeNested(static_cast<int>(state.range(0)));
+    AnalysisEnv env;
+    env.prog = &p;
+    const DeviceConfig dev = teslaK20c();
+    ConstraintSet cs = buildConstraints(p, env, dev);
+    MappingSearch search(dev);
+    int64_t candidates = 0;
+    for (auto _ : state) {
+        SearchResult res = search.search(cs);
+        candidates = res.candidatesConsidered;
+        benchmark::DoNotOptimize(res.bestScore);
+    }
+    state.counters["candidates"] = static_cast<double>(candidates);
+}
+BENCHMARK(BM_MappingSearch)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_CudaEmission(benchmark::State &state)
+{
+    Program p = makeNested(2);
+    const DeviceConfig dev = teslaK20c();
+    for (auto _ : state) {
+        CompileResult res = compileProgram(p, dev);
+        benchmark::DoNotOptimize(res.spec.cudaSource.size());
+    }
+}
+BENCHMARK(BM_CudaEmission)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Wall-clock cost of simulating one sumRows launch (elements/sec).
+    const int64_t n = state.range(0);
+    Gpu gpu;
+    SumsProgram sp = buildSum(false, false);
+    for (auto _ : state) {
+        SimReport rep = runSum(gpu, sp, n, n);
+        benchmark::DoNotOptimize(rep.totalMs);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace npp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Naive Bayes spam classifier (Section VI-E): trains on a synthetic
+ * document-by-word count matrix using two pattern kernels with opposite
+ * access patterns, then classifies held-out documents on the host with
+ * the learned statistics. Shows how the analysis picks a different
+ * dimension assignment for each kernel over the same data.
+ *
+ *     ./build/examples/naive_bayes_spam
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "ir/builder.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+using namespace npp;
+
+int
+main()
+{
+    const int64_t docs = 1024, words = 512;
+
+    // Synthetic corpus: spam documents prefer the first half of the
+    // vocabulary, ham the second half.
+    Rng rng(2026);
+    std::vector<double> counts(docs * words, 0.0);
+    std::vector<double> isSpam(docs, 0.0);
+    for (int64_t d = 0; d < docs; d++) {
+        const bool spam = rng.below(2) == 0;
+        isSpam[d] = spam ? 1.0 : 0.0;
+        for (int w = 0; w < 40; w++) {
+            const int64_t biased =
+                spam ? rng.below(words / 2)
+                     : words / 2 + rng.below(words / 2);
+            const int64_t word =
+                rng.below(5) == 0 ? rng.below(words) : biased;
+            counts[d * words + word] += 1.0;
+        }
+    }
+
+    Gpu gpu;
+
+    // Kernel 1: words per document (stride-1 in the INNER index).
+    ProgramBuilder b1("doc_totals");
+    Arr c1 = b1.inF64("counts");
+    Ex d1 = b1.paramI64("D"), w1 = b1.paramI64("W");
+    Arr totals = b1.outF64("totals");
+    b1.map(d1, totals, [&](Body &fn, Ex doc) {
+        return fn.reduce(w1, Op::Add,
+                         [&](Body &, Ex w) { return c1(doc * w1 + w); });
+    });
+    Program progTotals = b1.build();
+
+    // Kernel 2: per-word spam counts (stride-1 in the OUTER index).
+    ProgramBuilder b2("word_spam");
+    Arr c2 = b2.inF64("counts");
+    Arr spam2 = b2.inF64("isSpam");
+    Ex d2 = b2.paramI64("D"), w2 = b2.paramI64("W");
+    Arr spamCounts = b2.outF64("spamCounts");
+    b2.map(w2, spamCounts, [&](Body &fn, Ex word) {
+        return fn.reduce(d2, Op::Add, [&](Body &, Ex doc) {
+            return c2(Ex(doc) * w2 + word) * spam2(doc);
+        });
+    });
+    Program progSpam = b2.build();
+
+    auto show = [&](const Program &p, int64_t a, int64_t b) {
+        CompileOptions copts;
+        copts.paramValues = {{/*D*/ 1, static_cast<double>(a)},
+                             {/*W*/ 2, static_cast<double>(b)}};
+        CompileResult res = compileProgram(p, gpu.config(), copts);
+        std::printf("  %-12s -> %s\n", p.name().c_str(),
+                    res.spec.mapping.toString().c_str());
+        return res;
+    };
+    std::printf("== Per-kernel mapping decisions over the SAME matrix ==\n");
+    show(progTotals, docs, words);
+    show(progSpam, docs, words);
+    std::printf("A fixed strategy coalesces only one of the two "
+                "(Section VI-E).\n\n");
+
+    // Train on the simulated GPU.
+    std::vector<double> totalsOut(docs, 0.0), spamOut(words, 0.0);
+    {
+        Bindings args(progTotals);
+        args.scalar(d1, static_cast<double>(docs));
+        args.scalar(w1, static_cast<double>(words));
+        args.array(c1, counts);
+        args.array(totals, totalsOut);
+        gpu.compileAndRun(progTotals, args);
+    }
+    {
+        Bindings args(progSpam);
+        args.scalar(d2, static_cast<double>(docs));
+        args.scalar(w2, static_cast<double>(words));
+        args.array(c2, counts);
+        args.array(spam2, isSpam);
+        args.array(spamCounts, spamOut);
+        gpu.compileAndRun(progSpam, args);
+    }
+
+    // Host-side model: log P(word|spam) vs log P(word|ham) with add-one
+    // smoothing; classify fresh synthetic documents.
+    double spamDocs = 0;
+    for (double s : isSpam)
+        spamDocs += s;
+    std::vector<double> wordTotals(words, 0.0);
+    for (int64_t d = 0; d < docs; d++)
+        for (int64_t w = 0; w < words; w++)
+            wordTotals[w] += counts[d * words + w];
+
+    auto classify = [&](const std::vector<double> &doc) {
+        double scoreSpam = std::log(spamDocs / docs);
+        double scoreHam = std::log(1.0 - spamDocs / docs);
+        for (int64_t w = 0; w < words; w++) {
+            if (doc[w] == 0)
+                continue;
+            const double pSpam = (spamOut[w] + 1.0) / (spamDocs + words);
+            const double pHam = (wordTotals[w] - spamOut[w] + 1.0) /
+                                (docs - spamDocs + words);
+            scoreSpam += doc[w] * std::log(pSpam);
+            scoreHam += doc[w] * std::log(pHam);
+        }
+        return scoreSpam > scoreHam;
+    };
+
+    int correct = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; t++) {
+        const bool spam = rng.below(2) == 0;
+        std::vector<double> doc(words, 0.0);
+        for (int w = 0; w < 40; w++) {
+            const int64_t biased =
+                spam ? rng.below(words / 2)
+                     : words / 2 + rng.below(words / 2);
+            doc[rng.below(5) == 0 ? rng.below(words) : biased] += 1.0;
+        }
+        if (classify(doc) == spam)
+            correct++;
+    }
+    std::printf("== Classification on %d held-out documents ==\n", trials);
+    std::printf("accuracy: %.1f%% (chance is 50%%)\n",
+                100.0 * correct / trials);
+    return 0;
+}

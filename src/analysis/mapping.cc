@@ -1,0 +1,140 @@
+#include "analysis/mapping.h"
+
+#include "support/logging.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace npp {
+
+namespace {
+
+const char *
+dimName(int dim)
+{
+    static const char *names[] = {"x", "y", "z", "w"};
+    return dim >= 0 && dim < 4 ? names[dim] : "?";
+}
+
+} // namespace
+
+std::string
+SpanType::toString() const
+{
+    switch (kind) {
+      case SpanKind::One:
+        return "span(1)";
+      case SpanKind::N:
+        return fmt("span({})", factor);
+      case SpanKind::All:
+        return "span(all)";
+      case SpanKind::Split:
+        return fmt("split({})", factor);
+    }
+    return "?";
+}
+
+std::string
+LevelMapping::toString() const
+{
+    return fmt("[dim{}, {}, {}]", dimName(dim), blockSize,
+               span.toString());
+}
+
+int64_t
+MappingDecision::threadsPerBlock() const
+{
+    int64_t total = 1;
+    for (const auto &l : levels)
+        total *= l.blockSize;
+    return total;
+}
+
+double
+MappingDecision::dop(const std::vector<double> &levelSizes) const
+{
+    NPP_ASSERT(levelSizes.size() == levels.size(),
+               "dop: size/level mismatch");
+    double dop = 1.0;
+    for (size_t i = 0; i < levels.size(); i++) {
+        const LevelMapping &l = levels[i];
+        const double size = levelSizes[i];
+        switch (l.span.kind) {
+          case SpanKind::One:
+            dop *= size;
+            break;
+          case SpanKind::N:
+            dop *= std::max(1.0, size / static_cast<double>(l.span.factor));
+            break;
+          case SpanKind::All:
+            // Contributes block size, not loop size (Section IV-D).
+            dop *= std::min(size, static_cast<double>(l.blockSize));
+            break;
+          case SpanKind::Split:
+            dop *= std::min(size, static_cast<double>(l.blockSize *
+                                                      l.span.factor));
+            break;
+        }
+    }
+    return dop;
+}
+
+std::string
+MappingDecision::toString() const
+{
+    std::string out;
+    for (size_t i = 0; i < levels.size(); i++) {
+        if (i)
+            out += " ";
+        out += fmt("L{}{}", i, levels[i].toString());
+    }
+    return out;
+}
+
+LaunchGeometry
+makeGeometry(const MappingDecision &decision,
+             const std::vector<int64_t> &levelSizes)
+{
+    NPP_ASSERT(decision.levels.size() == levelSizes.size(),
+               "geometry: decision has {} levels, {} sizes given",
+               decision.levels.size(), levelSizes.size());
+    LaunchGeometry geom;
+    geom.levels.resize(decision.levels.size());
+
+    for (size_t i = 0; i < decision.levels.size(); i++) {
+        const LevelMapping &l = decision.levels[i];
+        const int64_t size = std::max<int64_t>(levelSizes[i], 1);
+        LaunchGeometry::LevelGeom &g = geom.levels[i];
+        g.dim = l.dim;
+        g.size = levelSizes[i];
+        g.span = l.span;
+        // Dynamic trim: never launch more threads in a dim than the
+        // actual size requires (Section IV-D runtime adjustment).
+        g.blockSize = std::min<int64_t>(l.blockSize, size);
+
+        switch (l.span.kind) {
+          case SpanKind::One:
+            g.blocks = ceilDiv(size, g.blockSize);
+            g.itersPerThread = 1;
+            break;
+          case SpanKind::N:
+            g.blocks = ceilDiv(size, g.blockSize * l.span.factor);
+            g.itersPerThread = l.span.factor;
+            break;
+          case SpanKind::All:
+            g.blocks = 1;
+            g.itersPerThread = ceilDiv(size, g.blockSize);
+            break;
+          case SpanKind::Split: {
+            g.blocks = std::min<int64_t>(l.span.factor, size);
+            const int64_t segment = ceilDiv(size, g.blocks);
+            g.itersPerThread = ceilDiv(segment, g.blockSize);
+            break;
+          }
+        }
+        geom.totalBlocks *= g.blocks;
+        geom.threadsPerBlock *= g.blockSize;
+    }
+    return geom;
+}
+
+} // namespace npp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Mapping parameters (Section IV-A): each nest level of a pattern receives
+ * a logical dimension, a block size, and a span/split type. A
+ * MappingDecision assigns one LevelMapping per level; LaunchGeometry
+ * instantiates the decision against the actual runtime sizes (the paper's
+ * static-decision/dynamic-adjustment split, Section IV-D).
+ */
+
+#ifndef NPP_ANALYSIS_MAPPING_H
+#define NPP_ANALYSIS_MAPPING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/target.h"
+
+namespace npp {
+
+/** Degree-of-parallelism control for one level (Section IV-A). */
+enum class SpanKind {
+    One,  //!< Span(1): every domain point gets a thread
+    N,    //!< Span(n): each thread covers n points (DOP / n)
+    All,  //!< Span(all): one block covers the whole dimension
+    Split //!< Split(k): Span(all) split into k blocks + combiner kernel
+};
+
+/** Span type with its factor (n for Span(n), k for Split(k)). */
+struct SpanType
+{
+    SpanKind kind = SpanKind::One;
+    int64_t factor = 1;
+
+    static SpanType one() { return {SpanKind::One, 1}; }
+    static SpanType n(int64_t factor) { return {SpanKind::N, factor}; }
+    static SpanType all() { return {SpanKind::All, 1}; }
+    static SpanType split(int64_t k) { return {SpanKind::Split, k}; }
+
+    bool operator==(const SpanType &o) const
+    {
+        return kind == o.kind && factor == o.factor;
+    }
+
+    std::string toString() const;
+};
+
+/** Mapping parameters for one nest level. Dim 0 is x (fastest varying:
+ *  adjacent threads in a warp differ in their x index). */
+struct LevelMapping
+{
+    int dim = 0;
+    int64_t blockSize = 1;
+    SpanType span;
+
+    bool operator==(const LevelMapping &o) const
+    {
+        return dim == o.dim && blockSize == o.blockSize && span == o.span;
+    }
+
+    std::string toString() const;
+};
+
+/** Complete mapping decision: one LevelMapping per nest level. */
+struct MappingDecision
+{
+    std::vector<LevelMapping> levels;
+
+    int numLevels() const { return static_cast<int>(levels.size()); }
+    const LevelMapping &level(int i) const { return levels[i]; }
+
+    /** Threads per block: product of per-level block sizes. */
+    int64_t threadsPerBlock() const;
+
+    /** Degree of parallelism given the per-level domain sizes
+     *  (Section IV-A: Span(all) contributes its block size, not the
+     *  loop size). */
+    double dop(const std::vector<double> &levelSizes) const;
+
+    bool operator==(const MappingDecision &o) const
+    {
+        return levels == o.levels;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * A mapping decision instantiated with the actual level sizes at launch:
+ * grid shape, per-level iteration counts per thread.
+ */
+struct LaunchGeometry
+{
+    struct LevelGeom
+    {
+        int dim = 0;
+        int64_t size = 0;      //!< actual domain size
+        int64_t blockSize = 1;
+        SpanType span;
+        int64_t blocks = 1;    //!< blocks along this level's dim
+        /** Iterations a single thread runs at this level. */
+        int64_t itersPerThread = 1;
+    };
+
+    std::vector<LevelGeom> levels;
+    int64_t totalBlocks = 1;
+    int64_t threadsPerBlock = 1;
+
+    /** Total threads launched. */
+    int64_t totalThreads() const { return totalBlocks * threadsPerBlock; }
+};
+
+/**
+ * Instantiate a decision against actual sizes. Dynamic block-size
+ * trimming is applied as in Section IV-D: a block never uses more threads
+ * in a dimension than the actual size needs.
+ */
+LaunchGeometry makeGeometry(const MappingDecision &decision,
+                            const std::vector<int64_t> &levelSizes);
+
+} // namespace npp
+
+#endif // NPP_ANALYSIS_MAPPING_H

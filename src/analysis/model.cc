@@ -1,0 +1,127 @@
+#include "analysis/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stats.h"
+
+namespace npp {
+
+namespace {
+
+/** Warp shape (lanes per dim inside one warp) for a decision. */
+void
+warpShapeOf(const MappingDecision &decision, const DeviceConfig &device,
+            int64_t dimBlock[4], int64_t warpShape[4])
+{
+    for (int d = 0; d < 4; d++)
+        dimBlock[d] = 1;
+    for (const auto &l : decision.levels)
+        dimBlock[l.dim] = l.blockSize;
+    int64_t remaining = device.warpSize;
+    for (int d = 0; d < 4; d++) {
+        warpShape[d] =
+            std::max<int64_t>(1, std::min(dimBlock[d], remaining));
+        remaining = std::max<int64_t>(1, remaining / warpShape[d]);
+    }
+}
+
+} // namespace
+
+ModelEstimate
+staticEstimate(const MappingDecision &decision, const ConstraintSet &cset,
+               const DeviceConfig &device)
+{
+    ModelEstimate est;
+    const int levels = decision.numLevels();
+
+    // Launch geometry from the analysis-time sizes.
+    std::vector<int64_t> sizes(levels);
+    for (int lv = 0; lv < levels; lv++) {
+        sizes[lv] = std::max<int64_t>(
+            1, static_cast<int64_t>(cset.levelSizes[lv]));
+    }
+    const LaunchGeometry geom = makeGeometry(decision, sizes);
+
+    int64_t dimBlock[4], warpShape[4];
+    warpShapeOf(decision, device, dimBlock, warpShape);
+
+    // Map level -> dim for stride lookup.
+    int dimOfLevel[4] = {0, 0, 0, 0};
+    for (int lv = 0; lv < levels && lv < 4; lv++)
+        dimOfLevel[lv] = decision.levels[lv].dim;
+
+    // Predict coalescing per access site: the addresses across a warp's
+    // lanes spread by each in-warp dimension's stride at that dimension's
+    // level; non-affine strides count as fully scattered.
+    double transactions = 0.0;
+    double totalOps = 0.0;
+    for (const AccessSite &site : cset.accesses) {
+        double spanBytes = site.bytes;
+        bool scattered = false;
+        int64_t lanes = 1;
+        for (int lv = 0; lv < levels && lv < 4; lv++) {
+            const int64_t w = warpShape[dimOfLevel[lv]];
+            if (w <= 1)
+                continue;
+            lanes *= w;
+            if (!site.affine[lv]) {
+                scattered = true;
+            } else {
+                spanBytes +=
+                    (w - 1) * std::fabs(site.coeff[lv]) * site.bytes;
+            }
+        }
+        const double warpExecs =
+            site.execCount / std::max<double>(device.warpSize, 1);
+        double segs;
+        if (scattered) {
+            segs = static_cast<double>(lanes);
+        } else {
+            segs = std::min<double>(
+                lanes, std::ceil(spanBytes / device.transactionBytes));
+        }
+        transactions += segs * warpExecs * std::max(1.0, 32.0 / lanes);
+        totalOps += site.execCount * 3.0; // address math + issue
+    }
+    est.predictedTransactions = transactions;
+
+    // The same occupancy/latency roofline as the simulator's timing.
+    const int64_t tpb = std::max<int64_t>(geom.threadsPerBlock, 1);
+    const int64_t warpsPerBlock = ceilDiv(tpb, device.warpSize);
+    int64_t blocksPerSM = std::min<int64_t>(
+        device.maxBlocksPerSM, device.maxThreadsPerSM / tpb);
+    blocksPerSM = std::max<int64_t>(blocksPerSM, 1);
+    const int64_t activeSMs =
+        std::min<int64_t>(device.numSMs, geom.totalBlocks);
+    const double residentWarps = std::min<double>(
+        static_cast<double>(geom.totalBlocks) * warpsPerBlock,
+        static_cast<double>(blocksPerSM * warpsPerBlock * activeSMs));
+
+    const double cyclesPerSec = device.cyclesPerSecond();
+    const double latencySec = device.memLatencyCycles / cyclesPerSec;
+    const double effBw = std::min(
+        device.dramBandwidthGBs * 1e9,
+        residentWarps * 4.0 * device.transactionBytes / latencySec);
+    est.memoryMs =
+        transactions * device.transactionBytes / std::max(effBw, 1.0) *
+        1e3;
+
+    const double warpsPerActiveSM =
+        residentWarps / std::max<double>(activeSMs, 1);
+    const double throughput =
+        std::min(2.0, std::max(warpsPerActiveSM, 1.0) / 4.0);
+    est.computeMs = (totalOps / device.warpSize) /
+                    std::max(throughput * activeSMs, 1e-9) /
+                    cyclesPerSec * 1e3;
+
+    est.overheadMs =
+        device.kernelLaunchOverheadUs * 1e-3 +
+        static_cast<double>(geom.totalBlocks) * device.blockScheduleCycles /
+            (device.numSMs * cyclesPerSec) * 1e3;
+
+    est.totalMs = std::max(est.memoryMs, est.computeMs) + est.overheadMs;
+    return est;
+}
+
+} // namespace npp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Analytical performance model for mapping candidates — the scoring
+ * refinement the paper names as future work (Section VI-G, citing Hong &
+ * Kim). From the access summaries the constraint pass collects (strides
+ * per level, execution counts), the model predicts per-warp coalescing,
+ * applies the same occupancy/latency roofline as the simulator, and
+ * produces a time estimate WITHOUT executing anything. The search can
+ * rank candidates by this estimate instead of the soft-constraint score
+ * (SearchOptions::objective).
+ */
+
+#ifndef NPP_ANALYSIS_MODEL_H
+#define NPP_ANALYSIS_MODEL_H
+
+#include "analysis/constraint.h"
+#include "analysis/mapping.h"
+
+namespace npp {
+
+/** Breakdown of a static estimate (for diagnostics and tests). */
+struct ModelEstimate
+{
+    double totalMs = 0.0;
+    double memoryMs = 0.0;
+    double computeMs = 0.0;
+    double overheadMs = 0.0;
+    double predictedTransactions = 0.0;
+};
+
+/**
+ * Predict the execution time of one hard-feasible mapping from the
+ * constraint set's access summaries and level sizes.
+ */
+ModelEstimate staticEstimate(const MappingDecision &decision,
+                             const ConstraintSet &cset,
+                             const DeviceConfig &device);
+
+} // namespace npp
+
+#endif // NPP_ANALYSIS_MODEL_H

@@ -1,0 +1,102 @@
+#include "analysis/presets.h"
+
+#include "support/logging.h"
+
+namespace npp {
+
+namespace {
+
+/** Inner levels beyond what a fixed strategy parallelizes run
+ *  sequentially inside the thread: block size 1, span(all). */
+LevelMapping
+sequentialLevel(int dim)
+{
+    LevelMapping l;
+    l.dim = dim;
+    l.blockSize = 1;
+    l.span = SpanType::all();
+    return l;
+}
+
+} // namespace
+
+MappingDecision
+oneDMapping(int numLevels, const DeviceConfig &device)
+{
+    NPP_ASSERT(numLevels >= 1 && numLevels <= device.maxLogicalDims,
+               "1D mapping: bad level count {}", numLevels);
+    MappingDecision d;
+    LevelMapping outer;
+    outer.dim = 0;
+    outer.blockSize = 256;
+    outer.span = SpanType::one();
+    d.levels.push_back(outer);
+    for (int lv = 1; lv < numLevels; lv++)
+        d.levels.push_back(sequentialLevel(lv));
+    return d;
+}
+
+MappingDecision
+threadBlockThreadMapping(int numLevels, const DeviceConfig &device)
+{
+    if (numLevels == 1)
+        return oneDMapping(1, device);
+    NPP_ASSERT(numLevels <= device.maxLogicalDims,
+               "thread-block/thread mapping: bad level count {}", numLevels);
+    MappingDecision d;
+    LevelMapping outer;
+    outer.dim = 1; // y
+    outer.blockSize = 1;
+    outer.span = SpanType::one();
+    d.levels.push_back(outer);
+
+    LevelMapping inner;
+    inner.dim = 0; // x
+    inner.blockSize = device.maxThreadsPerBlock;
+    inner.span = SpanType::all();
+    d.levels.push_back(inner);
+
+    for (int lv = 2; lv < numLevels; lv++)
+        d.levels.push_back(sequentialLevel(lv));
+    return d;
+}
+
+MappingDecision
+warpBasedMapping(int numLevels, const DeviceConfig &device)
+{
+    if (numLevels == 1)
+        return oneDMapping(1, device);
+    NPP_ASSERT(numLevels <= device.maxLogicalDims,
+               "warp-based mapping: bad level count {}", numLevels);
+    MappingDecision d;
+    LevelMapping outer;
+    outer.dim = 1; // y: one warp per outer iteration, 16 warps per block
+    outer.blockSize = 16;
+    outer.span = SpanType::one();
+    d.levels.push_back(outer);
+
+    LevelMapping inner;
+    inner.dim = 0; // x: the 32 lanes of the warp
+    inner.blockSize = device.warpSize;
+    inner.span = SpanType::all();
+    d.levels.push_back(inner);
+
+    for (int lv = 2; lv < numLevels; lv++)
+        d.levels.push_back(sequentialLevel(lv));
+    return d;
+}
+
+void
+applyHardSpans(MappingDecision &decision, const ConstraintSet &cset)
+{
+    NPP_ASSERT(decision.numLevels() == cset.numLevels,
+               "applyHardSpans: level mismatch");
+    for (int lv = 0; lv < cset.numLevels; lv++) {
+        if (cset.mustSpanAll[lv] &&
+            decision.levels[lv].span.kind == SpanKind::One) {
+            decision.levels[lv].span = SpanType::all();
+        }
+    }
+}
+
+} // namespace npp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fixed mapping strategies from previous work, expressed as points in our
+ * parameter space (Fig 7): the 1D mapping (outer level only), the
+ * thread-block/thread mapping (Copperhead), and the warp-based mapping
+ * (Hong et al.). Used as comparison baselines in the experiments.
+ */
+
+#ifndef NPP_ANALYSIS_PRESETS_H
+#define NPP_ANALYSIS_PRESETS_H
+
+#include "analysis/constraint.h"
+#include "analysis/mapping.h"
+
+namespace npp {
+
+/** 1D mapping: parallelize only the outermost level (dim x, block 256);
+ *  all inner levels execute sequentially inside the thread. */
+MappingDecision oneDMapping(int numLevels, const DeviceConfig &device);
+
+/** Thread-block/thread mapping (Fig 7a): each outer iteration is a thread
+ *  block, the inner pattern is parallelized across the block's threads
+ *  (dim x, MAX_BLOCK_SIZE, span(all)). */
+MappingDecision threadBlockThreadMapping(int numLevels,
+                                         const DeviceConfig &device);
+
+/** Warp-based mapping (Fig 7b): each outer iteration is assigned to a
+ *  warp (block = 16 warps), inner iterations to the warp's 32 lanes. */
+MappingDecision warpBasedMapping(int numLevels, const DeviceConfig &device);
+
+/**
+ * Force spans onto a fixed-strategy mapping so it satisfies the hard
+ * constraints (fixed strategies predate the span concept; to execute them
+ * at all, a level that needs global synchronization runs span(all) with
+ * its preset block size).
+ */
+void applyHardSpans(MappingDecision &decision, const ConstraintSet &cset);
+
+} // namespace npp
+
+#endif // NPP_ANALYSIS_PRESETS_H

@@ -1,0 +1,347 @@
+#include "analysis/search.h"
+
+#include "analysis/model.h"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace npp {
+
+namespace {
+
+/** Deterministic total order used as the final tie-break (the paper picks
+ *  randomly among ties; we pick the smallest in this order so runs are
+ *  exactly reproducible). */
+bool
+lexLess(const MappingDecision &a, const MappingDecision &b)
+{
+    for (size_t i = 0; i < a.levels.size() && i < b.levels.size(); i++) {
+        const LevelMapping &la = a.levels[i];
+        const LevelMapping &lb = b.levels[i];
+        if (la.dim != lb.dim)
+            return la.dim < lb.dim;
+        if (la.blockSize != lb.blockSize)
+            return la.blockSize < lb.blockSize;
+        if (la.span.kind != lb.span.kind)
+            return static_cast<int>(la.span.kind) <
+                   static_cast<int>(lb.span.kind);
+        if (la.span.factor != lb.span.factor)
+            return la.span.factor < lb.span.factor;
+    }
+    return a.levels.size() < b.levels.size();
+}
+
+} // namespace
+
+bool
+MappingSearch::satisfies(const Constraint &c,
+                         const MappingDecision &decision) const
+{
+    switch (c.kind) {
+      case Constraint::Kind::HardSpanAll: {
+        const SpanKind k = decision.levels[c.level].span.kind;
+        return k == SpanKind::All || k == SpanKind::Split;
+      }
+      case Constraint::Kind::SoftCoalesce: {
+        const LevelMapping &l = decision.levels[c.level];
+        return l.dim == 0 && l.blockSize >= device_.warpSize &&
+               l.blockSize % device_.warpSize == 0;
+      }
+      case Constraint::Kind::SoftMinBlock:
+        return decision.threadsPerBlock() >= device_.minBlockSize;
+    }
+    return false;
+}
+
+bool
+MappingSearch::feasible(const MappingDecision &decision,
+                        const ConstraintSet &cset) const
+{
+    if (decision.numLevels() != cset.numLevels)
+        return false;
+
+    // Structural hard constraints from the device / programming model.
+    int64_t threads = 1;
+    uint32_t dimsUsed = 0;
+    for (const LevelMapping &l : decision.levels) {
+        if (l.dim < 0 || l.dim >= device_.maxLogicalDims)
+            return false;
+        if (dimsUsed & (1u << l.dim))
+            return false; // dims must be distinct across levels
+        dimsUsed |= 1u << l.dim;
+        if (l.blockSize < 1 || l.blockSize > device_.maxBlockDim[l.dim])
+            return false;
+        if (!isPow2(l.blockSize))
+            return false;
+        threads *= l.blockSize;
+    }
+    if (threads > device_.maxThreadsPerBlock)
+        return false;
+
+    // Hard constraints from the constraint set.
+    for (const Constraint &c : cset.all) {
+        if (c.kind == Constraint::Kind::HardSpanAll &&
+            !satisfies(c, decision)) {
+            return false;
+        }
+    }
+    // Span(all)/Split only where allowed by the per-level flags: a level
+    // that must not span-all (none currently) is unconstrained, but Split
+    // on a non-splittable level is invalid.
+    for (int lv = 0; lv < decision.numLevels(); lv++) {
+        if (decision.levels[lv].span.kind == SpanKind::Split &&
+            !cset.splittable[lv]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+MappingSearch::score(const MappingDecision &decision,
+                     const ConstraintSet &cset) const
+{
+    if (!feasible(decision, cset))
+        return 0.0;
+    double total = 0.0;
+    for (const Constraint &c : cset.all) {
+        if (c.kind == Constraint::Kind::HardSpanAll)
+            continue;
+        if (options_.preallocLayouts && c.flexible)
+            continue;
+        if (satisfies(c, decision))
+            total += c.weight;
+    }
+    return total;
+}
+
+void
+MappingSearch::controlDop(MappingDecision &decision,
+                          const ConstraintSet &cset) const
+{
+    const double minDop = static_cast<double>(device_.minDop());
+    const double maxDop = static_cast<double>(device_.maxDop());
+
+    double dop = decision.dop(cset.levelSizes);
+    if (dop < minDop) {
+        // Increase DOP: Span(all) -> Split(k) on the largest splittable
+        // span-all level.
+        int bestLevel = -1;
+        for (int lv = 0; lv < decision.numLevels(); lv++) {
+            if (decision.levels[lv].span.kind != SpanKind::All)
+                continue;
+            if (!cset.splittable[lv])
+                continue;
+            if (bestLevel < 0 ||
+                cset.levelSizes[lv] > cset.levelSizes[bestLevel]) {
+                bestLevel = lv;
+            }
+        }
+        if (bestLevel >= 0) {
+            const int64_t k = std::max<int64_t>(
+                2, static_cast<int64_t>(std::ceil(minDop / dop)));
+            // A split never makes sense beyond one block per domain point.
+            const int64_t cap = std::max<int64_t>(
+                1, static_cast<int64_t>(cset.levelSizes[bestLevel] /
+                                        decision.levels[bestLevel]
+                                            .blockSize));
+            decision.levels[bestLevel].span =
+                SpanType::split(std::min(k, std::max<int64_t>(cap, 2)));
+        }
+    } else if (dop > maxDop) {
+        // Decrease DOP: Span(1) -> Span(n) on the largest span-1 level.
+        int bestLevel = -1;
+        for (int lv = 0; lv < decision.numLevels(); lv++) {
+            if (decision.levels[lv].span.kind != SpanKind::One)
+                continue;
+            if (bestLevel < 0 ||
+                cset.levelSizes[lv] > cset.levelSizes[bestLevel]) {
+                bestLevel = lv;
+            }
+        }
+        if (bestLevel >= 0) {
+            const int64_t n = std::max<int64_t>(
+                2, static_cast<int64_t>(std::ceil(dop / maxDop)));
+            decision.levels[bestLevel].span = SpanType::n(n);
+        }
+    }
+}
+
+SearchResult
+MappingSearch::search(const ConstraintSet &cset) const
+{
+    const int levels = cset.numLevels;
+    NPP_ASSERT(levels >= 1 && levels <= device_.maxLogicalDims,
+               "search supports 1..{} levels, got {}",
+               device_.maxLogicalDims, levels);
+
+    std::vector<int64_t> sizeSet;
+    for (int64_t s = 1; s <= device_.maxThreadsPerBlock; s *= 2)
+        sizeSet.push_back(s);
+
+    SearchResult result;
+    bool haveBest = false;
+
+    // Enumerate dim assignments (injective level -> dim), block sizes,
+    // and spans; filter by hard constraints; score the soft ones.
+    std::vector<int> dims(levels, 0);
+    std::vector<int64_t> sizes(levels, 1);
+    std::vector<SpanKind> spans(levels, SpanKind::One);
+
+    // DOP beyond filling the device carries no value and only multiplies
+    // thread blocks (the reason MAX_DOP exists, Section IV-D), so the
+    // DOP tie-break saturates at MIN_DOP and remaining ties prefer the
+    // launch with fewer blocks.
+    const auto cappedDop = [&](double dop) {
+        return std::min(dop, static_cast<double>(device_.minDop()));
+    };
+    const auto blockCount = [&](const MappingDecision &decision) {
+        std::vector<int64_t> sizes(cset.levelSizes.size());
+        for (size_t i = 0; i < sizes.size(); i++) {
+            sizes[i] = std::max<int64_t>(
+                1, static_cast<int64_t>(cset.levelSizes[i]));
+        }
+        // Below one block per SM, fewer blocks only idles SMs; treat
+        // everything under numSMs as equally good so the final
+        // deterministic tie-break picks the smaller block (more blocks).
+        return std::max<int64_t>(makeGeometry(decision, sizes).totalBlocks,
+                                 device_.numSMs);
+    };
+
+    double bestCapped = 0.0;
+    int64_t bestBlocks = 0;
+    double bestModelMs = 0.0;
+    const auto consider = [&](const MappingDecision &decision) {
+        result.candidatesConsidered++;
+        if (!feasible(decision, cset))
+            return;
+        const double s = score(decision, cset);
+        const double dop = decision.dop(cset.levelSizes);
+        const bool wantModel =
+            options_.objective == SearchObjective::StaticModel ||
+            options_.keepCandidates;
+        const double modelMs =
+            wantModel ? staticEstimate(decision, cset, device_).totalMs
+                      : 0.0;
+        if (options_.keepCandidates)
+            result.candidates.push_back({decision, s, dop, modelMs});
+
+        if (options_.objective == SearchObjective::StaticModel) {
+            // Rank by predicted time (ascending); deterministic ties.
+            const bool better =
+                !haveBest || modelMs < bestModelMs ||
+                (modelMs == bestModelMs && lexLess(decision, result.best));
+            if (better) {
+                result.best = decision;
+                result.bestScore = s;
+                result.bestDop = dop;
+                bestModelMs = modelMs;
+                haveBest = true;
+            }
+            return;
+        }
+
+        const double capped = cappedDop(dop);
+        const int64_t blocks = blockCount(decision);
+        bool better = false;
+        if (!haveBest || s > result.bestScore) {
+            better = true;
+        } else if (s == result.bestScore) {
+            if (capped > bestCapped) {
+                better = true;
+            } else if (capped == bestCapped) {
+                if (blocks < bestBlocks) {
+                    better = true;
+                } else if (blocks == bestBlocks &&
+                           (dop > result.bestDop ||
+                            (dop == result.bestDop &&
+                             lexLess(decision, result.best)))) {
+                    better = true;
+                }
+            }
+        }
+        if (better) {
+            result.best = decision;
+            result.bestScore = s;
+            result.bestDop = dop;
+            bestCapped = capped;
+            bestBlocks = blocks;
+            haveBest = true;
+        }
+    };
+
+    // Recursive enumeration over levels.
+    std::function<void(int)> enumerate = [&](int lv) {
+        if (lv == levels) {
+            MappingDecision d;
+            d.levels.resize(levels);
+            for (int i = 0; i < levels; i++) {
+                d.levels[i].dim = dims[i];
+                d.levels[i].blockSize = sizes[i];
+                d.levels[i].span =
+                    spans[i] == SpanKind::One ? SpanType::one()
+                                              : SpanType::all();
+            }
+            consider(d);
+            return;
+        }
+        for (int dim = 0; dim < device_.maxLogicalDims; dim++) {
+            bool used = false;
+            for (int i = 0; i < lv; i++)
+                used = used || dims[i] == dim;
+            if (used)
+                continue;
+            dims[lv] = dim;
+            if (options_.outerOnly && lv > 0) {
+                // Inner levels run sequentially inside the thread.
+                sizes[lv] = 1;
+                spans[lv] = SpanKind::All;
+                enumerate(lv + 1);
+                continue;
+            }
+            for (int64_t size : sizeSet) {
+                sizes[lv] = size;
+                // Respect the hard span requirement early to halve the
+                // space; unconstrained levels try both span kinds.
+                if (cset.mustSpanAll[lv]) {
+                    spans[lv] = SpanKind::All;
+                    enumerate(lv + 1);
+                } else {
+                    spans[lv] = SpanKind::One;
+                    enumerate(lv + 1);
+                    spans[lv] = SpanKind::All;
+                    enumerate(lv + 1);
+                }
+            }
+        }
+    };
+    enumerate(0);
+
+    NPP_ASSERT(haveBest, "no feasible mapping found");
+    // The 1D directive pins the inner levels; ControlDOP must not undo
+    // that by splitting them (underutilization is exactly the 1D
+    // mapping's documented weakness).
+    if (options_.controlDop && !options_.outerOnly)
+        controlDop(result.best, cset);
+    result.bestDop = result.best.dop(cset.levelSizes);
+    return result;
+}
+
+SearchResult
+findMapping(const Program &prog, const DeviceConfig &device,
+            const std::unordered_map<int, double> &paramValues,
+            SearchOptions options)
+{
+    AnalysisEnv env;
+    env.prog = &prog;
+    env.paramValues = paramValues;
+    ConstraintSet cset = buildConstraints(prog, env, device);
+    MappingSearch search(device, options);
+    return search.search(cset);
+}
+
+} // namespace npp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The mapping search of Algorithm 1: enumerate candidate mappings that
+ * satisfy the hard constraints, score them against the soft constraints,
+ * select the best (tie-break on DOP, then deterministically), and finally
+ * adjust the DOP into the device's [MIN_DOP, MAX_DOP] window by rewriting
+ * spans (ControlDOP).
+ */
+
+#ifndef NPP_ANALYSIS_SEARCH_H
+#define NPP_ANALYSIS_SEARCH_H
+
+#include "analysis/constraint.h"
+#include "analysis/mapping.h"
+
+namespace npp {
+
+/** What Algorithm 1 ranks candidates by. */
+enum class SearchObjective
+{
+    /** The paper's weighted soft-constraint score. */
+    SoftScore,
+    /** The analytical time estimate (analysis/model.h) — the scoring
+     *  refinement named as future work in Section VI-G. */
+    StaticModel
+};
+
+/** Options controlling the search. */
+struct SearchOptions
+{
+    SearchObjective objective = SearchObjective::SoftScore;
+
+    /** Ignore `flexible` soft constraints (accesses to preallocated local
+     *  arrays whose layout is chosen after mapping, Section V-A). */
+    bool preallocLayouts = true;
+
+    /** Retain every scored candidate (for the Fig 17 scatter study). */
+    bool keepCandidates = false;
+
+    /** Skip the ControlDOP adjustment (for studying raw scores). */
+    bool controlDop = true;
+
+    /** The paper's 1D directive: only the outermost level is mapped to
+     *  threads; every inner level is pinned to a sequential
+     *  (block size 1, span(all)) execution inside the thread. */
+    bool outerOnly = false;
+};
+
+/** One scored candidate. */
+struct ScoredMapping
+{
+    MappingDecision decision;
+    double score = 0.0;
+    double dop = 0.0;
+    /** Static model estimate (filled when the objective is StaticModel
+     *  or keepCandidates is set). */
+    double modelMs = 0.0;
+};
+
+/** Search outcome. */
+struct SearchResult
+{
+    MappingDecision best;
+    double bestScore = 0.0;
+    double bestDop = 0.0;
+    int candidatesConsidered = 0;
+    std::vector<ScoredMapping> candidates; //!< if keepCandidates
+};
+
+/**
+ * Mapping search engine for a fixed device.
+ */
+class MappingSearch
+{
+  public:
+    explicit MappingSearch(DeviceConfig device, SearchOptions options = {})
+        : device_(std::move(device)), options_(options)
+    {}
+
+    /** Run Algorithm 1 on a constraint set. */
+    SearchResult search(const ConstraintSet &cset) const;
+
+    /** Score one mapping against the soft constraints (0 if it violates
+     *  a hard constraint). Exposed for the score/performance study. */
+    double score(const MappingDecision &decision,
+                 const ConstraintSet &cset) const;
+
+    /** True if the mapping satisfies every hard constraint. */
+    bool feasible(const MappingDecision &decision,
+                  const ConstraintSet &cset) const;
+
+    /** Apply the ControlDOP procedure (Algorithm 1, lines 6-12). */
+    void controlDop(MappingDecision &decision,
+                    const ConstraintSet &cset) const;
+
+    const DeviceConfig &device() const { return device_; }
+
+  private:
+    bool satisfies(const Constraint &c,
+                   const MappingDecision &decision) const;
+
+    DeviceConfig device_;
+    SearchOptions options_;
+};
+
+/**
+ * Convenience wrapper: build constraints and run the search for a
+ * program. `paramValues` supplies actual sizes when known at compile time
+ * (passed through to the analysis environment).
+ */
+SearchResult
+findMapping(const Program &prog, const DeviceConfig &device,
+            const std::unordered_map<int, double> &paramValues = {},
+            SearchOptions options = {});
+
+} // namespace npp
+
+#endif // NPP_ANALYSIS_SEARCH_H

@@ -1,0 +1,26 @@
+#include "analysis/target.h"
+
+namespace npp {
+
+DeviceConfig
+teslaK20c()
+{
+    return DeviceConfig{};
+}
+
+DeviceConfig
+teslaC2050()
+{
+    DeviceConfig dev;
+    dev.name = "Tesla C2050 (simulated)";
+    dev.numSMs = 14;
+    dev.maxThreadsPerSM = 1536;
+    dev.maxBlocksPerSM = 8;
+    dev.dpLanesPerSM = 16;
+    dev.clockGHz = 1.15;
+    dev.dramBandwidthGBs = 144.0;
+    dev.memLatencyCycles = 500.0;
+    return dev;
+}
+
+} // namespace npp

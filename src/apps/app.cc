@@ -1,0 +1,40 @@
+#include "apps/app.h"
+
+#include "support/logging.h"
+
+namespace npp {
+
+double
+App::runManualMs(const Gpu &)
+{
+    NPP_PANIC("{} has no manual implementation", name());
+}
+
+void
+addLaunch(AppResult &result, const SimReport &report)
+{
+    result.gpuMs += report.totalMs;
+}
+
+double
+Runner::launch(const Program &prog, const Bindings &args)
+{
+    if (!gpu_) {
+        WorkCounts wc = ReferenceInterp().run(prog, args);
+        work.computeOps += wc.computeOps;
+        work.bytesRead += wc.bytesRead;
+        work.bytesWritten += wc.bytesWritten;
+        work.iterations += wc.iterations;
+        return 0.0;
+    }
+    auto &compiled = cache_[&prog];
+    if (!compiled) {
+        compiled = std::make_shared<CompileResult>(
+            compileProgram(prog, gpu_->config(), copts_));
+    }
+    SimReport report = gpu_->run(compiled->spec, args);
+    gpuMs += report.totalMs;
+    return report.totalMs;
+}
+
+} // namespace npp

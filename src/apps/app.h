@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Application harness: every evaluation workload (the Fig 1 examples,
+ * the Rodinia-derived applications, and the real-world case studies) is
+ * an App — it owns its synthetic inputs, builds its pattern programs,
+ * runs end-to-end on the simulated GPU under a chosen mapping strategy,
+ * and validates its outputs against the sequential reference.
+ */
+
+#ifndef NPP_APPS_APP_H
+#define NPP_APPS_APP_H
+
+#include <memory>
+#include <unordered_map>
+#include <string>
+
+#include "sim/gpu.h"
+
+namespace npp {
+
+/** Result of one end-to-end application run. */
+struct AppResult
+{
+    /** Accumulated GPU model time over every kernel launch (ms). */
+    double gpuMs = 0.0;
+
+    /** Host-to-device transfer time for the inputs (ms). */
+    double transferMs = 0.0;
+
+    /** Largest relative output error vs the sequential reference
+     *  (only when run with validation). */
+    double maxError = 0.0;
+
+    /** Sequential work counts (feeds the CPU roofline baseline). */
+    WorkCounts referenceWork;
+
+    /** CPU baseline time for the same work (ms). */
+    double cpuMs = 0.0;
+};
+
+/**
+ * Base class for evaluation workloads.
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Run the full application (all kernels, all host-side iterations)
+     * on the simulated GPU under the given strategy. When `validate` is
+     * set, also run the sequential reference and fill maxError /
+     * referenceWork / cpuMs.
+     */
+    virtual AppResult run(const Gpu &gpu, Strategy strategy,
+                          bool validate = false) = 0;
+
+    /** True if a hand-optimized comparator implementation exists. */
+    virtual bool hasManual() const { return false; }
+
+    /**
+     * Run the hand-optimized (expert CUDA) comparator; returns its model
+     * time in ms. Only valid when hasManual().
+     */
+    virtual double runManualMs(const Gpu &gpu);
+};
+
+/** Accumulate one more kernel launch into a result. */
+void addLaunch(AppResult &result, const SimReport &report);
+
+/**
+ * Executes program launches either on the simulated GPU (accumulating
+ * model time; compiled specs are cached per program so iterative
+ * applications compile once and relaunch) or on the sequential reference
+ * interpreter (accumulating work counts). Apps write their host-side
+ * iteration logic once against this interface.
+ */
+class Runner
+{
+  public:
+    /** GPU mode. */
+    Runner(const Gpu &gpu, CompileOptions copts)
+        : gpu_(&gpu), copts_(std::move(copts))
+    {}
+
+    /** Reference mode. */
+    Runner() = default;
+
+    bool onGpu() const { return gpu_ != nullptr; }
+
+    /** Launch once; returns model ms (0 in reference mode). */
+    double launch(const Program &prog, const Bindings &args);
+
+    /** Accumulated totals. */
+    double gpuMs = 0.0;
+    WorkCounts work;
+
+  private:
+    const Gpu *gpu_ = nullptr;
+    CompileOptions copts_;
+    std::unordered_map<const Program *, std::shared_ptr<CompileResult>>
+        cache_;
+};
+
+} // namespace npp
+
+#endif // NPP_APPS_APP_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * BFS: level-synchronous breadth-first search over a CSR graph. Each
+ * level launches one two-level kernel — outer over nodes (guarded by the
+ * frontier flag), inner over the node's neighbors (a dynamically sized
+ * pattern, the load-imbalance case warp-based mapping was designed for).
+ * The hand-written Rodinia kernel parallelizes only the node level (the
+ * paper's 1D equivalent), which the analysis beats by also mapping the
+ * neighbor level.
+ */
+
+#include "apps/rodinia.h"
+#include "support/rng.h"
+
+namespace npp {
+
+namespace {
+
+class BfsApp : public App
+{
+  public:
+    BfsApp(int64_t nodes, int avgDegree) : n(nodes)
+    {
+        // Random graph with skewed degrees (half the average for most
+        // nodes, a heavy tail for a few).
+        Rng rng(7);
+        rowStart.push_back(0);
+        for (int64_t v = 0; v < n; v++) {
+            int64_t deg = 1 + static_cast<int64_t>(rng.below(avgDegree));
+            if (rng.below(32) == 0)
+                deg *= 8; // hub
+            for (int64_t e = 0; e < deg; e++)
+                nbrs.push_back(static_cast<double>(rng.below(n)));
+            rowStart.push_back(static_cast<double>(nbrs.size()));
+        }
+        build();
+    }
+
+    std::string name() const override { return "BFS"; }
+
+    AppResult
+    run(const Gpu &gpu, Strategy strategy, bool validate) override
+    {
+        AppResult result;
+        CompileOptions copts;
+        copts.strategy = strategy;
+        copts.paramValues = {{nParam.ref()->varId,
+                              static_cast<double>(n)}};
+
+        Runner runner(gpu, copts);
+        std::vector<double> cost = hostLoop(runner);
+        result.gpuMs = runner.gpuMs;
+        result.transferMs = transferMs(
+            static_cast<double>(rowStart.size() + nbrs.size()) * 8,
+            gpu.config());
+        if (validate) {
+            Runner ref;
+            std::vector<double> expect = hostLoop(ref);
+            result.referenceWork = ref.work;
+            result.cpuMs = cpuTimeMs(ref.work.computeOps,
+                                     ref.work.bytesRead +
+                                         ref.work.bytesWritten);
+            result.maxError = maxAbsDiff(expect, cost);
+        }
+        return result;
+    }
+
+    bool hasManual() const override { return true; }
+
+    double
+    runManualMs(const Gpu &gpu) override
+    {
+        // The Rodinia kernel only exploits the top-level parallelism
+        // (Section VI-C) — the 1D mapping with raw pointers.
+        CompileOptions copts;
+        copts.strategy = Strategy::OneD;
+        copts.rawPointers = true;
+        copts.paramValues = {{nParam.ref()->varId,
+                              static_cast<double>(n)}};
+        Runner runner(gpu, copts);
+        hostLoop(runner);
+        return runner.gpuMs;
+    }
+
+  private:
+    void
+    build()
+    {
+        ProgramBuilder b("bfs_level");
+        startArr = b.inI64("rowStart");
+        nbrArr = b.inI64("nbrs");
+        frontierArr = b.inF64("frontier");
+        nParam = b.paramI64("n");
+        costArr = b.inOutF64("cost");
+        visitedArr = b.inOutF64("visited");
+        nextArr = b.inOutF64("next");
+        Arr start = startArr, nb = nbrArr, frontier = frontierArr;
+        Arr cost = costArr, visited = visitedArr, next = nextArr;
+
+        b.foreach(nParam, [&](Body &fn, Ex v) {
+            fn.branch(frontier(v) > 0.0, [&](Body &active) {
+                Ex begin = active.let("begin", start(v));
+                Ex deg = active.let("deg", start(v + 1) - begin);
+                Ex myCost = active.let("myCost", cost(v));
+                active.foreach(deg, [&](Body &edge, Ex e) {
+                    Ex dst = edge.let("dst", nb(begin + e));
+                    edge.branch(visited(dst) == 0.0, [&](Body &claim) {
+                        claim.store(cost, dst, myCost + 1.0);
+                        claim.store(visited, dst, Ex(1.0));
+                        claim.store(next, dst, Ex(1.0));
+                    });
+                });
+            });
+        });
+        prog = std::make_shared<Program>(b.build());
+    }
+
+    std::vector<double>
+    hostLoop(Runner &runner)
+    {
+        std::vector<double> frontier(n, 0.0), next(n, 0.0);
+        std::vector<double> visited(n, 0.0), cost(n, 0.0);
+        frontier[0] = 1.0;
+        visited[0] = 1.0;
+        bool active = true;
+        int guard = 0;
+        while (active && guard++ < 64) {
+            Bindings args(*prog);
+            args.scalar(nParam, static_cast<double>(n));
+            args.array(startArr, rowStart);
+            args.array(nbrArr, nbrs);
+            args.array(frontierArr, frontier);
+            args.array(costArr, cost);
+            args.array(visitedArr, visited);
+            args.array(nextArr, next);
+            runner.launch(*prog, args);
+
+            active = false;
+            for (int64_t v = 0; v < n; v++) {
+                frontier[v] = next[v];
+                next[v] = 0.0;
+                active = active || frontier[v] > 0.0;
+            }
+        }
+        return cost;
+    }
+
+    int64_t n;
+    std::vector<double> rowStart, nbrs;
+    std::shared_ptr<Program> prog;
+    Arr startArr, nbrArr, frontierArr, costArr, visitedArr, nextArr;
+    Ex nParam;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeBfs(int64_t nodes, int avgDegree)
+{
+    return std::make_unique<BfsApp>(nodes, avgDegree);
+}
+
+} // namespace npp

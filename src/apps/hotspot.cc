@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Hotspot: iterated 5-point heat-diffusion stencil over a 2-D grid of
+ * temperatures with a per-cell power term. Two levels of parallelism;
+ * the input of each iteration is the previous iteration's output
+ * (ping-pong buffers on the host side).
+ */
+
+#include "apps/rodinia.h"
+#include "support/rng.h"
+
+namespace npp {
+
+namespace {
+
+class HotspotApp : public App
+{
+  public:
+    HotspotApp(int64_t n, int iterations, bool colMajor)
+        : n(n), iterations(iterations), colMajor(colMajor)
+    {
+        Rng rng(73);
+        temp0.resize(n * n);
+        power.resize(n * n);
+        for (auto &t : temp0)
+            t = rng.uniform(320, 340);
+        for (auto &p : power)
+            p = rng.uniform(0, 1e-3);
+        build();
+    }
+
+    std::string
+    name() const override
+    {
+        return colMajor ? "Hotspot(C)" : "Hotspot(R)";
+    }
+
+    AppResult
+    run(const Gpu &gpu, Strategy strategy, bool validate) override
+    {
+        AppResult result;
+        CompileOptions copts;
+        copts.strategy = strategy;
+        copts.paramValues = {{nParam.ref()->varId,
+                              static_cast<double>(n)}};
+
+        Runner runner(gpu, copts);
+        std::vector<double> out = hostLoop(runner);
+        result.gpuMs = runner.gpuMs;
+        result.transferMs = transferMs(
+            static_cast<double>(n) * n * 2 * 8, gpu.config());
+        if (validate) {
+            Runner ref;
+            std::vector<double> expect = hostLoop(ref);
+            result.referenceWork = ref.work;
+            result.cpuMs = cpuTimeMs(ref.work.computeOps,
+                                     ref.work.bytesRead +
+                                         ref.work.bytesWritten);
+            result.maxError = maxRelDiff(expect, out);
+        }
+        return result;
+    }
+
+    bool hasManual() const override { return true; }
+
+    double
+    runManualMs(const Gpu &gpu) override
+    {
+        // The Rodinia kernel uses a 16x16 2D block, raw pointers. (Its
+        // pyramidal multi-iteration fusion is small-scale; the dominant
+        // behavior is the coalesced 2D stencil.)
+        CompileOptions copts;
+        copts.strategy = Strategy::Fixed;
+        copts.fixedMapping.levels = {{1, 8, SpanType::one()},
+                                     {0, 32, SpanType::one()}};
+        copts.rawPointers = true;
+        copts.paramValues = {{nParam.ref()->varId,
+                              static_cast<double>(n)}};
+        Runner runner(gpu, copts);
+        hostLoop(runner);
+        return runner.gpuMs;
+    }
+
+  private:
+    void
+    build()
+    {
+        ProgramBuilder b(colMajor ? "hotspot_c" : "hotspot_r");
+        tIn = b.inF64("tin");
+        pArr = b.inF64("power");
+        nParam = b.paramI64("n");
+        tOut = b.outF64("tout");
+        Ex np = nParam;
+        Arr tin = tIn, p = pArr, tout = tOut;
+
+        auto cell = [&](Body &fn, Ex i, Ex j) {
+            Ex c = fn.let("c", tin(i * np + j));
+            Ex up = fn.let("up", sel(i > 0, tin(max(i - 1, 0) * np + j), c));
+            Ex dn = fn.let("dn",
+                           sel(i < np - 1, tin(min(i + 1, np - 1) * np + j),
+                               c));
+            Ex lf = fn.let("lf", sel(j > 0, tin(i * np + max(j - 1, 0)), c));
+            Ex rt = fn.let("rt",
+                           sel(j < np - 1, tin(i * np + min(j + 1, np - 1)),
+                               c));
+            Ex next = fn.let(
+                "next", c + 0.2 * (up + dn + lf + rt - 4.0 * c) +
+                            100.0 * p(i * np + j));
+            fn.store(tout, i * np + j, next);
+        };
+
+        if (colMajor) {
+            b.foreach(np, [&](Body &outer, Ex j) {
+                outer.foreach(np, [&](Body &inner, Ex i) {
+                    cell(inner, i, Ex(j));
+                });
+            });
+        } else {
+            b.foreach(np, [&](Body &outer, Ex i) {
+                outer.foreach(np, [&](Body &inner, Ex j) {
+                    cell(inner, Ex(i), j);
+                });
+            });
+        }
+        prog = std::make_shared<Program>(b.build());
+    }
+
+    std::vector<double>
+    hostLoop(Runner &runner)
+    {
+        std::vector<double> a = temp0;
+        std::vector<double> c(n * n, 0.0);
+        for (int it = 0; it < iterations; it++) {
+            Bindings args(*prog);
+            args.scalar(nParam, static_cast<double>(n));
+            args.array(tIn, a);
+            args.array(pArr, power);
+            args.array(tOut, c);
+            runner.launch(*prog, args);
+            std::swap(a, c);
+        }
+        return a;
+    }
+
+    int64_t n;
+    int iterations;
+    bool colMajor;
+    std::vector<double> temp0, power;
+    std::shared_ptr<Program> prog;
+    Arr tIn, pArr, tOut;
+    Ex nParam;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeHotspot(int64_t n, int iterations, bool colMajor)
+{
+    return std::make_unique<HotspotApp>(n, iterations, colMajor);
+}
+
+} // namespace npp

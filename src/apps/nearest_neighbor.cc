@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Nearest Neighbor: one level of parallelism — the Euclidean distance
+ * from every record to a target location. The paper uses it to measure
+ * raw generated-code quality against hand-written CUDA (the ~20% wrapper
+ * overhead gap of Section VI-C).
+ */
+
+#include "apps/rodinia.h"
+#include "support/rng.h"
+
+namespace npp {
+
+namespace {
+
+class NearestNeighborApp : public App
+{
+  public:
+    explicit NearestNeighborApp(int64_t records) : n(records)
+    {
+        Rng rng(101);
+        lat.resize(n);
+        lng.resize(n);
+        for (int64_t i = 0; i < n; i++) {
+            lat[i] = rng.uniform(0, 90);
+            lng[i] = rng.uniform(0, 180);
+        }
+        build();
+    }
+
+    std::string name() const override { return "NearestNeighbor"; }
+
+    AppResult
+    run(const Gpu &gpu, Strategy strategy, bool validate) override
+    {
+        AppResult result;
+        CompileOptions copts;
+        copts.strategy = strategy;
+        copts.paramValues = {{nParam.ref()->varId,
+                              static_cast<double>(n)}};
+
+        std::vector<double> dist(n, 0.0);
+        Runner runner(gpu, copts);
+        launchOnce(runner, dist);
+        result.gpuMs = runner.gpuMs;
+
+        result.transferMs =
+            transferMs(static_cast<double>(n) * 2 * 8, gpu.config());
+        if (validate) {
+            Runner ref;
+            std::vector<double> expect(n, 0.0);
+            launchOnce(ref, expect);
+            result.referenceWork = ref.work;
+            result.cpuMs = cpuTimeMs(ref.work.computeOps,
+                                     ref.work.bytesRead +
+                                         ref.work.bytesWritten);
+            result.maxError = maxRelDiff(expect, dist);
+        }
+        return result;
+    }
+
+    bool hasManual() const override { return true; }
+
+    double
+    runManualMs(const Gpu &gpu) override
+    {
+        // The Rodinia kernel: same mapping class, raw pointers.
+        CompileOptions copts;
+        copts.strategy = Strategy::MultiDim;
+        copts.rawPointers = true;
+        copts.paramValues = {{nParam.ref()->varId,
+                              static_cast<double>(n)}};
+        std::vector<double> dist(n, 0.0);
+        Runner runner(gpu, copts);
+        launchOnce(runner, dist);
+        return runner.gpuMs;
+    }
+
+  private:
+    void
+    build()
+    {
+        ProgramBuilder b("nn");
+        latArr = b.inF64("lat");
+        lngArr = b.inF64("lng");
+        nParam = b.paramI64("n");
+        targetLat = b.paramF64("tlat");
+        targetLng = b.paramF64("tlng");
+        distArr = b.outF64("dist");
+        Arr la = latArr, lo = lngArr;
+        Ex tla = targetLat, tlo = targetLng;
+        b.map(nParam, distArr, [&](Body &fn, Ex i) {
+            Ex dy = fn.let("dy", la(i) - tla);
+            Ex dx = fn.let("dx", lo(i) - tlo);
+            return sqrt(dy * dy + dx * dx);
+        });
+        prog = std::make_shared<Program>(b.build());
+    }
+
+    double
+    launchOnce(Runner &runner, std::vector<double> &dist)
+    {
+        Bindings args(*prog);
+        args.scalar(nParam, static_cast<double>(n));
+        args.scalar(targetLat, 30.0);
+        args.scalar(targetLng, 60.0);
+        args.array(latArr, lat);
+        args.array(lngArr, lng);
+        args.array(distArr, dist);
+        return runner.launch(*prog, args);
+    }
+
+    int64_t n;
+    std::vector<double> lat, lng;
+    std::shared_ptr<Program> prog;
+    Arr latArr, lngArr, distArr;
+    Ex nParam, targetLat, targetLng;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeNearestNeighbor(int64_t records)
+{
+    return std::make_unique<NearestNeighborApp>(records);
+}
+
+} // namespace npp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The real-world applications of Section VI-E (Fig 14): QPSCD HogWild!,
+ * the MSMBuilder trajectory-clustering kernel, and the Naive Bayes spam
+ * classifier — plus PageRank (Fig 5), the paper's canonical nested-
+ * pattern example, used by the examples and tests.
+ */
+
+#ifndef NPP_APPS_REALWORLD_H
+#define NPP_APPS_REALWORLD_H
+
+#include "apps/app.h"
+
+namespace npp {
+
+/** Lock-free stochastic coordinate descent on a dense QP: random rows
+ *  outside, sequential row traversal inside. */
+std::unique_ptr<App> makeQpscd(int64_t samples = 8192, int64_t dim = 256,
+                               int epochs = 1);
+
+/** Trajectory clustering: all-pairs distances between conformations and
+ *  cluster centers over a feature dimension (three nested levels, each
+ *  domain ~100 elements). */
+std::unique_ptr<App> makeMsmBuilder(int64_t frames = 4096,
+                                    int64_t clusters = 100,
+                                    int64_t features = 64);
+
+/** Naive Bayes spam training: per-document word totals and per-word
+ *  class counts — two different access patterns over one matrix. */
+std::unique_ptr<App> makeNaiveBayes(int64_t docs = 4096,
+                                    int64_t words = 1024);
+
+/** K-Means clustering (extension workload): nested assign kernel plus
+ *  GroupBy-based cluster sums/counts. */
+std::unique_ptr<App> makeKmeans(int64_t points = 8192,
+                                int64_t clusters = 16,
+                                int64_t features = 32,
+                                int iterations = 3);
+
+/** PageRank over a random CSR graph (Fig 5's nested map/reduce). */
+std::unique_ptr<App> makePageRank(int64_t nodes = 16384,
+                                  int avgDegree = 12,
+                                  int iterations = 3);
+
+} // namespace npp
+
+#endif // NPP_APPS_REALWORLD_H

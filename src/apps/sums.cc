@@ -1,0 +1,124 @@
+#include "apps/sums.h"
+
+#include "support/rng.h"
+
+namespace npp {
+
+namespace {
+
+/** Deterministic shared inputs, grown on demand. */
+std::vector<double> &
+matrixData(int64_t n)
+{
+    static std::vector<double> m;
+    if (static_cast<int64_t>(m.size()) < n) {
+        const size_t old = m.size();
+        m.resize(n);
+        Rng rng(0xfeedULL + old);
+        for (size_t i = old; i < m.size(); i++)
+            m[i] = rng.uniform(-1, 1);
+    }
+    return m;
+}
+
+std::vector<double> &
+weightData(int64_t n)
+{
+    static std::vector<double> v;
+    if (static_cast<int64_t>(v.size()) < n) {
+        const size_t old = v.size();
+        v.resize(n);
+        Rng rng(0xbeefULL + old);
+        for (size_t i = old; i < v.size(); i++)
+            v[i] = rng.uniform(0, 2);
+    }
+    return v;
+}
+
+} // namespace
+
+SumsProgram
+buildSum(bool byCols, bool weighted)
+{
+    SumsProgram sp;
+    sp.byCols = byCols;
+    sp.weighted = weighted;
+
+    std::string name = weighted
+                           ? (byCols ? "sumWeightedCols" : "sumWeightedRows")
+                           : (byCols ? "sumCols" : "sumRows");
+    ProgramBuilder b(name);
+    sp.m = b.inF64("m");
+    if (weighted)
+        sp.v = b.inF64("v");
+    sp.r = b.paramI64("R");
+    sp.c = b.paramI64("C");
+    sp.out = b.outF64("out");
+
+    Arr m = sp.m, v = sp.v;
+    Ex r = sp.r, c = sp.c;
+
+    const Ex outerSize = byCols ? c : r;
+    const Ex innerSize = byCols ? r : c;
+    // Row-major element address for (outer o, inner i) per orientation.
+    auto elem = [&](Ex outer, Ex inner) {
+        return byCols ? m(inner * c + outer) : m(outer * c + inner);
+    };
+
+    if (!weighted) {
+        b.map(outerSize, sp.out, [&](Body &fn, Ex o) {
+            return fn.reduce(innerSize, Op::Add, [&](Body &, Ex i) {
+                return elem(o, i);
+            });
+        });
+    } else {
+        // Fig 15: the zipWith materializes a per-iteration temporary.
+        b.map(outerSize, sp.out, [&](Body &fn, Ex o) {
+            Arr temp = fn.zipWith(innerSize, [&](Body &, Ex i) {
+                return elem(o, i) * v(i);
+            });
+            return fn.reduce(innerSize, Op::Add,
+                             [&](Body &, Ex i) { return temp(i); });
+        });
+    }
+    sp.prog = std::make_shared<Program>(b.build());
+    return sp;
+}
+
+SimReport
+runSum(const Gpu &gpu, const SumsProgram &sp, int64_t R, int64_t C,
+       CompileOptions copts, std::vector<double> *out)
+{
+    std::vector<double> result(sp.outputSize(R, C), 0.0);
+    Bindings args(*sp.prog);
+    args.scalar(sp.r, static_cast<double>(R));
+    args.scalar(sp.c, static_cast<double>(C));
+    args.array(sp.m, matrixData(R * C));
+    if (sp.weighted)
+        args.array(sp.v, weightData(std::max(R, C)));
+    args.array(sp.out, result);
+
+    copts.paramValues[sp.r.ref()->varId] = static_cast<double>(R);
+    copts.paramValues[sp.c.ref()->varId] = static_cast<double>(C);
+    SimReport report = gpu.compileAndRun(*sp.prog, args, copts);
+    if (out)
+        *out = std::move(result);
+    return report;
+}
+
+std::vector<double>
+referenceSum(const SumsProgram &sp, int64_t R, int64_t C)
+{
+    std::vector<double> result(sp.outputSize(R, C), 0.0);
+    Bindings args(*sp.prog);
+    args.scalar(sp.r, static_cast<double>(R));
+    args.scalar(sp.c, static_cast<double>(C));
+    args.array(sp.m, matrixData(R * C));
+    if (sp.weighted)
+        args.array(sp.v, weightData(std::max(R, C)));
+    args.array(sp.out, result);
+    ReferenceInterp().run(*sp.prog, args);
+    return result;
+}
+
+} // namespace npp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The paper's running examples: sumRows / sumCols (Fig 1) and their
+ * weighted variants (Fig 15), parameterized so the Fig 3 and Fig 16
+ * benches can sweep shapes and optimization settings.
+ */
+
+#ifndef NPP_APPS_SUMS_H
+#define NPP_APPS_SUMS_H
+
+#include <memory>
+
+#include "sim/gpu.h"
+
+namespace npp {
+
+/** One of the four sum kernels with its parameter handles. */
+struct SumsProgram
+{
+    std::shared_ptr<Program> prog;
+    Ex r, c;
+    Arr m, v, out; //!< v only valid for weighted variants
+    bool byCols = false;
+    bool weighted = false;
+
+    int64_t outputSize(int64_t R, int64_t C) const { return byCols ? C : R; }
+};
+
+/** Build sumRows/sumCols (weighted == Fig 15's zipWith+reduce form). */
+SumsProgram buildSum(bool byCols, bool weighted);
+
+/**
+ * Run one sum kernel on R x C data (deterministic synthetic inputs).
+ * The compiler sees the actual sizes. When `out` is non-null the result
+ * is copied there for validation.
+ */
+SimReport runSum(const Gpu &gpu, const SumsProgram &sp, int64_t R,
+                 int64_t C, CompileOptions copts = {},
+                 std::vector<double> *out = nullptr);
+
+/** Sequential reference output of the sum kernel on the same inputs. */
+std::vector<double> referenceSum(const SumsProgram &sp, int64_t R,
+                                 int64_t C);
+
+} // namespace npp
+
+#endif // NPP_APPS_SUMS_H

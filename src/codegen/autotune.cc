@@ -1,0 +1,77 @@
+#include "codegen/autotune.h"
+
+#include <algorithm>
+
+#include "sim/gpu.h"
+#include "support/logging.h"
+
+namespace npp {
+
+AutotuneResult
+autotune(const Program &prog, const Gpu &gpu, const Bindings &args,
+         CompileOptions base, const AutotuneOptions &options)
+{
+    AutotuneResult result;
+
+    base.strategy = Strategy::MultiDim;
+    base.keepCandidates = true;
+    CompileResult compiled = compileProgram(prog, gpu.config(), base);
+    result.scoreChoice = compiled.spec.mapping;
+
+    // Top-scoring distinct candidates, plus the score-based selection
+    // itself (which ControlDOP may have rewritten beyond the raw list).
+    std::vector<ScoredMapping> cands = compiled.candidates;
+    std::sort(cands.begin(), cands.end(),
+              [](const ScoredMapping &a, const ScoredMapping &b) {
+                  return a.score > b.score;
+              });
+    std::vector<ScoredMapping> picks;
+    picks.push_back({compiled.spec.mapping, compiled.spec.score,
+                     compiled.spec.dop, 0.0});
+    for (const auto &c : cands) {
+        if (static_cast<int>(picks.size()) >
+            options.topCandidates) {
+            break;
+        }
+        bool dup = false;
+        for (const auto &p : picks)
+            dup = dup || p.decision == c.decision;
+        if (!dup)
+            picks.push_back(c);
+    }
+
+    double bestMs = 0.0;
+    bool haveBest = false;
+    CompileOptions fixed = base;
+    fixed.keepCandidates = false;
+    fixed.strategy = Strategy::Fixed;
+    for (const auto &pick : picks) {
+        if (options.reset)
+            options.reset();
+        fixed.fixedMapping = pick.decision;
+        CompileResult trial = compileProgram(prog, gpu.config(), fixed);
+        SimReport report = gpu.run(trial.spec, args);
+
+        AutotuneTrial record;
+        record.decision = pick.decision;
+        record.score = pick.score;
+        record.measuredMs = report.totalMs;
+        result.trials.push_back(record);
+
+        if (pick.decision == result.scoreChoice)
+            result.scoreChoiceMs = report.totalMs;
+        if (!haveBest || report.totalMs < bestMs) {
+            bestMs = report.totalMs;
+            result.best = trial.spec;
+            result.ownedProgram = trial.ownedProgram;
+            haveBest = true;
+        }
+    }
+    NPP_ASSERT(haveBest, "autotune executed no candidates");
+    result.bestMs = bestMs;
+    if (options.reset)
+        options.reset();
+    return result;
+}
+
+} // namespace npp

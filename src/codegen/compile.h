@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The compilation pipeline: mapping analysis (or a fixed strategy),
+ * optimization passes, shared-memory budgeting, and CUDA emission,
+ * producing a KernelSpec the simulator can execute.
+ */
+
+#ifndef NPP_CODEGEN_COMPILE_H
+#define NPP_CODEGEN_COMPILE_H
+
+#include "analysis/presets.h"
+#include "codegen/plan.h"
+#include "opt/prealloc.h"
+
+namespace npp {
+
+/** Mapping strategy selection. */
+enum class Strategy {
+    MultiDim,          //!< the paper's analysis (Algorithm 1)
+    OneD,              //!< outer level only
+    ThreadBlockThread, //!< Copperhead-style (Fig 7a)
+    WarpBased,         //!< Hong et al. (Fig 7b)
+    Fixed              //!< caller-provided MappingDecision
+};
+
+const char *strategyName(Strategy strategy);
+
+/** Compilation options. */
+struct CompileOptions
+{
+    Strategy strategy = Strategy::MultiDim;
+
+    /** Used when strategy == Fixed. */
+    MappingDecision fixedMapping;
+
+    /** Section V-A switches. */
+    PreallocOptions prealloc;
+
+    /** Section V-B switch. */
+    bool smemPrefetch = true;
+
+    /** Actual parameter values known at compile time (improves the
+     *  analysis sizes; optional). */
+    std::unordered_map<int, double> paramValues;
+
+    /** Retain the full scored candidate list (Fig 17). */
+    bool keepCandidates = false;
+
+    /** Ranking objective for the MultiDim search (soft-constraint score
+     *  or the analytical time model). */
+    SearchObjective objective = SearchObjective::SoftScore;
+
+    /** Model a hand-written kernel: raw-pointer accesses without the
+     *  generated wrapper's extra index arithmetic. */
+    bool rawPointers = false;
+
+    /** Vertical map-reduce fusion (opt/fusion.h): eliminate nested
+     *  intermediate arrays consumed only by a following reduce. Off by
+     *  default — the paper's Section V experiments study the
+     *  materialized form. */
+    bool fuseMapReduce = false;
+};
+
+/** Extended result: the spec plus search diagnostics. */
+struct CompileResult
+{
+    KernelSpec spec;
+    std::vector<ScoredMapping> candidates; //!< if keepCandidates
+    ConstraintSet constraints;
+
+    /** When fusion rewrote the program, the spec points here instead of
+     *  at the caller's program (same variable table, so bindings built
+     *  against the original remain valid). */
+    std::shared_ptr<Program> ownedProgram;
+
+    /** Map-reduce pairs eliminated by fusion. */
+    int fusedPatterns = 0;
+};
+
+/** Compile a program for a device. The program must outlive the spec. */
+CompileResult compileProgram(const Program &prog,
+                             const DeviceConfig &device,
+                             const CompileOptions &options = {});
+
+/** Levels containing a Reduce pattern (need smem combine when their
+ *  block size exceeds 1). */
+std::vector<int> reduceLevelsOf(const Program &prog);
+
+} // namespace npp
+
+#endif // NPP_CODEGEN_COMPILE_H

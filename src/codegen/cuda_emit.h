@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CUDA source generation (Section IV-E). The emitter renders a KernelSpec
+ * — program IR plus mapping decision plus optimization plans — into CUDA
+ * C source text using a per-pattern, per-mapping template set: span types
+ * become the corresponding loop structures, parallelized reductions get
+ * shared-memory tree combines, Split(k) levels additionally emit a
+ * combiner kernel, and preallocated local arrays are addressed through
+ * layout-specific offset/stride expressions.
+ *
+ * The emitted text is a faithful rendering of what the simulator
+ * executes; structure tests and documentation consume it (we have no
+ * CUDA toolchain in this environment).
+ */
+
+#ifndef NPP_CODEGEN_CUDA_EMIT_H
+#define NPP_CODEGEN_CUDA_EMIT_H
+
+#include <string>
+
+#include "codegen/plan.h"
+
+namespace npp {
+
+/** Render the CUDA source for a compiled kernel spec (main kernel plus
+ *  any combiner kernels and the launch stub). */
+std::string emitCuda(const KernelSpec &spec);
+
+} // namespace npp
+
+#endif // NPP_CODEGEN_CUDA_EMIT_H

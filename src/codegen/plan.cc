@@ -1,0 +1,25 @@
+#include "codegen/plan.h"
+
+#include "support/strings.h"
+
+namespace npp {
+
+std::string
+LocalArrayPlan::toString() const
+{
+    return fmt("local v{} L{} {} {}", varId, definingLevel,
+               mode == Mode::ThreadMalloc ? "malloc" : "prealloc",
+               layout == Layout::Contiguous ? "contiguous" : "interleaved");
+}
+
+const LocalArrayPlan *
+KernelSpec::localPlan(int varId) const
+{
+    for (const auto &plan : locals) {
+        if (plan.varId == varId)
+            return &plan;
+    }
+    return nullptr;
+}
+
+} // namespace npp

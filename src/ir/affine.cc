@@ -1,0 +1,202 @@
+#include "ir/affine.h"
+
+#include <cmath>
+
+#include "ir/traverse.h"
+#include "support/logging.h"
+
+namespace npp {
+
+std::optional<double>
+AnalysisEnv::resolveParam(int varId) const
+{
+    if (auto it = paramValues.find(varId); it != paramValues.end())
+        return it->second;
+    if (prog) {
+        const auto &hints = prog->sizeHints();
+        if (auto it = hints.find(varId); it != hints.end())
+            return it->second;
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+constEval(const ExprRef &expr, const AnalysisEnv &env)
+{
+    if (!expr)
+        return std::nullopt;
+    switch (expr->kind) {
+      case ExprKind::Lit:
+        return expr->lit;
+      case ExprKind::Var: {
+        if (env.prog &&
+            env.prog->var(expr->varId).role == VarRole::ScalarParam) {
+            return env.resolveParam(expr->varId);
+        }
+        return std::nullopt;
+      }
+      case ExprKind::Binary: {
+        auto a = constEval(expr->a, env);
+        auto b = constEval(expr->b, env);
+        if (!a || !b)
+            return std::nullopt;
+        return applyOp(expr->op, *a, *b);
+      }
+      case ExprKind::Unary: {
+        auto a = constEval(expr->a, env);
+        if (!a)
+            return std::nullopt;
+        return applyOp(expr->op, *a, 0.0);
+      }
+      case ExprKind::Select: {
+        auto c = constEval(expr->a, env);
+        if (!c)
+            return std::nullopt;
+        return constEval(*c != 0.0 ? expr->b : expr->c, env);
+      }
+      case ExprKind::Read:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+double
+sizeForAnalysis(const ExprRef &size, const AnalysisEnv &env)
+{
+    if (auto v = constEval(size, env))
+        return *v;
+    return env.defaultSize;
+}
+
+std::optional<double>
+coeffOf(const ExprRef &expr, int varId, const AnalysisEnv &env)
+{
+    if (!expr)
+        return std::nullopt;
+    if (!mentionsVar(expr, varId))
+        return 0.0;
+
+    switch (expr->kind) {
+      case ExprKind::Var:
+        // mentionsVar above guarantees this is the variable itself.
+        return 1.0;
+      case ExprKind::Binary: {
+        switch (expr->op) {
+          case Op::Add: {
+            auto a = coeffOf(expr->a, varId, env);
+            auto b = coeffOf(expr->b, varId, env);
+            if (!a || !b)
+                return std::nullopt;
+            return *a + *b;
+          }
+          case Op::Sub: {
+            auto a = coeffOf(expr->a, varId, env);
+            auto b = coeffOf(expr->b, varId, env);
+            if (!a || !b)
+                return std::nullopt;
+            return *a - *b;
+          }
+          case Op::Mul: {
+            const bool inA = mentionsVar(expr->a, varId);
+            const bool inB = mentionsVar(expr->b, varId);
+            if (inA && inB)
+                return std::nullopt; // quadratic in var
+            const ExprRef &varSide = inA ? expr->a : expr->b;
+            const ExprRef &constSide = inA ? expr->b : expr->a;
+            auto coeff = coeffOf(varSide, varId, env);
+            auto scale = constEval(constSide, env);
+            if (!coeff || !scale)
+                return std::nullopt;
+            return *coeff * *scale;
+          }
+          case Op::Div: {
+            // (a / c) with c independent of var and constant.
+            if (mentionsVar(expr->b, varId))
+                return std::nullopt;
+            auto coeff = coeffOf(expr->a, varId, env);
+            auto scale = constEval(expr->b, env);
+            if (!coeff || !scale || *scale == 0.0)
+                return std::nullopt;
+            // Integer index division is only affine when it divides evenly;
+            // be conservative and require an integral coefficient.
+            double c = *coeff / *scale;
+            if (c != std::floor(c))
+                return std::nullopt;
+            return c;
+          }
+          default:
+            return std::nullopt;
+        }
+      }
+      case ExprKind::Unary: {
+        if (expr->op == Op::Neg) {
+            auto a = coeffOf(expr->a, varId, env);
+            if (!a)
+                return std::nullopt;
+            return -*a;
+        }
+        return std::nullopt;
+      }
+      default:
+        // Reads, selects, literals mentioning var (impossible for Lit).
+        return std::nullopt;
+    }
+}
+
+ExprRef
+resolveLocals(const ExprRef &expr, const AnalysisEnv &env)
+{
+    if (!expr || env.localDefs.empty())
+        return expr;
+    switch (expr->kind) {
+      case ExprKind::Var: {
+        auto it = env.localDefs.find(expr->varId);
+        return it != env.localDefs.end() ? it->second : expr;
+      }
+      case ExprKind::Binary:
+        return binary(expr->op, resolveLocals(expr->a, env),
+                      resolveLocals(expr->b, env));
+      case ExprKind::Unary:
+        return unary(expr->op, resolveLocals(expr->a, env));
+      case ExprKind::Select:
+        return select(resolveLocals(expr->a, env),
+                      resolveLocals(expr->b, env),
+                      resolveLocals(expr->c, env));
+      case ExprKind::Read:
+        // Keep the read node itself (its site identity matters); its
+        // value is data-dependent anyway.
+        return expr;
+      case ExprKind::Lit:
+        return expr;
+    }
+    return expr;
+}
+
+bool
+sizeKnownAtLaunch(const ExprRef &expr, const Program &prog)
+{
+    bool known = true;
+    walkExpr(expr, [&](const Expr &e) {
+        if (e.kind == ExprKind::Read)
+            known = false;
+        else if (e.kind == ExprKind::Var &&
+                 prog.var(e.varId).role != VarRole::ScalarParam)
+            known = false;
+    });
+    return known;
+}
+
+bool
+dependsOnAnyIndex(const ExprRef &expr, const Program &prog)
+{
+    bool found = false;
+    walkExpr(expr, [&](const Expr &e) {
+        if (e.kind == ExprKind::Var &&
+            prog.var(e.varId).role == VarRole::Index) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+} // namespace npp

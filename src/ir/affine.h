@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Affine analysis of index expressions. The constraint generator needs to
+ * know, for every array access, the stride of the access with respect to
+ * each enclosing pattern index: stride 1 means the pattern generates
+ * sequential memory requests (coalescing soft constraint, Table II).
+ *
+ * Strides are resolved against an AnalysisEnv that knows actual parameter
+ * values when the caller provides them, falls back to per-parameter size
+ * hints, and finally to the paper's default assumption (1000).
+ */
+
+#ifndef NPP_IR_AFFINE_H
+#define NPP_IR_AFFINE_H
+
+#include <optional>
+#include <unordered_map>
+
+#include "ir/program.h"
+
+namespace npp {
+
+/**
+ * Value resolution context for compile-time analysis.
+ */
+struct AnalysisEnv
+{
+    const Program *prog = nullptr;
+
+    /** Actual parameter values, when known at compile/launch time. */
+    std::unordered_map<int, double> paramValues;
+
+    /** Definitions of (immutable) let-bound scalar locals in scope,
+     *  already fully resolved. Lets like `row = t + 1 + i` must not hide
+     *  index dependence from the stride analysis. */
+    std::unordered_map<int, ExprRef> localDefs;
+
+    /** Fallback when a pattern size is statically unknown (paper: 1000). */
+    double defaultSize = 1000.0;
+
+    /** Resolve a scalar param: actual value, then hint, then nothing. */
+    std::optional<double> resolveParam(int varId) const;
+};
+
+/**
+ * Evaluate an expression to a compile-time constant if possible.
+ * Only literals, resolvable scalar params, and arithmetic over them fold.
+ */
+std::optional<double> constEval(const ExprRef &expr, const AnalysisEnv &env);
+
+/**
+ * Evaluate a pattern-size expression for analysis: constEval, falling back
+ * to env.defaultSize when the size is statically unknown (e.g. depends on
+ * an enclosing index, as in graph traversals).
+ */
+double sizeForAnalysis(const ExprRef &size, const AnalysisEnv &env);
+
+/**
+ * Coefficient of `varId` in `expr` when expr is affine in that variable
+ * (expr == coeff * var + rest, with rest independent of var). The rest may
+ * itself be non-constant (e.g. data-dependent offsets); only the
+ * coefficient must fold. Returns nullopt when not affine in varId.
+ */
+std::optional<double> coeffOf(const ExprRef &expr, int varId,
+                              const AnalysisEnv &env);
+
+/** True if the expression mentions any parallel-pattern index variable. */
+bool dependsOnAnyIndex(const ExprRef &expr, const Program &prog);
+
+/**
+ * Substitute every in-scope immutable scalar local with its definition
+ * so stride analysis sees the underlying index arithmetic.
+ */
+ExprRef resolveLocals(const ExprRef &expr, const AnalysisEnv &env);
+
+/**
+ * True iff the expression folds from literals and scalar params only —
+ * i.e. its value is known when the kernel is launched (Section IV-A).
+ * Dependence on a pattern index, a local, or a memory read makes it
+ * dynamic.
+ */
+bool sizeKnownAtLaunch(const ExprRef &expr, const Program &prog);
+
+} // namespace npp
+
+#endif // NPP_IR_AFFINE_H

@@ -1,0 +1,403 @@
+#include "ir/builder.h"
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace npp {
+
+namespace {
+
+/** Fresh auto-generated local names: t0, t1, ... per program. */
+std::string
+freshName(Program &prog, const char *prefix)
+{
+    return fmt("{}{}", prefix, prog.numVars());
+}
+
+} // namespace
+
+//
+// Body
+//
+
+Ex
+Body::let(const std::string &name, Ex value)
+{
+    NPP_ASSERT(value.valid(), "let {} with empty value", name);
+    VarInfo info;
+    info.name = name;
+    info.role = VarRole::ScalarLocal;
+    info.kind = value.ref()->type;
+    int id = prog_.addVar(info);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Let;
+    stmt->var = id;
+    stmt->value = value.ref();
+    stmts_.push_back(std::move(stmt));
+    return Ex(varRef(id, info.kind));
+}
+
+Mut
+Body::mut(const std::string &name, Ex init)
+{
+    NPP_ASSERT(init.valid(), "mut {} with empty init", name);
+    VarInfo info;
+    info.name = name;
+    info.role = VarRole::ScalarLocal;
+    info.kind = init.ref()->type;
+    info.isMutable = true;
+    int id = prog_.addVar(info);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Let;
+    stmt->var = id;
+    stmt->value = init.ref();
+    stmts_.push_back(std::move(stmt));
+    return Mut(id, info.kind);
+}
+
+void
+Body::assign(Mut target, Ex value)
+{
+    NPP_ASSERT(value.valid(), "assign with empty value");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Assign;
+    stmt->var = target.id();
+    stmt->value = value.ref();
+    stmts_.push_back(std::move(stmt));
+}
+
+void
+Body::store(Arr array, Ex index, Ex value)
+{
+    NPP_ASSERT(array.valid(), "store to invalid array");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Store;
+    stmt->array = array.id();
+    stmt->index = index.ref();
+    stmt->value = value.ref();
+    stmts_.push_back(std::move(stmt));
+}
+
+PatternPtr
+Body::buildNested(PatternKind kind, Ex size, Op combiner, const MapFn &fn)
+{
+    NPP_ASSERT(size.valid(), "nested {} with empty size",
+               patternKindName(kind));
+    auto p = std::make_unique<Pattern>();
+    p->kind = kind;
+    p->size = size.ref();
+    p->combiner = combiner;
+
+    VarInfo idx;
+    idx.name = freshName(prog_, "i");
+    idx.role = VarRole::Index;
+    idx.kind = ScalarKind::I64;
+    p->indexVar = prog_.addVar(idx);
+
+    Body inner(prog_, p->body);
+    Ex yield = fn(inner, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    if (kind != PatternKind::Foreach) {
+        NPP_ASSERT(yield.valid(), "nested {} returned empty yield",
+                   patternKindName(kind));
+        p->yield = yield.ref();
+    }
+    return p;
+}
+
+Arr
+Body::map(Ex size, const MapFn &fn, ScalarKind kind)
+{
+    auto p = buildNested(PatternKind::Map, size, Op::Add, fn);
+
+    VarInfo res;
+    res.name = freshName(prog_, "arr");
+    res.role = VarRole::ArrayLocal;
+    res.kind = kind;
+    int resId = prog_.addVar(res);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Nested;
+    stmt->var = resId;
+    stmt->pattern = std::move(p);
+    stmts_.push_back(std::move(stmt));
+    return Arr(resId, kind);
+}
+
+Arr
+Body::zipWith(Ex size, const MapFn &fn, ScalarKind kind)
+{
+    auto p = buildNested(PatternKind::ZipWith, size, Op::Add, fn);
+
+    VarInfo res;
+    res.name = freshName(prog_, "arr");
+    res.role = VarRole::ArrayLocal;
+    res.kind = kind;
+    int resId = prog_.addVar(res);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Nested;
+    stmt->var = resId;
+    stmt->pattern = std::move(p);
+    stmts_.push_back(std::move(stmt));
+    return Arr(resId, kind);
+}
+
+Ex
+Body::reduce(Ex size, Op combiner, const MapFn &fn)
+{
+    NPP_ASSERT(isCombinerOp(combiner), "reduce with non-associative op {}",
+               opName(combiner));
+    auto p = buildNested(PatternKind::Reduce, size, combiner, fn);
+
+    VarInfo res;
+    res.name = freshName(prog_, "acc");
+    res.role = VarRole::ScalarLocal;
+    res.kind = p->yield->type;
+    int resId = prog_.addVar(res);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Nested;
+    stmt->var = resId;
+    stmt->pattern = std::move(p);
+    stmts_.push_back(std::move(stmt));
+    return Ex(varRef(resId, res.kind));
+}
+
+void
+Body::foreach(Ex size, const VoidFn &fn)
+{
+    auto p = buildNested(PatternKind::Foreach, size, Op::Add,
+                         [&](Body &b, Ex i) {
+                             fn(b, i);
+                             return Ex();
+                         });
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Nested;
+    stmt->var = -1;
+    stmt->pattern = std::move(p);
+    stmts_.push_back(std::move(stmt));
+}
+
+void
+Body::branch(Ex cond, const BlockFn &thenFn, const BlockFn &elseFn)
+{
+    NPP_ASSERT(cond.valid(), "branch with empty condition");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::If;
+    stmt->cond = cond.ref();
+    {
+        Body thenBody(prog_, stmt->body);
+        thenFn(thenBody);
+    }
+    if (elseFn) {
+        Body elseBody(prog_, stmt->elseBody);
+        elseFn(elseBody);
+    }
+    stmts_.push_back(std::move(stmt));
+}
+
+void
+Body::seqLoop(Ex trip, const VoidFn &fn, Ex breakCond)
+{
+    NPP_ASSERT(trip.valid(), "seqLoop with empty trip count");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::SeqLoop;
+    stmt->trip = trip.ref();
+    if (breakCond.valid())
+        stmt->cond = breakCond.ref();
+
+    VarInfo idx;
+    idx.name = freshName(prog_, "k");
+    idx.role = VarRole::SeqIndex;
+    idx.kind = ScalarKind::I64;
+    stmt->var = prog_.addVar(idx);
+
+    Body body(prog_, stmt->body);
+    fn(body, Ex(varRef(stmt->var, ScalarKind::I64)));
+    stmts_.push_back(std::move(stmt));
+}
+
+//
+// ProgramBuilder
+//
+
+Ex
+ProgramBuilder::makeScalarParam(const std::string &name, ScalarKind kind)
+{
+    VarInfo info;
+    info.name = name;
+    info.role = VarRole::ScalarParam;
+    info.kind = kind;
+    int id = prog_.addVar(info);
+    return Ex(varRef(id, kind));
+}
+
+Arr
+ProgramBuilder::makeArrayParam(const std::string &name, ScalarKind kind,
+                               bool output)
+{
+    VarInfo info;
+    info.name = name;
+    info.role = VarRole::ArrayParam;
+    info.kind = kind;
+    info.isOutput = output;
+    int id = prog_.addVar(info);
+    return Arr(id, kind);
+}
+
+Ex
+ProgramBuilder::paramI64(const std::string &name)
+{
+    return makeScalarParam(name, ScalarKind::I64);
+}
+
+Ex
+ProgramBuilder::paramF64(const std::string &name)
+{
+    return makeScalarParam(name, ScalarKind::F64);
+}
+
+Arr
+ProgramBuilder::inF64(const std::string &name)
+{
+    return makeArrayParam(name, ScalarKind::F64, false);
+}
+
+Arr
+ProgramBuilder::inI64(const std::string &name)
+{
+    return makeArrayParam(name, ScalarKind::I64, false);
+}
+
+Arr
+ProgramBuilder::outF64(const std::string &name)
+{
+    return makeArrayParam(name, ScalarKind::F64, true);
+}
+
+Arr
+ProgramBuilder::outI64(const std::string &name)
+{
+    return makeArrayParam(name, ScalarKind::I64, true);
+}
+
+Arr
+ProgramBuilder::inOutF64(const std::string &name)
+{
+    return makeArrayParam(name, ScalarKind::F64, true);
+}
+
+void
+ProgramBuilder::sizeHint(Ex param, double value)
+{
+    NPP_ASSERT(param.valid() && param.ref()->kind == ExprKind::Var,
+               "size hint must name a scalar param");
+    prog_.setSizeHint(param.ref()->varId, value);
+}
+
+PatternPtr
+ProgramBuilder::makeRoot(PatternKind kind, Ex size)
+{
+    NPP_ASSERT(!rootSet_, "{}: root pattern set twice", prog_.name());
+    NPP_ASSERT(size.valid(), "root {} with empty size",
+               patternKindName(kind));
+    rootSet_ = true;
+    auto p = std::make_unique<Pattern>();
+    p->kind = kind;
+    p->size = size.ref();
+
+    VarInfo idx;
+    idx.name = freshName(prog_, "i");
+    idx.role = VarRole::Index;
+    idx.kind = ScalarKind::I64;
+    p->indexVar = prog_.addVar(idx);
+    return p;
+}
+
+void
+ProgramBuilder::map(Ex size, Arr out, const MapFn &fn)
+{
+    auto p = makeRoot(PatternKind::Map, size);
+    Body body(prog_, p->body);
+    Ex yield = fn(body, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(yield.valid(), "root map returned empty yield");
+    p->yield = yield.ref();
+    prog_.setRoot(std::move(p));
+    prog_.setRootOutput(out.id());
+}
+
+void
+ProgramBuilder::zipWith(Ex size, Arr out, const MapFn &fn)
+{
+    auto p = makeRoot(PatternKind::ZipWith, size);
+    Body body(prog_, p->body);
+    Ex yield = fn(body, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(yield.valid(), "root zipWith returned empty yield");
+    p->yield = yield.ref();
+    prog_.setRoot(std::move(p));
+    prog_.setRootOutput(out.id());
+}
+
+void
+ProgramBuilder::foreach(Ex size, const VoidFn &fn)
+{
+    auto p = makeRoot(PatternKind::Foreach, size);
+    Body body(prog_, p->body);
+    fn(body, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    prog_.setRoot(std::move(p));
+}
+
+void
+ProgramBuilder::reduce(Ex size, Op combiner, Arr out, const MapFn &fn)
+{
+    auto p = makeRoot(PatternKind::Reduce, size);
+    p->combiner = combiner;
+    Body body(prog_, p->body);
+    Ex yield = fn(body, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(yield.valid(), "root reduce returned empty yield");
+    p->yield = yield.ref();
+    prog_.setRoot(std::move(p));
+    prog_.setRootOutput(out.id());
+}
+
+void
+ProgramBuilder::filter(Ex size, Arr out, Arr countOut, const FilterFn &fn)
+{
+    auto p = makeRoot(PatternKind::Filter, size);
+    Body body(prog_, p->body);
+    FilterItem item = fn(body, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(item.pred.valid() && item.value.valid(),
+               "root filter returned empty pred/value");
+    p->filterPred = item.pred.ref();
+    p->yield = item.value.ref();
+    prog_.setRoot(std::move(p));
+    prog_.setRootOutput(out.id());
+    prog_.setCountOutput(countOut.id());
+}
+
+void
+ProgramBuilder::groupBy(Ex size, Op combiner, Arr out, const GroupFn &fn)
+{
+    auto p = makeRoot(PatternKind::GroupBy, size);
+    p->combiner = combiner;
+    Body body(prog_, p->body);
+    KeyedValue kv = fn(body, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(kv.key.valid() && kv.value.valid(),
+               "root groupBy returned empty key/value");
+    p->key = kv.key.ref();
+    p->yield = kv.value.ref();
+    prog_.setRoot(std::move(p));
+    prog_.setRootOutput(out.id());
+}
+
+Program
+ProgramBuilder::build()
+{
+    prog_.validate();
+    return std::move(prog_);
+}
+
+} // namespace npp

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Builder EDSL for constructing pattern IR programs — the "thin wrapper
+ * around the IR" language of Section III. Applications build programs with
+ * natural C++ lambdas and operator syntax:
+ *
+ *     ProgramBuilder b("sumRows");
+ *     Arr m = b.inF64("m");
+ *     Ex R = b.paramI64("R"), C = b.paramI64("C");
+ *     Arr out = b.outF64("out");
+ *     b.map(R, out, [&](Body &fn, Ex i) {
+ *         return fn.reduce(C, Op::Add,
+ *                          [&](Body &, Ex j) { return m(i * C + j); });
+ *     });
+ *     Program prog = b.build();
+ */
+
+#ifndef NPP_IR_BUILDER_H
+#define NPP_IR_BUILDER_H
+
+#include <functional>
+#include <string>
+
+#include "ir/program.h"
+
+namespace npp {
+
+/** Lightweight handle to an array variable; call it to build a read. */
+class Arr
+{
+  public:
+    Arr() = default;
+    Arr(int id, ScalarKind kind) : id_(id), kind_(kind) {}
+
+    /** Build a read expression at the given index. */
+    Ex operator()(Ex index) const { return Ex(read(id_, index.ref(), kind_)); }
+
+    int id() const { return id_; }
+    ScalarKind kind() const { return kind_; }
+    bool valid() const { return id_ >= 0; }
+
+  private:
+    int id_ = -1;
+    ScalarKind kind_ = ScalarKind::F64;
+};
+
+/** Handle to a mutable scalar local (loop-carried state in SeqLoops). */
+class Mut
+{
+  public:
+    Mut() = default;
+    Mut(int id, ScalarKind kind) : id_(id), kind_(kind) {}
+
+    /*implicit*/ operator Ex() const { return Ex(varRef(id_, kind_)); }
+    Ex ex() const { return Ex(varRef(id_, kind_)); }
+    int id() const { return id_; }
+
+  private:
+    int id_ = -1;
+    ScalarKind kind_ = ScalarKind::F64;
+};
+
+/** A filter body yields a (keep?, value) pair. */
+struct FilterItem
+{
+    Ex pred;
+    Ex value;
+};
+
+/** A groupBy body yields a (key, value) pair. */
+struct KeyedValue
+{
+    Ex key;
+    Ex value;
+};
+
+class Body;
+
+using MapFn = std::function<Ex(Body &, Ex)>;
+using VoidFn = std::function<void(Body &, Ex)>;
+using FilterFn = std::function<FilterItem(Body &, Ex)>;
+using GroupFn = std::function<KeyedValue(Body &, Ex)>;
+using BlockFn = std::function<void(Body &)>;
+
+/**
+ * Statement-list builder handed to body lambdas. All nested-pattern,
+ * let-binding, control-flow, and store operations go through this class.
+ */
+class Body
+{
+  public:
+    Body(Program &prog, std::vector<StmtPtr> &stmts)
+        : prog_(prog), stmts_(stmts)
+    {}
+
+    /** Bind an expression to a named scalar local; returns its reference. */
+    Ex let(const std::string &name, Ex value);
+
+    /** Declare a mutable scalar local with an initial value. */
+    Mut mut(const std::string &name, Ex init);
+
+    /** Reassign a mutable local. */
+    void assign(Mut target, Ex value);
+
+    /** Write array[index] = value. */
+    void store(Arr array, Ex index, Ex value);
+
+    /** Nested map producing a fresh array local of length `size`. */
+    Arr map(Ex size, const MapFn &fn,
+            ScalarKind kind = ScalarKind::F64);
+
+    /** Nested zipWith (semantically a map; reads live in the body). */
+    Arr zipWith(Ex size, const MapFn &fn,
+                ScalarKind kind = ScalarKind::F64);
+
+    /** Nested reduce with the given associative combiner. */
+    Ex reduce(Ex size, Op combiner, const MapFn &fn);
+
+    /** Nested foreach (effectful). */
+    void foreach(Ex size, const VoidFn &fn);
+
+    /** Conditional statement. */
+    void branch(Ex cond, const BlockFn &thenFn, const BlockFn &elseFn = {});
+
+    /** Sequential loop over [0, trip); optional break condition is
+     *  evaluated before each iteration and exits the loop when true. */
+    void seqLoop(Ex trip, const VoidFn &fn, Ex breakCond = Ex());
+
+  private:
+    friend class ProgramBuilder;
+
+    PatternPtr buildNested(PatternKind kind, Ex size, Op combiner,
+                           const MapFn &fn);
+
+    Program &prog_;
+    std::vector<StmtPtr> &stmts_;
+};
+
+/**
+ * Top-level program builder: declares parameters and the root pattern.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name) : prog_(std::move(name)) {}
+
+    /** @name Parameter declarations
+     *  @{
+     */
+    Ex paramI64(const std::string &name);
+    Ex paramF64(const std::string &name);
+    Arr inF64(const std::string &name);
+    Arr inI64(const std::string &name);
+    Arr outF64(const std::string &name);
+    Arr outI64(const std::string &name);
+    /** Array param that is both read and written (e.g. in-place updates). */
+    Arr inOutF64(const std::string &name);
+    /** @} */
+
+    /** Analysis size hint for a scalar param (Section IV-C). */
+    void sizeHint(Ex param, double value);
+
+    /** @name Root patterns
+     *  @{
+     */
+    void map(Ex size, Arr out, const MapFn &fn);
+    void zipWith(Ex size, Arr out, const MapFn &fn);
+    void foreach(Ex size, const VoidFn &fn);
+    /** Root reduce; the single result is written to out[0]. */
+    void reduce(Ex size, Op combiner, Arr out, const MapFn &fn);
+    /** Root filter; kept values compact into `out`, count into countOut[0]. */
+    void filter(Ex size, Arr out, Arr countOut, const FilterFn &fn);
+    /** Root groupBy (reduce-by-key); out[key] accumulates combined values
+     *  and must be sized to the key domain by the caller. */
+    void groupBy(Ex size, Op combiner, Arr out, const GroupFn &fn);
+    /** @} */
+
+    /** Validate and return the finished program. */
+    Program build();
+
+  private:
+    Ex makeScalarParam(const std::string &name, ScalarKind kind);
+    Arr makeArrayParam(const std::string &name, ScalarKind kind,
+                       bool output);
+    PatternPtr makeRoot(PatternKind kind, Ex size);
+
+    Program prog_;
+    bool rootSet_ = false;
+};
+
+} // namespace npp
+
+#endif // NPP_IR_BUILDER_H

@@ -1,0 +1,271 @@
+#include "ir/expr.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace npp {
+
+namespace {
+
+std::atomic<int> nextReadSite{0};
+
+ExprRef
+make(Expr e)
+{
+    return std::make_shared<const Expr>(std::move(e));
+}
+
+} // namespace
+
+bool
+isUnaryOp(Op op)
+{
+    switch (op) {
+      case Op::Neg:
+      case Op::Not:
+      case Op::Exp:
+      case Op::Log:
+      case Op::Sqrt:
+      case Op::Abs:
+      case Op::Floor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCombinerOp(Op op)
+{
+    return op == Op::Add || op == Op::Mul || op == Op::Min || op == Op::Max ||
+           op == Op::And || op == Op::Or;
+}
+
+double
+combinerIdentity(Op op)
+{
+    switch (op) {
+      case Op::Add:
+        return 0.0;
+      case Op::Mul:
+        return 1.0;
+      case Op::Min:
+        return std::numeric_limits<double>::infinity();
+      case Op::Max:
+        return -std::numeric_limits<double>::infinity();
+      case Op::And:
+        return 1.0;
+      case Op::Or:
+        return 0.0;
+      default:
+        NPP_PANIC("op {} is not a combiner", opName(op));
+    }
+}
+
+int
+opCost(Op op)
+{
+    switch (op) {
+      case Op::Div:
+      case Op::Mod:
+      case Op::Sqrt:
+        return 4;
+      case Op::Exp:
+      case Op::Log:
+      case Op::Pow:
+        return 8;
+      default:
+        return 1;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Add: return "+";
+      case Op::Sub: return "-";
+      case Op::Mul: return "*";
+      case Op::Div: return "/";
+      case Op::Mod: return "%";
+      case Op::Min: return "min";
+      case Op::Max: return "max";
+      case Op::Pow: return "pow";
+      case Op::Lt: return "<";
+      case Op::Le: return "<=";
+      case Op::Gt: return ">";
+      case Op::Ge: return ">=";
+      case Op::Eq: return "==";
+      case Op::Ne: return "!=";
+      case Op::And: return "&&";
+      case Op::Or: return "||";
+      case Op::Neg: return "neg";
+      case Op::Not: return "!";
+      case Op::Exp: return "exp";
+      case Op::Log: return "log";
+      case Op::Sqrt: return "sqrt";
+      case Op::Abs: return "abs";
+      case Op::Floor: return "floor";
+    }
+    return "?";
+}
+
+ExprRef
+lit(double v)
+{
+    Expr e;
+    e.kind = ExprKind::Lit;
+    e.lit = v;
+    e.type = ScalarKind::F64;
+    return make(std::move(e));
+}
+
+ExprRef
+litI(long long v)
+{
+    Expr e;
+    e.kind = ExprKind::Lit;
+    e.lit = static_cast<double>(v);
+    e.type = ScalarKind::I64;
+    return make(std::move(e));
+}
+
+ExprRef
+litB(bool v)
+{
+    Expr e;
+    e.kind = ExprKind::Lit;
+    e.lit = v ? 1.0 : 0.0;
+    e.type = ScalarKind::Bool;
+    return make(std::move(e));
+}
+
+ExprRef
+varRef(int varId, ScalarKind kind)
+{
+    NPP_ASSERT(varId >= 0, "varRef with unregistered variable");
+    Expr e;
+    e.kind = ExprKind::Var;
+    e.varId = varId;
+    e.type = kind;
+    return make(std::move(e));
+}
+
+ExprRef
+binary(Op op, ExprRef a, ExprRef b)
+{
+    NPP_ASSERT(a && b, "binary op {} with null operand", opName(op));
+    NPP_ASSERT(!isUnaryOp(op), "unary op {} used as binary", opName(op));
+    Expr e;
+    e.kind = ExprKind::Binary;
+    e.op = op;
+    e.type = a->type;
+    e.a = std::move(a);
+    e.b = std::move(b);
+    return make(std::move(e));
+}
+
+ExprRef
+unary(Op op, ExprRef a)
+{
+    NPP_ASSERT(a, "unary op {} with null operand", opName(op));
+    NPP_ASSERT(isUnaryOp(op), "binary op {} used as unary", opName(op));
+    Expr e;
+    e.kind = ExprKind::Unary;
+    e.op = op;
+    e.type = a->type;
+    e.a = std::move(a);
+    return make(std::move(e));
+}
+
+ExprRef
+select(ExprRef cond, ExprRef ifTrue, ExprRef ifFalse)
+{
+    NPP_ASSERT(cond && ifTrue && ifFalse, "select with null operand");
+    Expr e;
+    e.kind = ExprKind::Select;
+    e.type = ifTrue->type;
+    e.a = std::move(cond);
+    e.b = std::move(ifTrue);
+    e.c = std::move(ifFalse);
+    return make(std::move(e));
+}
+
+ExprRef
+read(int arrayVarId, ExprRef index, ScalarKind kind)
+{
+    NPP_ASSERT(index, "read with null index");
+    NPP_ASSERT(arrayVarId >= 0, "read of unregistered array");
+    Expr e;
+    e.kind = ExprKind::Read;
+    e.varId = arrayVarId;
+    e.a = std::move(index);
+    e.type = kind;
+    e.readSite = nextReadSite.fetch_add(1, std::memory_order_relaxed);
+    return make(std::move(e));
+}
+
+double
+applyOp(Op op, double a, double b)
+{
+    switch (op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::Div: return a / b;
+      case Op::Mod: return a - b * std::floor(a / b);
+      case Op::Min: return a < b ? a : b;
+      case Op::Max: return a > b ? a : b;
+      case Op::Pow: return std::pow(a, b);
+      case Op::Lt: return a < b ? 1.0 : 0.0;
+      case Op::Le: return a <= b ? 1.0 : 0.0;
+      case Op::Gt: return a > b ? 1.0 : 0.0;
+      case Op::Ge: return a >= b ? 1.0 : 0.0;
+      case Op::Eq: return a == b ? 1.0 : 0.0;
+      case Op::Ne: return a != b ? 1.0 : 0.0;
+      case Op::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+      case Op::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      case Op::Neg: return -a;
+      case Op::Not: return a == 0.0 ? 1.0 : 0.0;
+      case Op::Exp: return std::exp(a);
+      case Op::Log: return std::log(a);
+      case Op::Sqrt: return std::sqrt(a);
+      case Op::Abs: return std::fabs(a);
+      case Op::Floor: return std::floor(a);
+    }
+    NPP_PANIC("unknown op");
+}
+
+Ex operator+(Ex a, Ex b) { return Ex(binary(Op::Add, a.ref(), b.ref())); }
+Ex operator-(Ex a, Ex b) { return Ex(binary(Op::Sub, a.ref(), b.ref())); }
+Ex operator*(Ex a, Ex b) { return Ex(binary(Op::Mul, a.ref(), b.ref())); }
+Ex operator/(Ex a, Ex b) { return Ex(binary(Op::Div, a.ref(), b.ref())); }
+Ex operator%(Ex a, Ex b) { return Ex(binary(Op::Mod, a.ref(), b.ref())); }
+Ex operator<(Ex a, Ex b) { return Ex(binary(Op::Lt, a.ref(), b.ref())); }
+Ex operator<=(Ex a, Ex b) { return Ex(binary(Op::Le, a.ref(), b.ref())); }
+Ex operator>(Ex a, Ex b) { return Ex(binary(Op::Gt, a.ref(), b.ref())); }
+Ex operator>=(Ex a, Ex b) { return Ex(binary(Op::Ge, a.ref(), b.ref())); }
+Ex operator==(Ex a, Ex b) { return Ex(binary(Op::Eq, a.ref(), b.ref())); }
+Ex operator!=(Ex a, Ex b) { return Ex(binary(Op::Ne, a.ref(), b.ref())); }
+Ex operator&&(Ex a, Ex b) { return Ex(binary(Op::And, a.ref(), b.ref())); }
+Ex operator||(Ex a, Ex b) { return Ex(binary(Op::Or, a.ref(), b.ref())); }
+Ex operator-(Ex a) { return Ex(unary(Op::Neg, a.ref())); }
+Ex operator!(Ex a) { return Ex(unary(Op::Not, a.ref())); }
+
+Ex min(Ex a, Ex b) { return Ex(binary(Op::Min, a.ref(), b.ref())); }
+Ex max(Ex a, Ex b) { return Ex(binary(Op::Max, a.ref(), b.ref())); }
+Ex exp(Ex a) { return Ex(unary(Op::Exp, a.ref())); }
+Ex log(Ex a) { return Ex(unary(Op::Log, a.ref())); }
+Ex sqrt(Ex a) { return Ex(unary(Op::Sqrt, a.ref())); }
+Ex abs(Ex a) { return Ex(unary(Op::Abs, a.ref())); }
+Ex floor(Ex a) { return Ex(unary(Op::Floor, a.ref())); }
+Ex pow(Ex a, Ex b) { return Ex(binary(Op::Pow, a.ref(), b.ref())); }
+Ex sel(Ex cond, Ex ifTrue, Ex ifFalse)
+{
+    return Ex(select(cond.ref(), ifTrue.ref(), ifFalse.ref()));
+}
+
+} // namespace npp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Expression nodes for the parallel-pattern IR (Section III of the paper).
+ * Expressions are pure: literals, variable references, arithmetic/logic,
+ * selects, and array reads. Effects (stores) and control structures live in
+ * statements (ir/pattern.h). Expression trees are immutable and shared via
+ * shared_ptr so builder code can freely reuse subtrees.
+ */
+
+#ifndef NPP_IR_EXPR_H
+#define NPP_IR_EXPR_H
+
+#include <memory>
+
+#include "ir/type.h"
+
+namespace npp {
+
+/** Operators usable in Binary/Unary expressions and Reduce combiners. */
+enum class Op {
+    // binary arithmetic
+    Add, Sub, Mul, Div, Mod, Min, Max, Pow,
+    // binary comparison / logic
+    Lt, Le, Gt, Ge, Eq, Ne, And, Or,
+    // unary
+    Neg, Not, Exp, Log, Sqrt, Abs, Floor
+};
+
+/** True if op is a unary operator. */
+bool isUnaryOp(Op op);
+
+/** True if op is associative and usable as a Reduce/GroupBy combiner. */
+bool isCombinerOp(Op op);
+
+/** Identity element of an associative combiner. */
+double combinerIdentity(Op op);
+
+/** Relative compute cost of an operator (simple ops are 1). */
+int opCost(Op op);
+
+/** Operator name for printing. */
+const char *opName(Op op);
+
+/** Expression node discriminator. */
+enum class ExprKind {
+    Lit,    //!< literal constant
+    Var,    //!< reference to any variable (param, local, index)
+    Binary, //!< binary operator
+    Unary,  //!< unary operator
+    Select, //!< cond ? a : b
+    Read    //!< array read: array var `arrayId` at index `a`
+};
+
+struct Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/**
+ * A single immutable expression node. Fields are used depending on `kind`;
+ * unused fields keep their defaults. Construction goes through the factory
+ * functions below which enforce the per-kind invariants.
+ */
+struct Expr
+{
+    ExprKind kind = ExprKind::Lit;
+    Op op = Op::Add;          //!< Binary/Unary operator
+    double lit = 0.0;         //!< Lit value
+    int varId = -1;           //!< Var: variable id; Read: array var id
+    ExprRef a, b, c;          //!< operands (Read: a = index, Select: c)
+    ScalarKind type = ScalarKind::F64;
+
+    /** Each static Read site gets a unique id for memory-trace grouping. */
+    int readSite = -1;
+};
+
+/** @name Expression factories
+ *  @{
+ */
+ExprRef lit(double v);
+ExprRef litI(long long v);
+ExprRef litB(bool v);
+ExprRef varRef(int varId, ScalarKind kind);
+ExprRef binary(Op op, ExprRef a, ExprRef b);
+ExprRef unary(Op op, ExprRef a);
+ExprRef select(ExprRef cond, ExprRef ifTrue, ExprRef ifFalse);
+ExprRef read(int arrayVarId, ExprRef index, ScalarKind kind);
+/** @} */
+
+/** Apply a binary/unary op to already-evaluated operands. */
+double applyOp(Op op, double a, double b);
+
+/**
+ * Value wrapper enabling natural C++ operator syntax in the builder EDSL.
+ * An Ex holds an ExprRef; arithmetic on Ex values constructs IR nodes.
+ */
+class Ex
+{
+  public:
+    Ex() = default;
+    explicit Ex(ExprRef ref) : node(std::move(ref)) {}
+    /*implicit*/ Ex(double v) : node(lit(v)) {}
+    /*implicit*/ Ex(int v) : node(litI(v)) {}
+    /*implicit*/ Ex(long v) : node(litI(v)) {}
+    /*implicit*/ Ex(long long v) : node(litI(v)) {}
+
+    const ExprRef &ref() const { return node; }
+    bool valid() const { return node != nullptr; }
+
+  private:
+    ExprRef node;
+};
+
+Ex operator+(Ex a, Ex b);
+Ex operator-(Ex a, Ex b);
+Ex operator*(Ex a, Ex b);
+Ex operator/(Ex a, Ex b);
+Ex operator%(Ex a, Ex b);
+Ex operator<(Ex a, Ex b);
+Ex operator<=(Ex a, Ex b);
+Ex operator>(Ex a, Ex b);
+Ex operator>=(Ex a, Ex b);
+Ex operator==(Ex a, Ex b);
+Ex operator!=(Ex a, Ex b);
+Ex operator&&(Ex a, Ex b);
+Ex operator||(Ex a, Ex b);
+Ex operator-(Ex a);
+Ex operator!(Ex a);
+
+Ex min(Ex a, Ex b);
+Ex max(Ex a, Ex b);
+Ex exp(Ex a);
+Ex log(Ex a);
+Ex sqrt(Ex a);
+Ex abs(Ex a);
+Ex floor(Ex a);
+Ex pow(Ex a, Ex b);
+Ex sel(Ex cond, Ex ifTrue, Ex ifFalse);
+
+} // namespace npp
+
+#endif // NPP_IR_EXPR_H

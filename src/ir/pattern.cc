@@ -1,0 +1,118 @@
+#include "ir/pattern.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace npp {
+
+const char *
+patternKindName(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::Map: return "map";
+      case PatternKind::ZipWith: return "zipWith";
+      case PatternKind::Foreach: return "foreach";
+      case PatternKind::Filter: return "filter";
+      case PatternKind::Reduce: return "reduce";
+      case PatternKind::GroupBy: return "groupBy";
+    }
+    return "?";
+}
+
+bool
+requiresGlobalSync(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::Reduce:
+      case PatternKind::Filter:
+      case PatternKind::GroupBy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Stmt::Stmt() = default;
+Stmt::~Stmt() = default;
+Stmt::Stmt(Stmt &&) noexcept = default;
+Stmt &Stmt::operator=(Stmt &&) noexcept = default;
+
+Pattern::Pattern() = default;
+Pattern::~Pattern() = default;
+Pattern::Pattern(Pattern &&) noexcept = default;
+Pattern &Pattern::operator=(Pattern &&) noexcept = default;
+
+int
+stmtListDepth(const std::vector<StmtPtr> &stmts)
+{
+    int depth = 0;
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::Nested:
+            depth = std::max(depth, s->pattern->depth());
+            break;
+          case StmtKind::If:
+            depth = std::max(depth, stmtListDepth(s->body));
+            depth = std::max(depth, stmtListDepth(s->elseBody));
+            break;
+          case StmtKind::SeqLoop:
+            depth = std::max(depth, stmtListDepth(s->body));
+            break;
+          default:
+            break;
+        }
+    }
+    return depth;
+}
+
+int
+Pattern::depth() const
+{
+    return 1 + stmtListDepth(body);
+}
+
+StmtPtr
+cloneStmt(const Stmt &stmt)
+{
+    auto out = std::make_unique<Stmt>();
+    out->kind = stmt.kind;
+    out->var = stmt.var;
+    out->value = stmt.value;
+    out->array = stmt.array;
+    out->index = stmt.index;
+    out->cond = stmt.cond;
+    out->trip = stmt.trip;
+    out->body = cloneStmtList(stmt.body);
+    out->elseBody = cloneStmtList(stmt.elseBody);
+    if (stmt.pattern)
+        out->pattern = clonePattern(*stmt.pattern);
+    return out;
+}
+
+PatternPtr
+clonePattern(const Pattern &pattern)
+{
+    auto out = std::make_unique<Pattern>();
+    out->kind = pattern.kind;
+    out->indexVar = pattern.indexVar;
+    out->size = pattern.size;
+    out->body = cloneStmtList(pattern.body);
+    out->yield = pattern.yield;
+    out->filterPred = pattern.filterPred;
+    out->key = pattern.key;
+    out->combiner = pattern.combiner;
+    return out;
+}
+
+std::vector<StmtPtr>
+cloneStmtList(const std::vector<StmtPtr> &stmts)
+{
+    std::vector<StmtPtr> out;
+    out.reserve(stmts.size());
+    for (const auto &s : stmts)
+        out.push_back(cloneStmt(*s));
+    return out;
+}
+
+} // namespace npp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statements and parallel patterns (Table I of the paper). A Pattern is a
+ * parallel loop over an index domain [0, size) whose body is a statement
+ * list plus a per-iteration yield value; nesting a Pattern statement inside
+ * another pattern's body forms the nested parallel structures the mapping
+ * analysis operates on.
+ */
+
+#ifndef NPP_IR_PATTERN_H
+#define NPP_IR_PATTERN_H
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace npp {
+
+/** The parallel pattern vocabulary of Table I. */
+enum class PatternKind {
+    Map,     //!< out[i] = f(i)
+    ZipWith, //!< Map reading two (or more) collections; same mapping rules
+    Foreach, //!< effectful body, no yield
+    Filter,  //!< keep yields whose predicate holds (order preserving)
+    Reduce,  //!< fold yields with an associative combiner
+    GroupBy  //!< reduce-by-key: combine yields per computed key
+};
+
+/** Human-readable pattern name. */
+const char *patternKindName(PatternKind kind);
+
+/** True if the pattern requires cross-iteration communication, which on a
+ *  GPU means global synchronization within its dimension (hard constraint:
+ *  Span(all), Section IV-C). */
+bool requiresGlobalSync(PatternKind kind);
+
+struct Pattern;
+
+/** Statement discriminator. */
+enum class StmtKind {
+    Let,     //!< bind a scalar local to an expression
+    Assign,  //!< reassign a mutable scalar local (inside SeqLoop bodies)
+    Store,   //!< write array[index] = value
+    If,      //!< conditional statement block
+    SeqLoop, //!< sequential loop (no parallelism; e.g. escape-time loops)
+    Nested   //!< a nested parallel pattern, result bound to a local
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using PatternPtr = std::unique_ptr<Pattern>;
+
+/**
+ * One statement in a pattern body. Field usage depends on `kind`.
+ */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Let;
+
+    /** Let/Assign: destination scalar local. Nested: result var
+     *  (scalar local for Reduce, array local for Map/ZipWith/Filter;
+     *  -1 for Foreach). SeqLoop: loop index var. */
+    int var = -1;
+
+    /** Let/Assign/Store value. */
+    ExprRef value;
+
+    /** Store: destination array var id. */
+    int array = -1;
+
+    /** Store: index expression. */
+    ExprRef index;
+
+    /** If: condition. SeqLoop: optional break condition (checked before
+     *  each iteration; loop exits when it evaluates true). */
+    ExprRef cond;
+
+    /** If: then-branch. SeqLoop: loop body. */
+    std::vector<StmtPtr> body;
+
+    /** If: else-branch. */
+    std::vector<StmtPtr> elseBody;
+
+    /** SeqLoop: trip count expression. */
+    ExprRef trip;
+
+    /** Nested: the nested pattern. */
+    PatternPtr pattern;
+
+    Stmt();
+    ~Stmt();
+    Stmt(Stmt &&) noexcept;
+    Stmt &operator=(Stmt &&) noexcept;
+    Stmt(const Stmt &) = delete;
+    Stmt &operator=(const Stmt &) = delete;
+};
+
+/**
+ * A parallel pattern over the index domain [0, size).
+ *
+ * The element function of Table I is represented as `body` (auxiliary
+ * statements: lets, nested patterns, effects) followed by `yield`, the
+ * per-iteration value. Foreach has no yield. Collection-argument patterns
+ * (e.g. `in map f`) are expressed index-based: the body reads `in[i]`
+ * explicitly, which is exactly what the access-pattern analysis needs.
+ */
+struct Pattern
+{
+    PatternKind kind = PatternKind::Map;
+
+    /** Induction variable id (role Index). */
+    int indexVar = -1;
+
+    /** Domain size; may reference params and enclosing indices. A size
+     *  that depends on an enclosing index is "unknown at kernel launch"
+     *  (Section IV-A) and forces Span(all). */
+    ExprRef size;
+
+    /** Auxiliary statements executed per iteration, before yield. */
+    std::vector<StmtPtr> body;
+
+    /** Per-iteration value (Map/ZipWith/Filter/Reduce/GroupBy). */
+    ExprRef yield;
+
+    /** Filter: keep iteration if predicate is nonzero. */
+    ExprRef filterPred;
+
+    /** GroupBy: key expression (integer-valued, in [0, numKeys)). */
+    ExprRef key;
+
+    /** Reduce/GroupBy: associative combiner. */
+    Op combiner = Op::Add;
+
+    Pattern();
+    ~Pattern();
+    Pattern(Pattern &&) noexcept;
+    Pattern &operator=(Pattern &&) noexcept;
+    Pattern(const Pattern &) = delete;
+    Pattern &operator=(const Pattern &) = delete;
+
+    /** Nesting depth: 1 + max depth of nested patterns in the body. */
+    int depth() const;
+};
+
+/** Nesting depth of a statement list. */
+int stmtListDepth(const std::vector<StmtPtr> &stmts);
+
+/** Deep-copy helpers (used by optimization passes that rewrite bodies). */
+StmtPtr cloneStmt(const Stmt &stmt);
+PatternPtr clonePattern(const Pattern &pattern);
+std::vector<StmtPtr> cloneStmtList(const std::vector<StmtPtr> &stmts);
+
+} // namespace npp
+
+#endif // NPP_IR_PATTERN_H

@@ -1,0 +1,166 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace npp {
+
+namespace {
+
+void
+printExprRec(std::ostringstream &os, const ExprRef &e, const Program &prog)
+{
+    if (!e) {
+        os << "<null>";
+        return;
+    }
+    switch (e->kind) {
+      case ExprKind::Lit:
+        if (e->type == ScalarKind::I64)
+            os << static_cast<long long>(e->lit);
+        else
+            os << e->lit;
+        break;
+      case ExprKind::Var:
+        os << prog.var(e->varId).name;
+        break;
+      case ExprKind::Binary:
+        os << '(';
+        printExprRec(os, e->a, prog);
+        os << ' ' << opName(e->op) << ' ';
+        printExprRec(os, e->b, prog);
+        os << ')';
+        break;
+      case ExprKind::Unary:
+        os << opName(e->op) << '(';
+        printExprRec(os, e->a, prog);
+        os << ')';
+        break;
+      case ExprKind::Select:
+        os << "sel(";
+        printExprRec(os, e->a, prog);
+        os << ", ";
+        printExprRec(os, e->b, prog);
+        os << ", ";
+        printExprRec(os, e->c, prog);
+        os << ')';
+        break;
+      case ExprKind::Read:
+        os << prog.var(e->varId).name << '[';
+        printExprRec(os, e->a, prog);
+        os << ']';
+        break;
+    }
+}
+
+void printStmts(std::ostringstream &os, const std::vector<StmtPtr> &stmts,
+                const Program &prog, int indent);
+
+void
+printPattern(std::ostringstream &os, const Pattern &p, const Program &prog,
+             int indent, const std::string &binding)
+{
+    std::string pad = repeat("  ", indent);
+    os << pad;
+    if (!binding.empty())
+        os << binding << " = ";
+    os << patternKindName(p.kind) << '(' << prog.var(p.indexVar).name
+       << " < " << printExpr(p.size, prog);
+    if (p.kind == PatternKind::Reduce || p.kind == PatternKind::GroupBy)
+        os << ", " << opName(p.combiner);
+    os << ") {\n";
+    printStmts(os, p.body, prog, indent + 1);
+    if (p.key) {
+        os << pad << "  key " << printExpr(p.key, prog) << '\n';
+    }
+    if (p.filterPred) {
+        os << pad << "  where " << printExpr(p.filterPred, prog) << '\n';
+    }
+    if (p.yield) {
+        os << pad << "  yield " << printExpr(p.yield, prog) << '\n';
+    }
+    os << pad << "}\n";
+}
+
+void
+printStmts(std::ostringstream &os, const std::vector<StmtPtr> &stmts,
+           const Program &prog, int indent)
+{
+    std::string pad = repeat("  ", indent);
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::Let:
+            os << pad << (prog.var(s->var).isMutable ? "var " : "let ")
+               << prog.var(s->var).name << " = " << printExpr(s->value, prog)
+               << '\n';
+            break;
+          case StmtKind::Assign:
+            os << pad << prog.var(s->var).name << " := "
+               << printExpr(s->value, prog) << '\n';
+            break;
+          case StmtKind::Store:
+            os << pad << prog.var(s->array).name << '['
+               << printExpr(s->index, prog)
+               << "] = " << printExpr(s->value, prog) << '\n';
+            break;
+          case StmtKind::If:
+            os << pad << "if " << printExpr(s->cond, prog) << " {\n";
+            printStmts(os, s->body, prog, indent + 1);
+            if (!s->elseBody.empty()) {
+                os << pad << "} else {\n";
+                printStmts(os, s->elseBody, prog, indent + 1);
+            }
+            os << pad << "}\n";
+            break;
+          case StmtKind::SeqLoop:
+            os << pad << "for " << prog.var(s->var).name << " < "
+               << printExpr(s->trip, prog);
+            if (s->cond)
+                os << " until " << printExpr(s->cond, prog);
+            os << " {\n";
+            printStmts(os, s->body, prog, indent + 1);
+            os << pad << "}\n";
+            break;
+          case StmtKind::Nested:
+            printPattern(os, *s->pattern, prog, indent,
+                         s->var >= 0 ? prog.var(s->var).name : "");
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+printExpr(const ExprRef &expr, const Program &prog)
+{
+    std::ostringstream os;
+    printExprRec(os, expr, prog);
+    return os.str();
+}
+
+std::string
+printProgram(const Program &prog)
+{
+    std::ostringstream os;
+    os << "program " << prog.name() << "(";
+    bool first = true;
+    for (const auto &v : prog.vars()) {
+        if (v.role != VarRole::ScalarParam && v.role != VarRole::ArrayParam)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        if (v.role == VarRole::ArrayParam) {
+            os << (v.isOutput ? "out " : "in ") << v.name << "[]";
+        } else {
+            os << v.name;
+        }
+    }
+    os << ")\n";
+    printPattern(os, prog.root(), prog, 0, "");
+    return os.str();
+}
+
+} // namespace npp

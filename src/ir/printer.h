@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Human-readable pretty printer for IR programs, used in diagnostics,
+ * documentation, and golden tests.
+ */
+
+#ifndef NPP_IR_PRINTER_H
+#define NPP_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace npp {
+
+/** Render an expression as a compact string, e.g. "(m[((i*C)+j)])". */
+std::string printExpr(const ExprRef &expr, const Program &prog);
+
+/** Render the whole program, one statement per line, indented by level. */
+std::string printProgram(const Program &prog);
+
+} // namespace npp
+
+#endif // NPP_IR_PRINTER_H

@@ -1,0 +1,170 @@
+#include "ir/program.h"
+
+#include "support/logging.h"
+
+namespace npp {
+
+int
+Program::addVar(VarInfo info)
+{
+    info.id = static_cast<int>(vars_.size());
+    vars_.push_back(std::move(info));
+    return vars_.back().id;
+}
+
+const VarInfo &
+Program::var(int id) const
+{
+    NPP_ASSERT(id >= 0 && id < numVars(), "var id {} out of range", id);
+    return vars_[id];
+}
+
+VarInfo &
+Program::var(int id)
+{
+    NPP_ASSERT(id >= 0 && id < numVars(), "var id {} out of range", id);
+    return vars_[id];
+}
+
+const Pattern &
+Program::root() const
+{
+    NPP_ASSERT(root_ != nullptr, "program {} has no root pattern", name_);
+    return *root_;
+}
+
+Pattern &
+Program::root()
+{
+    NPP_ASSERT(root_ != nullptr, "program {} has no root pattern", name_);
+    return *root_;
+}
+
+int
+Program::numLevels() const
+{
+    return root().depth();
+}
+
+namespace {
+
+void
+validateStmts(const Program &prog, const std::vector<StmtPtr> &stmts,
+              bool atRoot);
+
+void
+validatePattern(const Program &prog, const Pattern &p, bool atRoot)
+{
+    if (!p.size)
+        NPP_FATAL("{}: pattern {} has no size", prog.name(),
+                  patternKindName(p.kind));
+    if (p.indexVar < 0 || p.indexVar >= prog.numVars())
+        NPP_FATAL("{}: pattern has unregistered index var", prog.name());
+    if (prog.var(p.indexVar).role != VarRole::Index)
+        NPP_FATAL("{}: pattern index var {} has wrong role", prog.name(),
+                  prog.var(p.indexVar).name);
+
+    switch (p.kind) {
+      case PatternKind::Map:
+      case PatternKind::ZipWith:
+        if (!p.yield)
+            NPP_FATAL("{}: map/zipWith needs a yield", prog.name());
+        break;
+      case PatternKind::Foreach:
+        if (p.yield)
+            NPP_FATAL("{}: foreach must not yield", prog.name());
+        break;
+      case PatternKind::Filter:
+        if (!p.yield || !p.filterPred)
+            NPP_FATAL("{}: filter needs yield and predicate", prog.name());
+        if (!atRoot)
+            NPP_FATAL("{}: filter is only supported as the root pattern "
+                      "(nested variable-size outputs are future work)",
+                      prog.name());
+        break;
+      case PatternKind::Reduce:
+        if (!p.yield)
+            NPP_FATAL("{}: reduce needs a yield", prog.name());
+        if (!isCombinerOp(p.combiner))
+            NPP_FATAL("{}: reduce combiner {} is not associative",
+                      prog.name(), opName(p.combiner));
+        break;
+      case PatternKind::GroupBy:
+        if (!p.yield || !p.key)
+            NPP_FATAL("{}: groupBy needs yield and key", prog.name());
+        if (!isCombinerOp(p.combiner))
+            NPP_FATAL("{}: groupBy combiner {} is not associative",
+                      prog.name(), opName(p.combiner));
+        if (!atRoot)
+            NPP_FATAL("{}: groupBy is only supported as the root pattern",
+                      prog.name());
+        break;
+    }
+    validateStmts(prog, p.body, false);
+}
+
+void
+validateStmts(const Program &prog, const std::vector<StmtPtr> &stmts,
+              bool atRoot)
+{
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::Let:
+          case StmtKind::Assign:
+            if (!s->value || s->var < 0)
+                NPP_FATAL("{}: malformed let/assign", prog.name());
+            break;
+          case StmtKind::Store:
+            if (!s->value || !s->index || s->array < 0)
+                NPP_FATAL("{}: malformed store", prog.name());
+            if (prog.var(s->array).role != VarRole::ArrayParam &&
+                prog.var(s->array).role != VarRole::ArrayLocal) {
+                NPP_FATAL("{}: store target {} is not an array",
+                          prog.name(), prog.var(s->array).name);
+            }
+            break;
+          case StmtKind::If:
+            if (!s->cond)
+                NPP_FATAL("{}: if without condition", prog.name());
+            validateStmts(prog, s->body, atRoot);
+            validateStmts(prog, s->elseBody, atRoot);
+            break;
+          case StmtKind::SeqLoop:
+            if (!s->trip || s->var < 0)
+                NPP_FATAL("{}: malformed seq loop", prog.name());
+            validateStmts(prog, s->body, false);
+            break;
+          case StmtKind::Nested:
+            if (!s->pattern)
+                NPP_FATAL("{}: nested stmt without pattern", prog.name());
+            validatePattern(prog, *s->pattern, false);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+Program::validate() const
+{
+    if (!root_)
+        NPP_FATAL("{}: no root pattern", name_);
+    validatePattern(*this, *root_, true);
+
+    const Pattern &r = *root_;
+    const bool yields = r.kind != PatternKind::Foreach;
+    if (yields) {
+        if (rootOutput_ < 0)
+            NPP_FATAL("{}: root pattern yields but no output bound", name_);
+        if (var(rootOutput_).role != VarRole::ArrayParam ||
+            !var(rootOutput_).isOutput) {
+            NPP_FATAL("{}: root output {} is not an output array param",
+                      name_, var(rootOutput_).name);
+        }
+    }
+    if (r.kind == PatternKind::Filter && countOutput_ < 0)
+        NPP_FATAL("{}: root filter needs a count output", name_);
+}
+
+} // namespace npp

@@ -1,0 +1,119 @@
+#include "ir/traverse.h"
+
+namespace npp {
+
+void
+walkExpr(const ExprRef &expr, const std::function<void(const Expr &)> &fn)
+{
+    if (!expr)
+        return;
+    fn(*expr);
+    walkExpr(expr->a, fn);
+    walkExpr(expr->b, fn);
+    walkExpr(expr->c, fn);
+}
+
+namespace {
+
+void
+visitExpr(const ExprRef &expr, const Walker &walker, const WalkCtx &ctx)
+{
+    if (!expr || !walker.onExpr)
+        return;
+    walkExpr(expr, [&](const Expr &e) { walker.onExpr(e, ctx); });
+}
+
+void walkStmts(const std::vector<StmtPtr> &stmts, const Walker &walker,
+               WalkCtx ctx);
+
+void
+walkOnePattern(const Pattern &p, const Walker &walker, WalkCtx ctx)
+{
+    if (walker.onPattern)
+        walker.onPattern(p, ctx);
+    // The size expression is evaluated in the *enclosing* scope, but for
+    // weight purposes it is part of this pattern's launch, so report it at
+    // this pattern's context.
+    visitExpr(p.size, walker, ctx);
+    walkStmts(p.body, walker, ctx);
+    visitExpr(p.yield, walker, ctx);
+    visitExpr(p.filterPred, walker, ctx);
+    visitExpr(p.key, walker, ctx);
+}
+
+void
+walkStmts(const std::vector<StmtPtr> &stmts, const Walker &walker,
+          WalkCtx ctx)
+{
+    for (const auto &s : stmts) {
+        if (walker.onStmt)
+            walker.onStmt(*s, ctx);
+        switch (s->kind) {
+          case StmtKind::Let:
+          case StmtKind::Assign:
+            visitExpr(s->value, walker, ctx);
+            break;
+          case StmtKind::Store:
+            visitExpr(s->index, walker, ctx);
+            visitExpr(s->value, walker, ctx);
+            break;
+          case StmtKind::If: {
+            visitExpr(s->cond, walker, ctx);
+            WalkCtx inner = ctx;
+            inner.branchDepth++;
+            walkStmts(s->body, walker, inner);
+            walkStmts(s->elseBody, walker, inner);
+            break;
+          }
+          case StmtKind::SeqLoop: {
+            visitExpr(s->trip, walker, ctx);
+            WalkCtx inner = ctx;
+            inner.seqLoopDepth++;
+            visitExpr(s->cond, walker, inner);
+            walkStmts(s->body, walker, inner);
+            break;
+          }
+          case StmtKind::Nested: {
+            WalkCtx inner = ctx;
+            inner.level++;
+            walkOnePattern(*s->pattern, walker, inner);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace
+
+void
+walkPattern(const Pattern &root, const Walker &walker)
+{
+    walkOnePattern(root, walker, WalkCtx{});
+}
+
+bool
+mentionsVar(const ExprRef &expr, int varId)
+{
+    bool found = false;
+    walkExpr(expr, [&](const Expr &e) {
+        if ((e.kind == ExprKind::Var || e.kind == ExprKind::Read) &&
+            e.varId == varId) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+std::vector<std::pair<const Pattern *, int>>
+collectPatterns(const Pattern &root)
+{
+    std::vector<std::pair<const Pattern *, int>> out;
+    Walker walker;
+    walker.onPattern = [&](const Pattern &p, const WalkCtx &ctx) {
+        out.emplace_back(&p, ctx.level);
+    };
+    walkPattern(root, walker);
+    return out;
+}
+
+} // namespace npp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Generic IR traversal helpers shared by the printer, the analysis, and the
+ * optimization passes.
+ */
+
+#ifndef NPP_IR_TRAVERSE_H
+#define NPP_IR_TRAVERSE_H
+
+#include <functional>
+
+#include "ir/pattern.h"
+
+namespace npp {
+
+/** Visit every node of an expression tree (pre-order). */
+void walkExpr(const ExprRef &expr, const std::function<void(const Expr &)> &fn);
+
+/**
+ * Context passed to statement/pattern visitors: nesting level of the
+ * innermost enclosing pattern (root = level 0) and the number of enclosing
+ * If branches (used for the soft-constraint branch discount).
+ */
+struct WalkCtx
+{
+    int level = 0;
+    int branchDepth = 0;
+    int seqLoopDepth = 0;
+};
+
+/** Callbacks for a full structural walk. Any callback may be empty. */
+struct Walker
+{
+    /** Called for each pattern, including the root. */
+    std::function<void(const Pattern &, const WalkCtx &)> onPattern;
+    /** Called for each statement. */
+    std::function<void(const Stmt &, const WalkCtx &)> onStmt;
+    /** Called for every expression appearing anywhere (yields, sizes,
+     *  conditions, store indices/values, ...). */
+    std::function<void(const Expr &, const WalkCtx &)> onExpr;
+};
+
+/** Walk a pattern tree rooted at `root` (level 0). */
+void walkPattern(const Pattern &root, const Walker &walker);
+
+/** True if the expression mentions the given variable. */
+bool mentionsVar(const ExprRef &expr, int varId);
+
+/** Collect pointers to all patterns with their levels, in pre-order. */
+std::vector<std::pair<const Pattern *, int>>
+collectPatterns(const Pattern &root);
+
+} // namespace npp
+
+#endif // NPP_IR_TRAVERSE_H

@@ -1,0 +1,49 @@
+#include "ir/type.h"
+
+#include "support/logging.h"
+
+namespace npp {
+
+std::string
+cudaTypeName(ScalarKind kind)
+{
+    switch (kind) {
+      case ScalarKind::F64:
+        return "double";
+      case ScalarKind::I64:
+        return "long long";
+      case ScalarKind::Bool:
+        return "bool";
+    }
+    NPP_PANIC("unknown scalar kind");
+}
+
+std::string
+scalarKindName(ScalarKind kind)
+{
+    switch (kind) {
+      case ScalarKind::F64:
+        return "f64";
+      case ScalarKind::I64:
+        return "i64";
+      case ScalarKind::Bool:
+        return "bool";
+    }
+    NPP_PANIC("unknown scalar kind");
+}
+
+int
+scalarBytes(ScalarKind kind)
+{
+    switch (kind) {
+      case ScalarKind::F64:
+        return 8;
+      case ScalarKind::I64:
+        return 8;
+      case ScalarKind::Bool:
+        return 1;
+    }
+    NPP_PANIC("unknown scalar kind");
+}
+
+} // namespace npp

@@ -1,0 +1,27 @@
+#include "ir/var.h"
+
+#include "support/logging.h"
+
+namespace npp {
+
+std::string
+varRoleName(VarRole role)
+{
+    switch (role) {
+      case VarRole::ScalarParam:
+        return "scalar-param";
+      case VarRole::ArrayParam:
+        return "array-param";
+      case VarRole::ScalarLocal:
+        return "scalar-local";
+      case VarRole::ArrayLocal:
+        return "array-local";
+      case VarRole::Index:
+        return "index";
+      case VarRole::SeqIndex:
+        return "seq-index";
+    }
+    NPP_PANIC("unknown var role");
+}
+
+} // namespace npp

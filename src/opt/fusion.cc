@@ -1,0 +1,293 @@
+#include "opt/fusion.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "ir/affine.h"
+#include "ir/traverse.h"
+#include "support/logging.h"
+
+namespace npp {
+
+namespace {
+
+/** Clone an expression, replacing references to `varId` with `repl`. */
+ExprRef
+substituteVar(const ExprRef &expr, int varId, const ExprRef &repl)
+{
+    if (!expr)
+        return expr;
+    switch (expr->kind) {
+      case ExprKind::Lit:
+        return expr;
+      case ExprKind::Var:
+        return expr->varId == varId ? repl : expr;
+      case ExprKind::Binary:
+        return binary(expr->op, substituteVar(expr->a, varId, repl),
+                      substituteVar(expr->b, varId, repl));
+      case ExprKind::Unary:
+        return unary(expr->op, substituteVar(expr->a, varId, repl));
+      case ExprKind::Select:
+        return select(substituteVar(expr->a, varId, repl),
+                      substituteVar(expr->b, varId, repl),
+                      substituteVar(expr->c, varId, repl));
+      case ExprKind::Read:
+        return read(expr->varId, substituteVar(expr->a, varId, repl),
+                    expr->type);
+    }
+    return expr;
+}
+
+/** Clone an expression, replacing reads of array `arrayId` at any index
+ *  expression `e` with subst(producer yield, producer index -> e). */
+ExprRef
+substituteReads(const ExprRef &expr, int arrayId, int producerIndexVar,
+                const ExprRef &producerYield)
+{
+    if (!expr)
+        return expr;
+    if (expr->kind == ExprKind::Read && expr->varId == arrayId) {
+        const ExprRef idx = substituteReads(
+            expr->a, arrayId, producerIndexVar, producerYield);
+        return substituteVar(producerYield, producerIndexVar, idx);
+    }
+    switch (expr->kind) {
+      case ExprKind::Lit:
+      case ExprKind::Var:
+        return expr;
+      case ExprKind::Binary:
+        return binary(expr->op,
+                      substituteReads(expr->a, arrayId, producerIndexVar,
+                                      producerYield),
+                      substituteReads(expr->b, arrayId, producerIndexVar,
+                                      producerYield));
+      case ExprKind::Unary:
+        return unary(expr->op,
+                     substituteReads(expr->a, arrayId, producerIndexVar,
+                                     producerYield));
+      case ExprKind::Select:
+        return select(substituteReads(expr->a, arrayId, producerIndexVar,
+                                      producerYield),
+                      substituteReads(expr->b, arrayId, producerIndexVar,
+                                      producerYield),
+                      substituteReads(expr->c, arrayId, producerIndexVar,
+                                      producerYield));
+      case ExprKind::Read:
+        return read(expr->varId,
+                    substituteReads(expr->a, arrayId, producerIndexVar,
+                                    producerYield),
+                    expr->type);
+    }
+    return expr;
+}
+
+/** Count uses of array `varId` anywhere under the statement list. */
+int
+countUses(const std::vector<StmtPtr> &stmts, int varId)
+{
+    int uses = 0;
+    auto scanExpr = [&](const ExprRef &e) {
+        walkExpr(e, [&](const Expr &node) {
+            if ((node.kind == ExprKind::Read ||
+                 node.kind == ExprKind::Var) &&
+                node.varId == varId) {
+                uses++;
+            }
+        });
+    };
+    std::function<void(const std::vector<StmtPtr> &)> scan =
+        [&](const std::vector<StmtPtr> &body) {
+            for (const auto &s : body) {
+                scanExpr(s->value);
+                scanExpr(s->index);
+                scanExpr(s->cond);
+                scanExpr(s->trip);
+                scan(s->body);
+                scan(s->elseBody);
+                if (s->pattern) {
+                    scanExpr(s->pattern->size);
+                    scanExpr(s->pattern->yield);
+                    scanExpr(s->pattern->filterPred);
+                    scanExpr(s->pattern->key);
+                    scan(s->pattern->body);
+                }
+            }
+        };
+    scan(stmts);
+    return uses;
+}
+
+int
+countUsesInPattern(const Pattern &p, int varId)
+{
+    int uses = countUses(p.body, varId);
+    auto scanExpr = [&](const ExprRef &e) {
+        int n = 0;
+        walkExpr(e, [&](const Expr &node) {
+            if ((node.kind == ExprKind::Read ||
+                 node.kind == ExprKind::Var) &&
+                node.varId == varId) {
+                n++;
+            }
+        });
+        return n;
+    };
+    uses += scanExpr(p.yield);
+    uses += scanExpr(p.filterPred);
+    uses += scanExpr(p.key);
+    uses += scanExpr(p.size);
+    return uses;
+}
+
+class Fuser
+{
+  public:
+    Fuser(Program &prog, int &fused) : prog(prog), fused(fused) {}
+
+    void
+    run()
+    {
+        fuseBody(prog.root().body, prog.root().yield);
+    }
+
+  private:
+    /** Build the producer's effective yield with its lets inlined;
+     *  returns null if the body has anything but Lets. */
+    ExprRef
+    flattenedYield(const Pattern &map)
+    {
+        std::unordered_map<int, ExprRef> defs;
+        for (const auto &s : map.body) {
+            if (s->kind != StmtKind::Let || prog.var(s->var).isMutable)
+                return nullptr;
+            AnalysisEnv env;
+            env.localDefs = defs;
+            defs[s->var] = resolveLocals(s->value, env);
+        }
+        AnalysisEnv env;
+        env.localDefs = defs;
+        return resolveLocals(map.yield, env);
+    }
+
+    void
+    fuseBody(std::vector<StmtPtr> &stmts, ExprRef &enclosingYield)
+    {
+        for (size_t i = 0; i < stmts.size(); i++) {
+            Stmt &s = *stmts[i];
+            // Recurse first (inner bodies may fuse independently).
+            if (s.kind == StmtKind::Nested) {
+                fuseBody(s.pattern->body, s.pattern->yield);
+            } else if (s.kind == StmtKind::If) {
+                ExprRef none;
+                fuseBody(s.body, none);
+                fuseBody(s.elseBody, none);
+            } else if (s.kind == StmtKind::SeqLoop) {
+                ExprRef none;
+                fuseBody(s.body, none);
+            }
+
+            if (s.kind != StmtKind::Nested || s.var < 0)
+                continue;
+            if (prog.var(s.var).role != VarRole::ArrayLocal)
+                continue;
+            const Pattern &map = *s.pattern;
+            if (map.kind != PatternKind::Map &&
+                map.kind != PatternKind::ZipWith) {
+                continue;
+            }
+            ExprRef producer = flattenedYield(map);
+            if (!producer)
+                continue;
+
+            // The consumer must be a later Reduce in this list that
+            // accounts for every remaining use of the array.
+            int totalUses = 0;
+            for (size_t j = i + 1; j < stmts.size(); j++) {
+                std::vector<StmtPtr> one;
+                one.push_back(cloneStmt(*stmts[j]));
+                totalUses += countUses(one, s.var);
+            }
+            if (enclosingYield && mentionsVar(enclosingYield, s.var))
+                totalUses++; // cannot fuse a direct yield of the array
+
+            Stmt *consumer = nullptr;
+            for (size_t j = i + 1; j < stmts.size(); j++) {
+                if (stmts[j]->kind == StmtKind::Nested &&
+                    stmts[j]->pattern->kind == PatternKind::Reduce) {
+                    consumer = stmts[j].get();
+                    break;
+                }
+            }
+            if (!consumer)
+                continue;
+            const int consumerUses =
+                countUsesInPattern(*consumer->pattern, s.var);
+            if (consumerUses == 0 || consumerUses != totalUses)
+                continue;
+
+            // Substitute and drop the producer.
+            Pattern &red = *consumer->pattern;
+            red.yield = substituteReads(red.yield, s.var, map.indexVar,
+                                        producer);
+            for (auto &rs : red.body)
+                substituteInStmt(*rs, s.var, map.indexVar, producer);
+            red.size = substituteReads(red.size, s.var, map.indexVar,
+                                       producer);
+            stmts.erase(stmts.begin() + i);
+            fused++;
+            i--; // re-examine this position
+        }
+    }
+
+    void
+    substituteInStmt(Stmt &s, int arrayId, int idxVar,
+                     const ExprRef &producer)
+    {
+        s.value = substituteReads(s.value, arrayId, idxVar, producer);
+        s.index = substituteReads(s.index, arrayId, idxVar, producer);
+        s.cond = substituteReads(s.cond, arrayId, idxVar, producer);
+        s.trip = substituteReads(s.trip, arrayId, idxVar, producer);
+        for (auto &b : s.body)
+            substituteInStmt(*b, arrayId, idxVar, producer);
+        for (auto &b : s.elseBody)
+            substituteInStmt(*b, arrayId, idxVar, producer);
+        if (s.pattern) {
+            s.pattern->size = substituteReads(s.pattern->size, arrayId,
+                                              idxVar, producer);
+            s.pattern->yield = substituteReads(s.pattern->yield, arrayId,
+                                               idxVar, producer);
+            for (auto &b : s.pattern->body)
+                substituteInStmt(*b, arrayId, idxVar, producer);
+        }
+    }
+
+    Program &prog;
+    int &fused;
+};
+
+} // namespace
+
+FusionResult
+fuseMapReduce(const Program &prog)
+{
+    FusionResult result;
+    // Clone into a fresh Program with an identical variable table so
+    // bindings against the original stay valid.
+    auto copy = std::make_shared<Program>(prog.name());
+    for (const auto &v : prog.vars()) {
+        VarInfo info = v;
+        copy->addVar(info);
+    }
+    copy->setRoot(clonePattern(prog.root()));
+    copy->setRootOutput(prog.rootOutput());
+    copy->setCountOutput(prog.countOutput());
+    for (const auto &[var, hint] : prog.sizeHints())
+        copy->setSizeHint(var, hint);
+
+    Fuser fuser(*copy, result.fused);
+    fuser.run();
+    result.program = std::move(copy);
+    return result;
+}
+
+} // namespace npp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Vertical map-reduce fusion: a nested Map/ZipWith whose result array is
+ * consumed only element-wise by a following Reduce at the same level is
+ * inlined into the reduce's yield, eliminating the intermediate
+ * allocation entirely. This matters most when the inner size is
+ * dynamic (e.g. PageRank's per-node neighbor weights, Fig 5), where
+ * preallocation is impossible and the naive translation would call
+ * malloc per thread.
+ *
+ * The pass is opt-in (CompileOptions::fuseMapReduce): the paper's
+ * Section V experiments deliberately study the materialized form.
+ */
+
+#ifndef NPP_OPT_FUSION_H
+#define NPP_OPT_FUSION_H
+
+#include <memory>
+
+#include "ir/program.h"
+
+namespace npp {
+
+/** Result of the fusion pass. */
+struct FusionResult
+{
+    /** Rewritten program (variable table layout is preserved, so
+     *  bindings created against the original program remain valid). */
+    std::shared_ptr<Program> program;
+
+    /** Number of map-reduce pairs fused. */
+    int fused = 0;
+};
+
+/** Apply vertical map-reduce fusion to every body in the program. */
+FusionResult fuseMapReduce(const Program &prog);
+
+} // namespace npp
+
+#endif // NPP_OPT_FUSION_H

@@ -1,0 +1,43 @@
+#include "opt/prealloc.h"
+
+#include "ir/affine.h"
+#include "ir/traverse.h"
+
+namespace npp {
+
+std::vector<LocalArrayPlan>
+planLocalArrays(const Program &prog, const MappingDecision &mapping,
+                const PreallocOptions &options)
+{
+    std::vector<LocalArrayPlan> plans;
+    Walker walker;
+    walker.onStmt = [&](const Stmt &s, const WalkCtx &ctx) {
+        if (s.kind != StmtKind::Nested || s.var < 0)
+            return;
+        if (prog.var(s.var).role != VarRole::ArrayLocal)
+            return;
+        LocalArrayPlan plan;
+        plan.varId = s.var;
+        plan.definingLevel = ctx.level + 1;
+        // Preallocation needs the same allocation size across outer
+        // iterations, i.e. a launch-known inner size (Section V-A).
+        const bool preallocatable =
+            options.enable && sizeKnownAtLaunch(s.pattern->size, prog);
+        plan.mode = preallocatable ? LocalArrayPlan::Mode::Prealloc
+                                   : LocalArrayPlan::Mode::ThreadMalloc;
+        if (options.enable && options.layoutFromMapping &&
+            plan.definingLevel < mapping.numLevels()) {
+            const bool innerIsX =
+                mapping.levels[plan.definingLevel].dim == 0;
+            plan.layout = innerIsX ? LocalArrayPlan::Layout::Contiguous
+                                   : LocalArrayPlan::Layout::Interleaved;
+        } else {
+            plan.layout = LocalArrayPlan::Layout::Contiguous;
+        }
+        plans.push_back(plan);
+    };
+    walkPattern(prog.root(), walker);
+    return plans;
+}
+
+} // namespace npp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dynamic-memory-allocation optimization (Section V-A): inner patterns
+ * that produce arrays would naively call malloc per outer iteration;
+ * instead the compiler preallocates one region for the whole kernel and,
+ * using the mapping decision, picks the physical layout (contiguous or
+ * interleaved, Fig 11) that makes the accesses coalesce.
+ */
+
+#ifndef NPP_OPT_PREALLOC_H
+#define NPP_OPT_PREALLOC_H
+
+#include "codegen/plan.h"
+
+namespace npp {
+
+/** Options for the preallocation pass (the Fig 16 ablation switches). */
+struct PreallocOptions
+{
+    /** Preallocate instead of per-thread malloc. */
+    bool enable = true;
+    /** Choose layout from the mapping (false = always contiguous, the
+     *  fixed row-major strategy of the Fig 16 middle bar). */
+    bool layoutFromMapping = true;
+};
+
+/**
+ * Build the allocation plan for every ArrayLocal in the program.
+ * The layout rule: if the defining (inner) level is mapped to dimension
+ * x, adjacent threads differ in the element index, so Contiguous
+ * (Fig 11a) coalesces; otherwise adjacent threads differ in the outer
+ * index and Interleaved (Fig 11b) coalesces.
+ */
+std::vector<LocalArrayPlan>
+planLocalArrays(const Program &prog, const MappingDecision &mapping,
+                const PreallocOptions &options = {});
+
+} // namespace npp
+
+#endif // NPP_OPT_PREALLOC_H

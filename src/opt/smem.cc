@@ -1,0 +1,145 @@
+#include "opt/smem.h"
+
+#include <cmath>
+
+#include "ir/traverse.h"
+
+namespace npp {
+
+namespace {
+
+class PrefetchFinder
+{
+  public:
+    PrefetchFinder(const Program &prog, const MappingDecision &mapping,
+                   const AnalysisEnv &env, PrefetchPlan &out)
+        : prog(prog), mapping(mapping), env(env), out(out)
+    {
+        // Does any deeper level provide x-lanes to prefetch with?
+        deepestXLevel = -1;
+        for (int lv = 0; lv < mapping.numLevels(); lv++) {
+            if (mapping.levels[lv].dim == 0 &&
+                mapping.levels[lv].blockSize >= 32) {
+                deepestXLevel = lv;
+            }
+        }
+    }
+
+    void
+    run()
+    {
+        visitPattern(prog.root(), 0);
+    }
+
+  private:
+    void
+    visitPattern(const Pattern &p, int level)
+    {
+        indexVars.push_back(p.indexVar);
+        visitStmts(p.body, level);
+        // The yield of a non-innermost pattern executes per own-level
+        // iteration too, but yields feed stores handled elsewhere; treat
+        // yield reads like body reads.
+        scanExpr(p.yield, level, p.indexVar);
+        scanExpr(p.filterPred, level, p.indexVar);
+        scanExpr(p.key, level, p.indexVar);
+        indexVars.pop_back();
+    }
+
+    void
+    visitStmts(const std::vector<StmtPtr> &stmts, int level)
+    {
+        const int ownIndex = indexVars.back();
+        for (const auto &s : stmts) {
+            switch (s->kind) {
+              case StmtKind::Let:
+              case StmtKind::Assign:
+                scanExpr(s->value, level, ownIndex);
+                if (s->kind == StmtKind::Let &&
+                    !prog.var(s->var).isMutable) {
+                    env.localDefs[s->var] =
+                        resolveLocals(s->value, env);
+                }
+                break;
+              case StmtKind::Store:
+                scanExpr(s->value, level, ownIndex);
+                scanExpr(s->index, level, ownIndex);
+                break;
+              case StmtKind::If:
+                scanExpr(s->cond, level, ownIndex);
+                visitStmts(s->body, level);
+                visitStmts(s->elseBody, level);
+                break;
+              case StmtKind::SeqLoop:
+                scanExpr(s->trip, level, ownIndex);
+                visitStmts(s->body, level);
+                break;
+              case StmtKind::Nested:
+                scanExpr(s->pattern->size, level, ownIndex);
+                visitPattern(*s->pattern, level + 1);
+                break;
+            }
+        }
+    }
+
+    void
+    scanExpr(const ExprRef &expr, int level, int ownIndex)
+    {
+        if (!expr)
+            return;
+        walkExpr(expr, [&](const Expr &e) {
+            if (e.kind != ExprKind::Read)
+                return;
+            maybeAdd(e, level, ownIndex);
+        });
+    }
+
+    void
+    maybeAdd(const Expr &readExpr, int level, int ownIndex)
+    {
+        // Imperfect nesting: the read must be strictly above the deepest
+        // x level (there must be inner x-lanes idle during this read).
+        if (deepestXLevel < 0 || level >= deepestXLevel)
+            return;
+        // Level already on x: accesses are already coalesced.
+        if (mapping.levels[level].dim == 0)
+            return;
+        // Global arrays only; preallocated locals pick their own layout.
+        if (prog.var(readExpr.varId).role != VarRole::ArrayParam)
+            return;
+        // Contiguous chunk along this level's index.
+        auto coeff = coeffOf(resolveLocals(readExpr.a, env), ownIndex,
+                             env);
+        if (!coeff || std::fabs(*coeff) != 1.0)
+            return;
+
+        if (out.sites.insert(&readExpr).second) {
+            // Staging buffer: one element per level-L lane in the block.
+            const int64_t lanes =
+                std::max<int64_t>(1, mapping.levels[level].blockSize);
+            out.sharedBytes +=
+                lanes * scalarBytes(prog.var(readExpr.varId).kind);
+        }
+    }
+
+    const Program &prog;
+    const MappingDecision &mapping;
+    AnalysisEnv env; // mutable copy: accumulates local definitions
+    PrefetchPlan &out;
+    std::vector<int> indexVars;
+    int deepestXLevel = -1;
+};
+
+} // namespace
+
+PrefetchPlan
+findPrefetchable(const Program &prog, const MappingDecision &mapping,
+                 const AnalysisEnv &env)
+{
+    PrefetchPlan out;
+    PrefetchFinder finder(prog, mapping, env, out);
+    finder.run();
+    return out;
+}
+
+} // namespace npp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared-memory prefetching for imperfectly nested patterns
+ * (Section V-B): when memory reads exist outside the innermost pattern,
+ * the generated kernel uses the threads of dimension x to fetch a
+ * contiguous chunk of the outer-level data into shared memory, fixing
+ * both the idle-thread underutilization and the outer access pattern.
+ */
+
+#ifndef NPP_OPT_SMEM_H
+#define NPP_OPT_SMEM_H
+
+#include <unordered_set>
+
+#include "analysis/mapping.h"
+#include "ir/affine.h"
+
+namespace npp {
+
+/** Result of the prefetch analysis. */
+struct PrefetchPlan
+{
+    /** Read sites (Expr node addresses) staged through shared memory. */
+    std::unordered_set<const void *> sites;
+    /** Shared memory bytes per block needed for the staging buffers. */
+    int64_t sharedBytes = 0;
+};
+
+/**
+ * Find outer-level reads worth staging through shared memory for the
+ * given mapping. A read qualifies when:
+ *  - it sits at a non-innermost level L (the nest is imperfect),
+ *  - its address does not depend on any level deeper than L,
+ *  - its stride in level L's index is +-1 (a contiguous chunk exists),
+ *  - level L is not already mapped to dimension x, and
+ *  - some deeper level is mapped to x with at least a warp of threads
+ *    (there are lanes to prefetch with).
+ */
+PrefetchPlan
+findPrefetchable(const Program &prog, const MappingDecision &mapping,
+                 const AnalysisEnv &env);
+
+} // namespace npp
+
+#endif // NPP_OPT_SMEM_H

@@ -1,0 +1,69 @@
+#include "runtime/binding.h"
+
+#include "support/logging.h"
+
+namespace npp {
+
+Bindings::Bindings(const Program &prog)
+    : prog_(&prog),
+      scalars_(prog.numVars(), 0.0),
+      scalarBound_(prog.numVars(), false),
+      arrays_(prog.numVars())
+{}
+
+void
+Bindings::scalar(Ex param, double value)
+{
+    NPP_ASSERT(param.valid() && param.ref()->kind == ExprKind::Var,
+               "scalar binding must name a param");
+    const int id = param.ref()->varId;
+    NPP_ASSERT(prog_->var(id).role == VarRole::ScalarParam,
+               "{} is not a scalar param", prog_->var(id).name);
+    scalars_[id] = value;
+    scalarBound_[id] = true;
+}
+
+void
+Bindings::array(Arr param, std::vector<double> &storage)
+{
+    const int id = param.id();
+    NPP_ASSERT(prog_->var(id).role == VarRole::ArrayParam,
+               "{} is not an array param", prog_->var(id).name);
+    ArraySlot slot;
+    slot.data = storage.data();
+    slot.size = static_cast<int64_t>(storage.size());
+    slot.physSize = slot.size;
+    // Distinct virtual base per array so the coalescing model never
+    // merges transactions across arrays.
+    slot.addrBase = static_cast<int64_t>(id) << 40;
+    slot.addrStride = 1;
+    arrays_[id] = slot;
+}
+
+void
+Bindings::seed(EvalCtx &ctx) const
+{
+    for (const auto &v : prog_->vars()) {
+        if (v.role == VarRole::ScalarParam) {
+            if (!scalarBound_[v.id])
+                NPP_FATAL("{}: scalar param {} not bound", prog_->name(),
+                          v.name);
+            ctx.scalars[v.id] = scalars_[v.id];
+        } else if (v.role == VarRole::ArrayParam) {
+            if (arrays_[v.id].data == nullptr)
+                NPP_FATAL("{}: array param {} not bound", prog_->name(),
+                          v.name);
+            ctx.arrays[v.id] = arrays_[v.id];
+        }
+    }
+}
+
+double
+Bindings::scalarValue(int varId) const
+{
+    NPP_ASSERT(scalarBound_[varId], "scalar param {} not bound",
+               prog_->var(varId).name);
+    return scalars_[varId];
+}
+
+} // namespace npp

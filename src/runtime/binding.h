@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parameter bindings: attach concrete scalar values and host buffers to a
+ * program's parameters before running it on the reference interpreter or
+ * the GPU simulator.
+ */
+
+#ifndef NPP_RUNTIME_BINDING_H
+#define NPP_RUNTIME_BINDING_H
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "runtime/eval.h"
+
+namespace npp {
+
+/**
+ * Concrete argument values for one program execution. Array storage is
+ * owned by the caller and must outlive the run.
+ */
+class Bindings
+{
+  public:
+    explicit Bindings(const Program &prog);
+
+    /** Bind a scalar parameter (by the Ex handle the builder returned). */
+    void scalar(Ex param, double value);
+
+    /** Bind an array parameter to caller-owned storage. */
+    void array(Arr param, std::vector<double> &storage);
+
+    /** Seed an EvalCtx with the bound params; fatal if any param is
+     *  missing. Locals/indices start at zero. */
+    void seed(EvalCtx &ctx) const;
+
+    /** Value of a bound scalar param (fatal if unbound). */
+    double scalarValue(int varId) const;
+
+    const Program &program() const { return *prog_; }
+
+  private:
+    const Program *prog_;
+    std::vector<double> scalars_;
+    std::vector<bool> scalarBound_;
+    std::vector<ArraySlot> arrays_;
+};
+
+} // namespace npp
+
+#endif // NPP_RUNTIME_BINDING_H

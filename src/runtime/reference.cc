@@ -1,0 +1,236 @@
+#include "runtime/reference.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace npp {
+
+namespace {
+
+int64_t
+asIndex(double v)
+{
+    return static_cast<int64_t>(std::llround(v));
+}
+
+/** Byte-count probe for the WorkCounts report. */
+class CountingProbe : public MemProbe
+{
+  public:
+    void
+    onAccess(const void *, int, int64_t, bool isWrite, int bytes) override
+    {
+        if (isWrite)
+            bytesWritten += bytes;
+        else
+            bytesRead += bytes;
+    }
+
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+};
+
+/**
+ * Recursive sequential executor. Local array storage is arena-allocated
+ * per (array-local var) and reused across outer iterations, mirroring how
+ * the preallocation optimization reuses memory.
+ */
+class SeqExec
+{
+  public:
+    SeqExec(const Program &prog, EvalCtx &ctx, WorkCounts &counts)
+        : prog(prog), ctx(ctx), counts(counts)
+    {}
+
+    void
+    runRoot()
+    {
+        const Pattern &p = prog.root();
+        const int64_t n = asIndex(evalExpr(p.size, ctx));
+        const int out = prog.rootOutput();
+
+        switch (p.kind) {
+          case PatternKind::Map:
+          case PatternKind::ZipWith:
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                storeArray(&p, out, i, evalExpr(p.yield, ctx), ctx);
+            }
+            break;
+          case PatternKind::Foreach:
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+            }
+            break;
+          case PatternKind::Reduce: {
+            double acc = combinerIdentity(p.combiner);
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                acc = applyOp(p.combiner, acc, evalExpr(p.yield, ctx));
+            }
+            storeArray(&p, out, 0, acc, ctx);
+            break;
+          }
+          case PatternKind::Filter: {
+            int64_t kept = 0;
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                if (evalExpr(p.filterPred, ctx) != 0.0) {
+                    storeArray(&p, out, kept, evalExpr(p.yield, ctx), ctx);
+                    kept++;
+                }
+            }
+            storeArray(&p, prog.countOutput(), 0,
+                       static_cast<double>(kept), ctx);
+            break;
+          }
+          case PatternKind::GroupBy: {
+            // Initialize the key domain to the combiner identity.
+            const ArraySlot &slot = ctx.arrays[out];
+            for (int64_t k = 0; k < slot.size; k++)
+                storeArray(&p, out, k, combinerIdentity(p.combiner), ctx);
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                const int64_t key = asIndex(evalExpr(p.key, ctx));
+                NPP_ASSERT(key >= 0 && key < slot.size,
+                           "groupBy key {} outside key domain {}", key,
+                           slot.size);
+                const double prev = loadArray(&p, out, key, ctx);
+                storeArray(&p, out, key,
+                           applyOp(p.combiner, prev, evalExpr(p.yield, ctx)),
+                           ctx);
+            }
+            break;
+          }
+        }
+    }
+
+  private:
+    void
+    runNested(const Stmt &stmt)
+    {
+        const Pattern &p = *stmt.pattern;
+        const int64_t n = asIndex(evalExpr(p.size, ctx));
+
+        switch (p.kind) {
+          case PatternKind::Map:
+          case PatternKind::ZipWith: {
+            // Bind the result array-local to arena storage.
+            auto &store = arena[stmt.var];
+            if (!store)
+                store = std::make_unique<std::vector<double>>();
+            if (static_cast<int64_t>(store->size()) < n)
+                store->resize(n);
+            ArraySlot slot;
+            slot.data = store->data();
+            slot.size = n;
+            slot.physSize = static_cast<int64_t>(store->size());
+            ctx.arrays[stmt.var] = slot;
+
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                storeArray(&p, stmt.var, i, evalExpr(p.yield, ctx), ctx);
+            }
+            break;
+          }
+          case PatternKind::Reduce: {
+            double acc = combinerIdentity(p.combiner);
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                acc = applyOp(p.combiner, acc, evalExpr(p.yield, ctx));
+            }
+            ctx.scalars[stmt.var] = acc;
+            break;
+          }
+          case PatternKind::Foreach:
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+            }
+            break;
+          default:
+            NPP_PANIC("nested {} not supported",
+                      patternKindName(p.kind));
+        }
+    }
+
+    void
+    runStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts) {
+            switch (s->kind) {
+              case StmtKind::Let:
+              case StmtKind::Assign:
+                ctx.scalars[s->var] = evalExpr(s->value, ctx);
+                break;
+              case StmtKind::Store:
+                storeArray(s.get(), s->array,
+                           asIndex(evalExpr(s->index, ctx)),
+                           evalExpr(s->value, ctx), ctx);
+                break;
+              case StmtKind::If:
+                if (evalExpr(s->cond, ctx) != 0.0)
+                    runStmts(s->body);
+                else
+                    runStmts(s->elseBody);
+                break;
+              case StmtKind::SeqLoop: {
+                const int64_t trip = asIndex(evalExpr(s->trip, ctx));
+                for (int64_t k = 0; k < trip; k++) {
+                    ctx.scalars[s->var] = static_cast<double>(k);
+                    if (s->cond && evalExpr(s->cond, ctx) != 0.0)
+                        break;
+                    runStmts(s->body);
+                }
+                break;
+              }
+              case StmtKind::Nested:
+                runNested(*s);
+                break;
+            }
+        }
+    }
+
+    const Program &prog;
+    EvalCtx &ctx;
+    WorkCounts &counts;
+    std::unordered_map<int, std::unique_ptr<std::vector<double>>> arena;
+};
+
+} // namespace
+
+WorkCounts
+ReferenceInterp::run(const Program &prog, const Bindings &args)
+{
+    WorkCounts counts;
+    CountingProbe probe;
+    EvalCtx ctx(prog);
+    args.seed(ctx);
+    ctx.probe = &probe;
+
+    SeqExec exec(prog, ctx, counts);
+    exec.runRoot();
+
+    counts.computeOps = ctx.opCount;
+    counts.bytesRead = probe.bytesRead;
+    counts.bytesWritten = probe.bytesWritten;
+    return counts;
+}
+
+} // namespace npp

@@ -1,0 +1,91 @@
+#include "sim/coalesce.h"
+
+namespace npp {
+
+namespace {
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
+
+void
+CoalesceProbe::onAccess(const void *site, int arrayVar, int64_t physIndex,
+                        bool isWrite, int bytes)
+{
+    (void)arrayVar;
+    stats.usefulBytes += bytes;
+    if (!countTraffic)
+        return;
+
+    const int64_t byteAddr = physIndex * bytes;
+    const int64_t segment = byteAddr / device.transactionBytes;
+
+    if (!isWrite && prefetchedSites && prefetchedSites->count(site)) {
+        // Served from shared memory; the global fetch happens once per
+        // block per segment in the prefetch prologue.
+        stats.smemAccesses += warpMultiplier;
+        blockPrefetchSegments.insert(segment);
+        return;
+    }
+
+    if (lineReuse) {
+        uint64_t tkey = mix(reinterpret_cast<uint64_t>(site),
+                            static_cast<uint64_t>(warpTile) * 37 +
+                                static_cast<uint64_t>(laneInWarp));
+        auto [it, fresh] = lastLine.try_emplace(tkey, segment);
+        if (!fresh) {
+            if (it->second == segment)
+                return; // L1 line hit
+            it->second = segment;
+        }
+    }
+
+    uint64_t key = mix(reinterpret_cast<uint64_t>(site), sig);
+    key = mix(key, static_cast<uint64_t>(warpTile));
+
+    Pending &p = pending[key];
+    if (p.visits == 0) {
+        // Stores from outer levels are guarded to a single lane in the
+        // generated code (Fig 9 line 15), so broadcast writes are not
+        // replicated across the unbound-dimension warps.
+        p.multiplier = isWrite ? 1.0 : warpMultiplier;
+    }
+    p.add(segment);
+    p.visits++;
+    if (p.visits >= laneVisitsPerGroup) {
+        stats.transactions += p.numSegments * p.multiplier;
+        pending.erase(key);
+    }
+}
+
+void
+CoalesceProbe::flushAll()
+{
+    for (auto &[key, p] : pending) {
+        if (p.numSegments > 0)
+            stats.transactions += p.numSegments * p.multiplier;
+    }
+    pending.clear();
+}
+
+void
+CoalesceProbe::finishBlock()
+{
+    flushAll();
+    lastLine.clear();
+    if (!blockPrefetchSegments.empty()) {
+        // The prologue fetches each needed segment once, fully coalesced,
+        // plus the staging stores and one barrier.
+        stats.transactions += blockPrefetchSegments.size();
+        stats.smemAccesses += blockPrefetchSegments.size();
+        stats.syncs += 1;
+        blockPrefetchSegments.clear();
+    }
+}
+
+} // namespace npp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The coalescing probe: groups the addresses that the lanes of one warp
+ * issue for one static access site in one loop iteration, and counts the
+ * distinct transaction-sized segments they touch — the memory-controller
+ * behavior described in Section II that the whole mapping analysis is
+ * built around.
+ *
+ * The executor visits the lanes of a warp one at a time (it simulates
+ * parallel hardware with sequential loops), and lanes of the same warp
+ * access a site at widely separated times when an outer-level lane loop
+ * encloses an inner sweep. Warp accesses are therefore keyed by
+ * (site, iteration signature, warp tile) and accumulated until the
+ * expected number of lane visits arrives, at which point the group's
+ * distinct segments are added to the transaction count.
+ */
+
+#ifndef NPP_SIM_COALESCE_H
+#define NPP_SIM_COALESCE_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/target.h"
+#include "runtime/eval.h"
+#include "sim/metrics.h"
+
+namespace npp {
+
+/**
+ * MemProbe implementation used during block execution. The executor
+ * maintains the grouping context:
+ *
+ *  - `sig`: hash of all loop counters (identical across the lanes of one
+ *    iteration, distinct across iterations),
+ *  - `warpTile`: linear id of the warp the currently-bound lane
+ *    coordinates fall into,
+ *  - `warpMultiplier`: number of hardware warps that issue this access
+ *    (greater than 1 when unbound inner dimensions span several warps),
+ *  - `laneVisitsPerGroup`: how many sequentially-simulated lane visits
+ *    one warp access comprises (the product of warp-shape extents of the
+ *    currently bound dimensions).
+ */
+class CoalesceProbe : public MemProbe
+{
+  public:
+    CoalesceProbe(const DeviceConfig &device, KernelStats &stats)
+        : device(device), stats(stats)
+    {}
+
+    ~CoalesceProbe() override { flushAll(); }
+
+    /** @name Executor-maintained grouping context
+     *  @{
+     */
+    uint64_t sig = 0;
+    int64_t warpTile = 0;
+    double warpMultiplier = 1.0;
+    int laneVisitsPerGroup = 1;
+    int laneInWarp = 0;
+    /** Line-reuse model: when the resident working set fits in L1, a
+     *  thread's back-to-back accesses to the same line are cache hits
+     *  (sequential per-thread walks then cost coalesced-equivalent
+     *  bandwidth; with too many resident threads the lines are evicted
+     *  before reuse and every access pays a transaction). */
+    bool lineReuse = false;
+    /** @} */
+
+    /** Sites served via shared-memory prefetch (from the KernelSpec). */
+    const std::unordered_set<const void *> *prefetchedSites = nullptr;
+
+    /** When false, accesses only count useful bytes (functional pass on
+     *  unsampled blocks). */
+    bool countTraffic = true;
+
+    void onAccess(const void *site, int arrayVar, int64_t physIndex,
+                  bool isWrite, int bytes) override;
+
+    /** Flush all incomplete warp accesses (end of block). */
+    void flushAll();
+
+    /** End-of-block accounting: flush incomplete groups and charge the
+     *  prefetch staging fills (coalesced, once per block). */
+    void finishBlock();
+
+  private:
+    struct Pending
+    {
+        double multiplier = 1.0;
+        int visits = 0;
+        /** Distinct transaction segments touched by the warp's lanes
+         *  (at most one per lane). */
+        int64_t segments[32];
+        int numSegments = 0;
+
+        void
+        add(int64_t segment)
+        {
+            for (int i = 0; i < numSegments; i++) {
+                if (segments[i] == segment)
+                    return;
+            }
+            if (numSegments < 32)
+                segments[numSegments++] = segment;
+        }
+    };
+
+    const DeviceConfig &device;
+    KernelStats &stats;
+    std::unordered_map<uint64_t, Pending> pending;
+    std::unordered_map<uint64_t, int64_t> lastLine;
+    std::unordered_set<int64_t> blockPrefetchSegments;
+};
+
+} // namespace npp
+
+#endif // NPP_SIM_COALESCE_H

@@ -1,0 +1,878 @@
+#include "sim/executor.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ir/traverse.h"
+#include "sim/coalesce.h"
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace npp {
+
+namespace {
+
+int64_t
+asIndex(double v)
+{
+    return static_cast<int64_t>(std::llround(v));
+}
+
+double
+log2i(int64_t v)
+{
+    double steps = 0;
+    while (v > 1) {
+        v >>= 1;
+        steps += 1;
+    }
+    return steps;
+}
+
+/**
+ * The per-launch executor. One instance runs the whole grid.
+ */
+class DeviceExecutor
+{
+  public:
+    DeviceExecutor(const KernelSpec &spec, const Bindings &args,
+                   const DeviceConfig &device, const ExecOptions &options)
+        : spec(spec),
+          prog(*spec.prog),
+          device(device),
+          options(options),
+          ctx(prog),
+          probe(device, stats)
+    {
+        args.seed(ctx);
+        probe.prefetchedSites = &spec.prefetchedSites;
+        ctx.probe = &probe;
+        ctx.accessOpCost = spec.rawPointers ? 1 : 2;
+    }
+
+    KernelStats
+    run()
+    {
+        resolveLevels();
+        geom = makeGeometry(spec.mapping, levelSizes);
+        prepareWarpShape();
+        prepareLocals();
+
+        stats.totalBlocks = geom.totalBlocks;
+        stats.threadsPerBlock = geom.threadsPerBlock;
+        stats.sharedMemPerBlock = spec.sharedMemPerBlock;
+
+        // Line-reuse is only effective while every resident thread can
+        // keep one cache line live per access stream.
+        {
+            const int64_t tpb = std::max<int64_t>(geom.threadsPerBlock, 1);
+            const int64_t blocksPerSM = std::max<int64_t>(
+                1, std::min<int64_t>(device.maxBlocksPerSM,
+                                     device.maxThreadsPerSM / tpb));
+            const int64_t activeSMs = std::max<int64_t>(
+                1, std::min<int64_t>(device.numSMs, geom.totalBlocks));
+            const int64_t residentPerSM =
+                std::min(blocksPerSM, ceilDiv(geom.totalBlocks, activeSMs)) *
+                tpb;
+            probe.lineReuse =
+                residentPerSM * device.transactionBytes <=
+                device.l1CacheBytes;
+        }
+
+        // GroupBy seeds its key domain with the combiner identity (the
+        // generated code memsets / initializes the output first).
+        if (prog.root().kind == PatternKind::GroupBy) {
+            const int out = prog.rootOutput();
+            ctx.probe = nullptr;
+            for (int64_t k = 0; k < ctx.arrays[out].size; k++) {
+                storeArray(&prog.root(), out, k,
+                           combinerIdentity(prog.root().combiner), ctx);
+            }
+            ctx.probe = &probe;
+        }
+
+        const int64_t sampleStride =
+            std::max<int64_t>(1, ceilDiv(geom.totalBlocks,
+                                         options.maxSampledBlocks));
+        int64_t measured = 0;
+
+        for (int64_t block = 0; block < geom.totalBlocks; block++) {
+            decodeBlock(block);
+            const bool measure = block % sampleStride == 0;
+            probe.countTraffic = measure;
+            if (measure)
+                measured++;
+            lastOpCount = ctx.opCount;
+            setSig(static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ULL);
+            execPattern(prog.root(), 0, /*isRoot=*/true);
+            flushOps(measure);
+            probe.finishBlock();
+            settleDivergence();
+        }
+
+        finishSplit();
+        finishFilterCount();
+
+        // Generated (non-raw-pointer) kernels pay the array-wrapper tax.
+        if (!spec.rawPointers)
+            stats.transactions *= device.wrapperTrafficFactor;
+
+        // Extrapolate the sampled traffic to the whole grid.
+        if (measured < geom.totalBlocks && measured > 0) {
+            const double factor =
+                static_cast<double>(geom.totalBlocks) / measured;
+            stats.scaleTraffic(factor);
+            stats.mallocs *= factor;
+            stats.sampledFraction =
+                static_cast<double>(measured) / geom.totalBlocks;
+        }
+        return stats;
+    }
+
+  private:
+    //
+    // Launch-time resolution
+    //
+
+    /** Compute per-level static sizes (max over the level's patterns). */
+    void
+    resolveLevels()
+    {
+        const int levels = prog.numLevels();
+        levelSizes.assign(levels, 1);
+        levelDynamic.assign(levels, false);
+        for (const auto &[pattern, level] : collectPatterns(prog.root())) {
+            if (sizeKnownAtLaunchLocal(pattern->size)) {
+                const int64_t s = asIndex(evalExpr(pattern->size, ctx));
+                levelSizes[level] = std::max(levelSizes[level], s);
+            } else {
+                levelDynamic[level] = true;
+            }
+        }
+        for (int lv = 0; lv < levels; lv++) {
+            if (levelDynamic[lv]) {
+                NPP_ASSERT(spec.mapping.levels[lv].span.kind ==
+                               SpanKind::All,
+                           "dynamic level {} must be span(all)", lv);
+                // Keep the block's lanes: geometry must not trim the
+                // block size to the placeholder static size.
+                levelSizes[lv] = std::max<int64_t>(
+                    levelSizes[lv], spec.mapping.levels[lv].blockSize);
+            }
+        }
+    }
+
+    bool
+    sizeKnownAtLaunchLocal(const ExprRef &size) const
+    {
+        bool known = true;
+        walkExpr(size, [&](const Expr &e) {
+            if (e.kind == ExprKind::Read)
+                known = false;
+            if (e.kind == ExprKind::Var &&
+                prog.var(e.varId).role != VarRole::ScalarParam) {
+                known = false;
+            }
+        });
+        return known;
+    }
+
+    /** Warp tiling of the block (x varies fastest within a warp). */
+    void
+    prepareWarpShape()
+    {
+        for (int d = 0; d < 4; d++)
+            dimBlock[d] = 1;
+        for (const auto &g : geom.levels)
+            dimBlock[g.dim] = g.blockSize;
+
+        int64_t remaining = device.warpSize;
+        for (int d = 0; d < 4; d++) {
+            warpShape[d] = std::max<int64_t>(
+                1, std::min(dimBlock[d], remaining));
+            remaining = std::max<int64_t>(1, remaining / warpShape[d]);
+            tilesPerDim[d] = ceilDiv(dimBlock[d], warpShape[d]);
+        }
+        tilesPerBlock = 1;
+        for (int d = 0; d < 4; d++)
+            tilesPerBlock *= tilesPerDim[d];
+
+        for (int d = 0; d < 4; d++) {
+            laneCoord[d] = -1; // unbound
+        }
+        levelOfDim[0] = levelOfDim[1] = levelOfDim[2] = levelOfDim[3] = -1;
+        for (size_t lv = 0; lv < geom.levels.size(); lv++)
+            levelOfDim[geom.levels[lv].dim] = static_cast<int>(lv);
+        recomputeFactors();
+    }
+
+    /** Prealloc plans: storage and outer-domain shape. */
+    void
+    prepareLocals()
+    {
+        for (const auto &plan : spec.locals) {
+            LocalState state;
+            state.plan = &plan;
+            // Outer domain: product of static level sizes above the
+            // defining level (the "entire outer pattern" of Section V-A).
+            state.outerTotal = 1;
+            for (int lv = 0; lv < plan.definingLevel; lv++)
+                state.outerTotal *= std::max<int64_t>(levelSizes[lv], 1);
+            locals[plan.varId] = std::move(state);
+        }
+    }
+
+    //
+    // Warp bookkeeping
+    //
+
+    void
+    recomputeFactors()
+    {
+        double unboundLanes = 1.0;
+        double warpsIssuing = 1.0;
+        for (int d = 0; d < 4; d++) {
+            if (laneCoord[d] < 0 && dimBlock[d] > 1) {
+                unboundLanes *= static_cast<double>(dimBlock[d]);
+                warpsIssuing *= static_cast<double>(tilesPerDim[d]);
+            }
+        }
+        curOpFactor = unboundLanes / device.warpSize;
+        probe.warpMultiplier = warpsIssuing;
+        // How many sequential lane visits make up one warp access: the
+        // warp-shape extents of the bound dimensions.
+        int visits = 1;
+        for (int d = 0; d < 4; d++) {
+            if (laneCoord[d] >= 0 && dimBlock[d] > 1)
+                visits *= static_cast<int>(warpShape[d]);
+        }
+        probe.laneVisitsPerGroup = visits;
+        // Linear warp-tile id over bound dims (unbound contribute 0),
+        // plus the lane's position within the warp.
+        int64_t tile = 0;
+        int64_t stride = 1;
+        int64_t lane = 0;
+        int64_t laneStride = 1;
+        for (int d = 0; d < 4; d++) {
+            const int64_t coord = laneCoord[d] < 0 ? 0 : laneCoord[d];
+            tile += (coord / warpShape[d]) * stride;
+            stride *= tilesPerDim[d];
+            lane += (coord % warpShape[d]) * laneStride;
+            laneStride *= warpShape[d];
+        }
+        probe.warpTile = blockLinear * tilesPerBlock + tile;
+        probe.laneInWarp = static_cast<int>(lane);
+    }
+
+    /** Update the iteration signature (and the probe's grouping key). */
+    void
+    setSig(uint64_t value)
+    {
+        curSig = value;
+        probe.sig = value;
+    }
+
+    void
+    flushOps(bool measure = true)
+    {
+        const uint64_t delta = ctx.opCount - lastOpCount;
+        lastOpCount = ctx.opCount;
+        if (measure && probe.countTraffic)
+            stats.warpInstructions += delta * std::max(curOpFactor, 0.03125);
+    }
+
+    void
+    bindLane(int dim, int64_t lane)
+    {
+        flushOps();
+        laneCoord[dim] = lane;
+        recomputeFactors();
+    }
+
+    void
+    unbindLane(int dim)
+    {
+        flushOps();
+        laneCoord[dim] = -1;
+        recomputeFactors();
+    }
+
+    void
+    decodeBlock(int64_t block)
+    {
+        blockLinear = block;
+        for (size_t lv = 0; lv < geom.levels.size(); lv++) {
+            blockCoord[lv] = block % geom.levels[lv].blocks;
+            block /= geom.levels[lv].blocks;
+        }
+    }
+
+    //
+    // Pattern execution
+    //
+
+    struct YieldTarget
+    {
+        enum class Kind { RootOut, LocalArray, None } kind = Kind::None;
+        int var = -1;
+    };
+
+    void
+    execPattern(const Pattern &p, int lv, bool isRoot, int resultVar = -1)
+    {
+        const auto &g = geom.levels[lv];
+        const int64_t size = asIndex(evalExpr(p.size, ctx));
+        const int64_t b = blockCoord[lv];
+
+        // Coverage of this block at this level.
+        int64_t lo = 0, hi = size;
+        switch (g.span.kind) {
+          case SpanKind::One:
+            lo = b * g.blockSize;
+            hi = std::min(size, lo + g.blockSize);
+            break;
+          case SpanKind::N:
+            lo = b * g.blockSize * g.span.factor;
+            hi = std::min(size, lo + g.blockSize * g.span.factor);
+            break;
+          case SpanKind::All:
+            lo = 0;
+            hi = size;
+            break;
+          case SpanKind::Split: {
+            const int64_t seg = ceilDiv(size, g.blocks);
+            lo = b * seg;
+            hi = std::min(size, lo + seg);
+            break;
+          }
+        }
+
+        double acc = 0.0;
+        const bool isReduce = p.kind == PatternKind::Reduce;
+        if (isReduce)
+            acc = combinerIdentity(p.combiner);
+
+        const int64_t lanes = std::max<int64_t>(g.blockSize, 1);
+        const uint64_t sigSave = curSig;
+        for (int64_t base = lo, k = 0; base < hi;
+             base += lanes, k++) {
+            setSig(sigSave * 1000003ull + static_cast<uint64_t>(k) + 1);
+            for (int64_t t = 0; t < lanes && base + t < hi; t++) {
+                const int64_t idx = base + t;
+                bindLane(g.dim, t % g.blockSize);
+                ctx.scalars[p.indexVar] = static_cast<double>(idx);
+                curLevelIndex[lv] = idx;
+
+                runStmts(p.body, lv);
+
+                switch (p.kind) {
+                  case PatternKind::Map:
+                  case PatternKind::ZipWith:
+                    if (isRoot) {
+                        storeArray(&p, prog.rootOutput(), idx,
+                                   evalExpr(p.yield, ctx), ctx);
+                    } else {
+                        emitLocalElement(resultVar, p, idx);
+                    }
+                    break;
+                  case PatternKind::Reduce:
+                    acc = applyOp(p.combiner, acc,
+                                  evalExpr(p.yield, ctx));
+                    break;
+                  case PatternKind::Foreach:
+                    break;
+                  case PatternKind::Filter:
+                    if (evalExpr(p.filterPred, ctx) != 0.0) {
+                        storeArray(&p, prog.rootOutput(), filterCursor++,
+                                   evalExpr(p.yield, ctx), ctx);
+                    }
+                    break;
+                  case PatternKind::GroupBy: {
+                    const int64_t key =
+                        asIndex(evalExpr(p.key, ctx));
+                    const int out = prog.rootOutput();
+                    NPP_ASSERT(key >= 0 && key < ctx.arrays[out].size,
+                               "groupBy key {} out of range", key);
+                    const double prev = loadArray(&p, out, key, ctx);
+                    storeArray(&p, out, key,
+                               applyOp(p.combiner, prev,
+                                       evalExpr(p.yield, ctx)),
+                               ctx);
+                    break;
+                  }
+                }
+                unbindLane(g.dim);
+            }
+        }
+        setSig(sigSave);
+
+        if (isReduce)
+            finishReduce(p, lv, isRoot, resultVar, acc);
+    }
+
+    /** Store one nested-map element into its (pre)allocated local. */
+    void
+    emitLocalElement(int resultVar, const Pattern &p, int64_t idx)
+    {
+        NPP_ASSERT(resultVar >= 0, "nested map without result var");
+        storeArray(&p, resultVar, idx, evalExpr(p.yield, ctx), ctx);
+    }
+
+    void
+    finishReduce(const Pattern &p, int lv, bool isRoot, int resultVar,
+                 double acc)
+    {
+        const auto &g = geom.levels[lv];
+
+        // Cost of the shared-memory tree combine across this level's
+        // lanes (charged warp-granular, once per block-wide pass).
+        if (g.blockSize > 1 && probe.countTraffic) {
+            const double boundLanes = boundLaneProduct();
+            const double warpsPerPass =
+                std::max(1.0, static_cast<double>(geom.threadsPerBlock) /
+                                  device.warpSize);
+            const double perVisit = 1.0 / std::max(boundLanes, 1.0);
+            stats.smemAccesses += 2.0 * warpsPerPass * perVisit;
+            stats.syncs +=
+                (log2i(g.blockSize) + 1.0) * perVisit;
+            stats.warpInstructions +=
+                log2i(g.blockSize) * warpsPerPass * perVisit;
+        }
+
+        if (g.span.kind == SpanKind::Split) {
+            // Partial per (enclosing ids, segment); combined after the
+            // block loop, matching the combiner kernel.
+            const uint64_t key = outerKey(lv);
+            auto &slot = splitPartials[&p][key];
+            if (slot.count == 0)
+                slot.value = combinerIdentity(p.combiner);
+            slot.value = applyOp(p.combiner, slot.value, acc);
+            slot.count++;
+            if (isRoot) {
+                deferredRootReduce = &p;
+            } else {
+                // Defer the enclosing yield: remember the binding site.
+                deferredNested = &p;
+                deferredNestedVar = resultVar;
+                deferNestedPending = true;
+                ctx.scalars[resultVar] = slot.value; // partial (unused)
+            }
+            stats.hasCombiner = true;
+            return;
+        }
+
+        if (isRoot) {
+            if (blockLinear == 0)
+                storeArray(&p, prog.rootOutput(), 0, acc, ctx);
+        } else {
+            ctx.scalars[resultVar] = acc;
+        }
+    }
+
+    double
+    boundLaneProduct() const
+    {
+        double lanes = 1.0;
+        for (int d = 0; d < 4; d++) {
+            if (laneCoord[d] >= 0 && dimBlock[d] > 1)
+                lanes *= static_cast<double>(dimBlock[d]);
+        }
+        return lanes;
+    }
+
+    /** Key identifying the current enclosing index tuple above lv. */
+    uint64_t
+    outerKey(int lv) const
+    {
+        uint64_t key = 0xcbf29ce484222325ull;
+        for (int i = 0; i < lv; i++) {
+            key ^= static_cast<uint64_t>(curLevelIndex[i]) + 1;
+            key *= 0x100000001b3ull;
+        }
+        return key;
+    }
+
+    /** Linear index of the enclosing tuple (for local-array layout). */
+    int64_t
+    outerLinear(int defLevel) const
+    {
+        int64_t linear = 0;
+        for (int lv = 0; lv < defLevel; lv++)
+            linear = linear * std::max<int64_t>(levelSizes[lv], 1) +
+                     curLevelIndex[lv];
+        return linear;
+    }
+
+    //
+    // Statements
+    //
+
+    void
+    runStmts(const std::vector<StmtPtr> &stmts, int lv)
+    {
+        for (const auto &s : stmts) {
+            switch (s->kind) {
+              case StmtKind::Let:
+              case StmtKind::Assign:
+                ctx.scalars[s->var] = evalExpr(s->value, ctx);
+                break;
+              case StmtKind::Store:
+                storeArray(s.get(), s->array,
+                           asIndex(evalExpr(s->index, ctx)),
+                           evalExpr(s->value, ctx), ctx);
+                break;
+              case StmtKind::If:
+                if (evalExpr(s->cond, ctx) != 0.0)
+                    runStmts(s->body, lv);
+                else
+                    runStmts(s->elseBody, lv);
+                break;
+              case StmtKind::SeqLoop: {
+                const int64_t trip = asIndex(evalExpr(s->trip, ctx));
+                const uint64_t sigSave = curSig;
+                const uint64_t ops0 = ctx.opCount;
+                for (int64_t k = 0; k < trip; k++) {
+                    ctx.scalars[s->var] = static_cast<double>(k);
+                    if (s->cond && evalExpr(s->cond, ctx) != 0.0)
+                        break;
+                    setSig(sigSave * 16777619ull +
+                           static_cast<uint64_t>(k) + 1);
+                    runStmts(s->body, lv);
+                }
+                setSig(sigSave);
+                recordDivergence(s.get(), ctx.opCount - ops0);
+                break;
+              }
+              case StmtKind::Nested:
+                execNested(*s, lv + 1);
+                break;
+            }
+        }
+    }
+
+    void
+    execNested(const Stmt &s, int lv)
+    {
+        const Pattern &p = *s.pattern;
+        if (s.var >= 0 && prog.var(s.var).role == VarRole::ArrayLocal)
+            bindLocalArray(s, p);
+
+        // A nested pattern that runs sequentially inside the thread is a
+        // divergence site when its trip count is data dependent: the
+        // warp's lanes wait for the longest one.
+        const bool sequentialInThread = geom.levels[lv].blockSize == 1;
+        const uint64_t ops0 = ctx.opCount;
+        execPattern(p, lv, /*isRoot=*/false, s.var);
+        if (sequentialInThread)
+            recordDivergence(&s, ctx.opCount - ops0);
+
+        // Inner parallel map results are consumed block-wide; the
+        // generated code synchronizes after producing them.
+        if ((p.kind == PatternKind::Map ||
+             p.kind == PatternKind::ZipWith) &&
+            geom.levels[lv].blockSize > 1 && probe.countTraffic) {
+            stats.syncs += 1.0 / std::max(boundLaneProduct(), 1.0);
+        }
+    }
+
+    void
+    bindLocalArray(const Stmt &s, const Pattern &p)
+    {
+        auto it = locals.find(s.var);
+        NPP_ASSERT(it != locals.end(), "array local {} without plan",
+                   prog.var(s.var).name);
+        LocalState &state = it->second;
+        const LocalArrayPlan &plan = *state.plan;
+
+        const int64_t innerSize = asIndex(evalExpr(p.size, ctx));
+        if (static_cast<int64_t>(state.storage.size()) < innerSize)
+            state.storage.resize(innerSize);
+
+        ArraySlot slot;
+        slot.data = state.storage.data();
+        slot.size = innerSize;
+        slot.physSize = static_cast<int64_t>(state.storage.size());
+        slot.offset = 0;
+        slot.stride = 1;
+
+        const int64_t base = static_cast<int64_t>(s.var) << 40;
+        const int64_t outer = outerLinear(plan.definingLevel);
+        if (plan.mode == LocalArrayPlan::Mode::ThreadMalloc) {
+            // Device-heap blocks are scattered: pad each thread's block
+            // so no two threads share a transaction segment.
+            const int64_t padded =
+                roundUp(innerSize + device.transactionBytes / 8, 16);
+            slot.addrBase = base + outer * padded;
+            slot.addrStride = 1;
+            if (probe.countTraffic)
+                stats.mallocs += 1;
+        } else if (plan.layout == LocalArrayPlan::Layout::Contiguous) {
+            slot.addrBase = base + outer * innerSize; // Fig 11(a)
+            slot.addrStride = 1;
+        } else {
+            slot.addrBase = base + outer; // Fig 11(b)
+            slot.addrStride = state.outerTotal;
+        }
+        ctx.arrays[s.var] = slot;
+    }
+
+    /** Record one lane's sequential-loop work for divergence accounting
+     *  (keyed by site and warp; settled per block). */
+    void
+    recordDivergence(const void *site, uint64_t ops)
+    {
+        if (!probe.countTraffic)
+            return;
+        // Group by iteration signature too: only lanes executing the
+        // same iteration pad each other out; a thread's own sequential
+        // iterations do not.
+        uint64_t key = reinterpret_cast<uint64_t>(site) * 31 +
+                       static_cast<uint64_t>(probe.warpTile);
+        key = key * 0x9e3779b97f4a7c15ULL + probe.sig;
+        DivAcc &acc = divergence[key];
+        acc.sum += static_cast<double>(ops);
+        acc.peak = std::max(acc.peak, static_cast<double>(ops));
+        acc.count++;
+    }
+
+    /** SIMD semantics: the warp executes max-lane work, not mean-lane
+     *  work; charge the difference. */
+    void
+    settleDivergence()
+    {
+        for (auto &[key, acc] : divergence) {
+            stats.warpInstructions +=
+                (acc.peak * acc.count - acc.sum) / device.warpSize;
+        }
+        divergence.clear();
+    }
+
+    //
+    // Split combining (the separate combiner kernel)
+    //
+
+    void
+    finishSplit()
+    {
+        if (splitPartials.empty())
+            return;
+
+        // Root-map-with-split-inner-reduce: re-run the root level
+        // sequentially, substituting combined totals for the reduce and
+        // performing the deferred output stores (functionally the
+        // combiner kernel; its traffic is charged analytically below).
+        probe.countTraffic = false;
+        if (deferredRootReduce) {
+            const Pattern &p = *deferredRootReduce;
+            const auto &parts = splitPartials[&p];
+            double total = combinerIdentity(p.combiner);
+            int64_t k = 0;
+            for (const auto &[key, slot] : parts) {
+                total = applyOp(p.combiner, total, slot.value);
+                k = std::max<int64_t>(k, slot.count);
+            }
+            ctx.probe = nullptr;
+            storeArray(&p, prog.rootOutput(), 0, total, ctx);
+            ctx.probe = &probe;
+            stats.combinerTransactions += parts.size() + 1;
+            stats.combinerOps += parts.size();
+            stats.combinerThreads = 1;
+        } else if (deferNestedPending) {
+            replayRootWithTotals();
+        }
+        probe.countTraffic = true;
+    }
+
+    /** Re-run the root pattern sequentially using the combined reduce
+     *  totals (deferred yield stores). */
+    void
+    replayRootWithTotals()
+    {
+        const Pattern &root = prog.root();
+        NPP_ASSERT(root.kind == PatternKind::Map ||
+                       root.kind == PatternKind::ZipWith,
+                   "split of a nested reduce requires a map root");
+        combinerReplay = true;
+        ctx.probe = nullptr;
+        const int64_t size = asIndex(evalExpr(root.size, ctx));
+        for (int64_t i = 0; i < size; i++) {
+            ctx.scalars[root.indexVar] = static_cast<double>(i);
+            curLevelIndex[0] = i;
+            replayStmts(root.body, 1);
+            storeArray(&root, prog.rootOutput(), i,
+                       evalExpr(root.yield, ctx), ctx);
+        }
+        ctx.probe = &probe;
+        combinerReplay = false;
+
+        // Combiner kernel traffic: read outer*k partials, write outer.
+        const Pattern &p = *deferredNested;
+        const auto &parts = splitPartials[&p];
+        double totalPartials = 0;
+        for (const auto &[key, slot] : parts)
+            totalPartials += slot.count;
+        stats.combinerTransactions +=
+            ceilDiv(static_cast<int64_t>(totalPartials) * 8, 128) +
+            ceilDiv(size * 8, 128);
+        stats.combinerOps += totalPartials;
+        stats.combinerThreads = size;
+    }
+
+    /** Statement replay for the combiner pass: nested split reduces read
+     *  their combined totals; everything else re-executes silently. */
+    void
+    replayStmts(const std::vector<StmtPtr> &stmts, int lv)
+    {
+        for (const auto &s : stmts) {
+            switch (s->kind) {
+              case StmtKind::Let:
+              case StmtKind::Assign:
+                ctx.scalars[s->var] = evalExpr(s->value, ctx);
+                break;
+              case StmtKind::Store:
+                // Effects already happened in the main kernel.
+                break;
+              case StmtKind::If:
+                if (evalExpr(s->cond, ctx) != 0.0)
+                    replayStmts(s->body, lv);
+                else
+                    replayStmts(s->elseBody, lv);
+                break;
+              case StmtKind::SeqLoop: {
+                const int64_t trip = asIndex(evalExpr(s->trip, ctx));
+                for (int64_t k = 0; k < trip; k++) {
+                    ctx.scalars[s->var] = static_cast<double>(k);
+                    if (s->cond && evalExpr(s->cond, ctx) != 0.0)
+                        break;
+                    replayStmts(s->body, lv);
+                }
+                break;
+              }
+              case StmtKind::Nested: {
+                const Pattern &p = *s->pattern;
+                if (geom.levels[lv].span.kind == SpanKind::Split &&
+                    p.kind == PatternKind::Reduce) {
+                    const auto &parts = splitPartials.at(&p);
+                    const uint64_t key = outerKey(lv);
+                    auto it = parts.find(key);
+                    NPP_ASSERT(it != parts.end(),
+                               "missing split partial");
+                    ctx.scalars[s->var] = it->second.value;
+                } else {
+                    // Non-split nested work re-executes sequentially.
+                    replayNestedSequential(*s, lv);
+                }
+                break;
+              }
+            }
+        }
+    }
+
+    void
+    replayNestedSequential(const Stmt &s, int lv)
+    {
+        const Pattern &p = *s.pattern;
+        const int64_t size = asIndex(evalExpr(p.size, ctx));
+        if (s.var >= 0 && prog.var(s.var).role == VarRole::ArrayLocal)
+            bindLocalArray(s, p);
+        double acc = combinerIdentity(p.combiner);
+        for (int64_t i = 0; i < size; i++) {
+            ctx.scalars[p.indexVar] = static_cast<double>(i);
+            curLevelIndex[lv] = i;
+            replayStmts(p.body, lv + 1);
+            if (p.kind == PatternKind::Reduce)
+                acc = applyOp(p.combiner, acc, evalExpr(p.yield, ctx));
+            else if (s.var >= 0 && p.kind != PatternKind::Foreach)
+                storeArray(&p, s.var, i, evalExpr(p.yield, ctx), ctx);
+        }
+        if (p.kind == PatternKind::Reduce)
+            ctx.scalars[s.var] = acc;
+    }
+
+    void
+    finishFilterCount()
+    {
+        if (prog.root().kind == PatternKind::Filter) {
+            ctx.probe = nullptr;
+            storeArray(&prog.root(), prog.countOutput(), 0,
+                       static_cast<double>(filterCursor), ctx);
+            ctx.probe = &probe;
+        }
+    }
+
+    //
+    // State
+    //
+
+    struct LocalState
+    {
+        const LocalArrayPlan *plan = nullptr;
+        std::vector<double> storage;
+        int64_t outerTotal = 1;
+    };
+
+    struct Partial
+    {
+        double value = 0.0;
+        int64_t count = 0;
+    };
+
+    const KernelSpec &spec;
+    const Program &prog;
+    const DeviceConfig &device;
+    const ExecOptions &options;
+
+    EvalCtx ctx;
+    KernelStats stats;
+    CoalesceProbe probe;
+    LaunchGeometry geom;
+
+    std::vector<int64_t> levelSizes;
+    std::vector<bool> levelDynamic;
+
+    int64_t dimBlock[4] = {1, 1, 1, 1};
+    int64_t warpShape[4] = {1, 1, 1, 1};
+    int64_t tilesPerDim[4] = {1, 1, 1, 1};
+    int64_t tilesPerBlock = 1;
+    int64_t laneCoord[4] = {-1, -1, -1, -1};
+    int levelOfDim[4] = {-1, -1, -1, -1};
+
+    int64_t blockLinear = 0;
+    int64_t blockCoord[4] = {0, 0, 0, 0};
+    int64_t curLevelIndex[4] = {0, 0, 0, 0};
+
+    uint64_t curSig = 0;
+    uint64_t lastOpCount = 0;
+    double curOpFactor = 1.0;
+
+    struct DivAcc
+    {
+        double sum = 0.0;
+        double peak = 0.0;
+        int count = 0;
+    };
+    std::unordered_map<uint64_t, DivAcc> divergence;
+
+    std::unordered_map<int, LocalState> locals;
+    std::unordered_map<const Pattern *,
+                       std::unordered_map<uint64_t, Partial>>
+        splitPartials;
+    const Pattern *deferredRootReduce = nullptr;
+    const Pattern *deferredNested = nullptr;
+    int deferredNestedVar = -1;
+    bool deferNestedPending = false;
+    bool combinerReplay = false;
+    int64_t filterCursor = 0;
+};
+
+} // namespace
+
+KernelStats
+executeOnDevice(const KernelSpec &spec, const Bindings &args,
+                const DeviceConfig &device, const ExecOptions &options)
+{
+    DeviceExecutor exec(spec, args, device, options);
+    return exec.run();
+}
+
+} // namespace npp

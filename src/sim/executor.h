@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Functional + statistical execution of a compiled kernel spec on the
+ * simulated GPU. The executor walks every thread block of the launch,
+ * runs the pattern tree with the mapping's loop structure (span types,
+ * per-level lanes), produces bit-exact outputs in the bound arrays, and
+ * collects warp-granular traffic statistics through the coalescing probe.
+ */
+
+#ifndef NPP_SIM_EXECUTOR_H
+#define NPP_SIM_EXECUTOR_H
+
+#include "codegen/plan.h"
+#include "runtime/binding.h"
+#include "sim/metrics.h"
+
+namespace npp {
+
+/** Execution options. */
+struct ExecOptions
+{
+    /** Traffic is measured on at most this many blocks (evenly sampled)
+     *  and extrapolated; outputs are always computed for every block. */
+    int64_t maxSampledBlocks = 256;
+};
+
+/** Execute the spec with the given bindings; returns the stats needed by
+ *  the timing model. Outputs land in the bound arrays. */
+KernelStats executeOnDevice(const KernelSpec &spec, const Bindings &args,
+                            const DeviceConfig &device,
+                            const ExecOptions &options = {});
+
+} // namespace npp
+
+#endif // NPP_SIM_EXECUTOR_H

@@ -1,0 +1,52 @@
+#include "sim/gpu.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace npp {
+
+SimReport
+Gpu::run(const KernelSpec &spec, const Bindings &args,
+         const ExecOptions &options) const
+{
+    KernelStats stats = executeOnDevice(spec, args, config_, options);
+    return computeTiming(stats, config_);
+}
+
+SimReport
+Gpu::compileAndRun(const Program &prog, const Bindings &args,
+                   const CompileOptions &copts,
+                   const ExecOptions &eopts) const
+{
+    CompileResult compiled = compileProgram(prog, config_, copts);
+    return run(compiled.spec, args, eopts);
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    NPP_ASSERT(a.size() == b.size(), "size mismatch: {} vs {}", a.size(),
+               b.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); i++)
+        worst = std::max(worst, std::fabs(a[i] - b[i]));
+    return worst;
+}
+
+double
+maxRelDiff(const std::vector<double> &a, const std::vector<double> &b,
+           double floor)
+{
+    NPP_ASSERT(a.size() == b.size(), "size mismatch: {} vs {}", a.size(),
+               b.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); i++) {
+        const double denom =
+            std::max({std::fabs(a[i]), std::fabs(b[i]), floor});
+        worst = std::max(worst, std::fabs(a[i] - b[i]) / denom);
+    }
+    return worst;
+}
+
+} // namespace npp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The simulated-GPU facade: compile-and-run convenience API used by
+ * tests, examples, and the benchmark harnesses. Wraps the executor and
+ * the timing model.
+ */
+
+#ifndef NPP_SIM_GPU_H
+#define NPP_SIM_GPU_H
+
+#include "codegen/compile.h"
+#include "runtime/reference.h"
+#include "sim/executor.h"
+#include "sim/timing.h"
+
+namespace npp {
+
+/**
+ * One simulated GPU device.
+ */
+class Gpu
+{
+  public:
+    explicit Gpu(DeviceConfig config = teslaK20c())
+        : config_(std::move(config))
+    {}
+
+    const DeviceConfig &config() const { return config_; }
+
+    /** Execute a compiled spec; outputs land in the bound arrays. */
+    SimReport run(const KernelSpec &spec, const Bindings &args,
+                  const ExecOptions &options = {}) const;
+
+    /** Compile with the given options and run. */
+    SimReport compileAndRun(const Program &prog, const Bindings &args,
+                            const CompileOptions &copts = {},
+                            const ExecOptions &eopts = {}) const;
+
+  private:
+    DeviceConfig config_;
+};
+
+/** Largest absolute element difference (fatal on length mismatch). */
+double maxAbsDiff(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+/** Largest relative element difference with an absolute floor. */
+double maxRelDiff(const std::vector<double> &a,
+                  const std::vector<double> &b, double floor = 1e-12);
+
+} // namespace npp
+
+#endif // NPP_SIM_GPU_H

@@ -1,0 +1,21 @@
+#include "sim/metrics.h"
+
+#include "support/strings.h"
+
+namespace npp {
+
+std::string
+SimReport::toString() const
+{
+    return fmt("total {} ms (compute {}, mem {}, launch {}, blocks {}, "
+               "malloc {}, combiner {}); bw {} GB/s, warps {}, "
+               "trans {}, warpInstr {}",
+               fixed(totalMs, 4), fixed(computeMs, 4), fixed(memoryMs, 4),
+               fixed(launchMs, 4), fixed(blockOverheadMs, 4),
+               fixed(mallocMs, 4), fixed(combinerMs, 4),
+               fixed(achievedBandwidth, 1), fixed(residentWarps, 0),
+               fixed(stats.transactions, 0),
+               fixed(stats.warpInstructions, 0));
+}
+
+} // namespace npp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Statistics collected by the simulator's functional execution and the
+ * timing report derived from them.
+ */
+
+#ifndef NPP_SIM_METRICS_H
+#define NPP_SIM_METRICS_H
+
+#include <cstdint>
+#include <string>
+
+namespace npp {
+
+/**
+ * Work counters for one kernel launch. "Warp instructions" are weighted
+ * scalar-op counts normalized to warp granularity (32 lanes executing one
+ * instruction count as 1), so redundant execution of outer-level code by
+ * inner-dimension lanes is charged exactly as the hardware would.
+ */
+struct KernelStats
+{
+    /** Warp-granular weighted compute operations. */
+    double warpInstructions = 0.0;
+
+    /** 128-byte global memory transactions after coalescing. */
+    double transactions = 0.0;
+
+    /** Bytes the program semantically asked for (useful bytes). */
+    double usefulBytes = 0.0;
+
+    /** Shared-memory accesses (prefetch fills + reduce combines). */
+    double smemAccesses = 0.0;
+
+    /** __syncthreads() executions (per block, summed over blocks). */
+    double syncs = 0.0;
+
+    /** In-kernel device-heap mallocs (one per thread-local allocation). */
+    double mallocs = 0.0;
+
+    /** Launch geometry. */
+    int64_t totalBlocks = 1;
+    int64_t threadsPerBlock = 1;
+    int64_t sharedMemPerBlock = 0;
+
+    /** Split-combiner kernel work (zero when no split level). */
+    bool hasCombiner = false;
+    double combinerTransactions = 0.0;
+    double combinerOps = 0.0;
+    int64_t combinerThreads = 0;
+
+    /** Fraction of blocks whose traffic was measured (rest extrapolated). */
+    double sampledFraction = 1.0;
+
+    void
+    scaleTraffic(double factor)
+    {
+        warpInstructions *= factor;
+        transactions *= factor;
+        usefulBytes *= factor;
+        smemAccesses *= factor;
+        syncs *= factor;
+    }
+};
+
+/**
+ * Timing report for one kernel launch (model time, Section "hardware
+ * substitution" of DESIGN.md).
+ */
+struct SimReport
+{
+    double totalMs = 0.0;
+
+    /** @name Breakdown
+     *  @{
+     */
+    double computeMs = 0.0;
+    double memoryMs = 0.0;
+    double launchMs = 0.0;
+    double blockOverheadMs = 0.0;
+    double mallocMs = 0.0;
+    double combinerMs = 0.0;
+    /** @} */
+
+    /** Achieved DRAM bandwidth GB/s (diagnostics). */
+    double achievedBandwidth = 0.0;
+
+    /** Resident warps that were available to hide latency. */
+    double residentWarps = 0.0;
+
+    /** Blocks resident per SM under occupancy limits. */
+    int64_t blocksPerSM = 0;
+
+    KernelStats stats;
+
+    std::string toString() const;
+};
+
+} // namespace npp
+
+#endif // NPP_SIM_METRICS_H

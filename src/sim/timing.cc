@@ -1,0 +1,124 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stats.h"
+
+namespace npp {
+
+SimReport
+computeTiming(const KernelStats &stats, const DeviceConfig &device)
+{
+    SimReport report;
+    report.stats = stats;
+
+    const double cyclesPerSec = device.cyclesPerSecond();
+    const int64_t threadsPerBlock = std::max<int64_t>(stats.threadsPerBlock, 1);
+    const int64_t warpsPerBlock =
+        ceilDiv(threadsPerBlock, device.warpSize);
+
+    // Occupancy: how many blocks fit on one SM.
+    int64_t blocksPerSM = std::min<int64_t>(
+        device.maxBlocksPerSM, device.maxThreadsPerSM / threadsPerBlock);
+    if (stats.sharedMemPerBlock > 0) {
+        blocksPerSM = std::min(
+            blocksPerSM, device.sharedMemPerSM /
+                             std::max<int64_t>(stats.sharedMemPerBlock, 1));
+    }
+    blocksPerSM = std::max<int64_t>(blocksPerSM, 1);
+    report.blocksPerSM = blocksPerSM;
+
+    const int64_t activeSMs =
+        std::min<int64_t>(device.numSMs, stats.totalBlocks);
+    const double totalWarps =
+        static_cast<double>(stats.totalBlocks) * warpsPerBlock;
+    const double residentWarps = std::min(
+        totalWarps,
+        static_cast<double>(blocksPerSM * warpsPerBlock * activeSMs));
+    report.residentWarps = residentWarps;
+
+    // Compute: DP pipes need several resident warps per SM to saturate.
+    const double warpsPerActiveSM =
+        residentWarps / std::max<double>(activeSMs, 1);
+    const double dpThroughputPerSM =
+        std::min(2.0, std::max(warpsPerActiveSM, 1.0) / 4.0);
+    const double computeCycles =
+        (stats.warpInstructions + stats.smemAccesses) /
+        std::max(dpThroughputPerSM * activeSMs, 1e-9);
+    const double syncCycles =
+        stats.syncs * device.syncthreadsCycles / std::max<double>(activeSMs, 1);
+    report.computeMs =
+        (computeCycles + syncCycles) / cyclesPerSec * 1e3;
+
+    // Memory: peak bandwidth, derated when too few warps are resident to
+    // cover the load-to-use latency (Little's law).
+    const double latencySec = device.memLatencyCycles / cyclesPerSec;
+    const double outstandingPerWarp = 4.0;
+    const double concurrencyBytes =
+        residentWarps * outstandingPerWarp * device.transactionBytes;
+    const double latencyBoundBw = concurrencyBytes / latencySec;
+    const double effBw =
+        std::min(device.dramBandwidthGBs * 1e9, latencyBoundBw);
+    const double trafficBytes =
+        stats.transactions * device.transactionBytes;
+    report.memoryMs = trafficBytes / std::max(effBw, 1.0) * 1e3;
+    report.achievedBandwidth =
+        report.memoryMs > 0
+            ? trafficBytes / (report.memoryMs * 1e-3) / 1e9
+            : 0.0;
+
+    // Fixed costs.
+    report.launchMs = device.kernelLaunchOverheadUs * 1e-3;
+    report.blockOverheadMs =
+        static_cast<double>(stats.totalBlocks) * device.blockScheduleCycles /
+        (device.numSMs * cyclesPerSec) * 1e3;
+    // Device-heap allocation is heavily serialized.
+    report.mallocMs = stats.mallocs * device.deviceMallocCycles /
+                      (device.mallocParallelism * cyclesPerSec) * 1e3;
+
+    // Combiner kernel (Split): its own launch plus its memory time at
+    // whatever concurrency its thread count sustains.
+    if (stats.hasCombiner) {
+        const double combWarps = std::max(
+            1.0, static_cast<double>(stats.combinerThreads) /
+                     device.warpSize);
+        const double combBw = std::min(
+            device.dramBandwidthGBs * 1e9,
+            std::min(combWarps, static_cast<double>(
+                                    device.numSMs * 64)) *
+                outstandingPerWarp * device.transactionBytes / latencySec);
+        const double combBytes =
+            stats.combinerTransactions * device.transactionBytes;
+        report.combinerMs = device.kernelLaunchOverheadUs * 1e-3 +
+                            combBytes / std::max(combBw, 1.0) * 1e3 +
+                            stats.combinerOps / 32.0 /
+                                std::max(2.0 * device.numSMs, 1.0) /
+                                cyclesPerSec * 1e3;
+    }
+
+    report.totalMs = report.launchMs +
+                     std::max(report.computeMs, report.memoryMs) +
+                     report.blockOverheadMs + report.mallocMs +
+                     report.combinerMs;
+    return report;
+}
+
+double
+transferMs(double bytes, const DeviceConfig &device)
+{
+    return bytes / (device.pcieBandwidthGBs * 1e9) * 1e3 + 0.01;
+}
+
+double
+cpuTimeMs(double computeOps, double bytes, const CpuConfig &cpu)
+{
+    const double flopsSec =
+        cpu.cores * cpu.clockGHz * 1e9 * cpu.opsPerCycle;
+    const double computeSec = computeOps / flopsSec;
+    const double memSec =
+        bytes * cpu.cacheFactor / (cpu.memBandwidthGBs * 1e9);
+    return (std::max(computeSec, memSec) + cpu.dispatchUs * 1e-6) * 1e3;
+}
+
+} // namespace npp

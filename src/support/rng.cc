@@ -1,0 +1,73 @@
+#include "support/rng.h"
+
+namespace npp {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &word : s)
+        word = splitMix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    return next() % n;
+}
+
+double
+Rng::gaussian()
+{
+    // Irwin-Hall approximation: sum of 12 uniforms minus 6.
+    double acc = 0.0;
+    for (int i = 0; i < 12; i++)
+        acc += uniform();
+    return acc - 6.0;
+}
+
+} // namespace npp

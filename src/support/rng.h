@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used for
+ * synthetic workload data. Determinism matters: experiments must be exactly
+ * reproducible run-to-run.
+ */
+
+#ifndef NPP_SUPPORT_RNG_H
+#define NPP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace npp {
+
+/**
+ * Small, fast, deterministic RNG (xoshiro256**), seeded via SplitMix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /** Approximate standard normal via sum of uniforms. */
+    double gaussian();
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace npp
+
+#endif // NPP_SUPPORT_RNG_H

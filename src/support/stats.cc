@@ -1,0 +1,51 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+namespace npp {
+
+void
+RunningStat::add(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        if (v < lo)
+            lo = v;
+        if (v > hi)
+            hi = v;
+    }
+    sum += v;
+    n++;
+}
+
+double
+RunningStat::mean() const
+{
+    return n ? sum / n : 0.0;
+}
+
+double
+RunningStat::min() const
+{
+    return lo;
+}
+
+double
+RunningStat::max() const
+{
+    return hi;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / values.size());
+}
+
+} // namespace npp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator report machinery and the
+ * benchmark harnesses.
+ */
+
+#ifndef NPP_SUPPORT_STATS_H
+#define NPP_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace npp {
+
+/** Online accumulator for min/max/mean over a stream of samples. */
+class RunningStat
+{
+  public:
+    void add(double v);
+
+    uint64_t count() const { return n; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double total() const { return sum; }
+
+  private:
+    uint64_t n = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Geometric mean of a set of positive values (0 if empty). */
+double geoMean(const std::vector<double> &values);
+
+/** Integer ceiling division for non-negative operands. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round n up to the next multiple of m (m > 0). */
+constexpr int64_t
+roundUp(int64_t n, int64_t m)
+{
+    return ceilDiv(n, m) * m;
+}
+
+/** True if v is a power of two (v > 0). */
+constexpr bool
+isPow2(int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace npp
+
+#endif // NPP_SUPPORT_STATS_H

@@ -1,0 +1,41 @@
+#include "support/strings.h"
+
+#include <iomanip>
+
+namespace npp {
+
+std::string
+repeat(const std::string &s, int n)
+{
+    std::string out;
+    out.reserve(s.size() * std::max(n, 0));
+    for (int i = 0; i < n; i++)
+        out += s;
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, int width)
+{
+    if ((int)s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, int width)
+{
+    if ((int)s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+fixed(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace npp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Parameterized sweep over matrix shapes: for every shape, the selected
+ * mapping must satisfy the invariants Algorithm 1 promises — hard
+ * feasibility, the coalescing dimension assignment whenever one exists,
+ * DOP inside the device window whenever the domain allows it, and
+ * determinism. This is the property-style counterpart of the targeted
+ * search tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/search.h"
+#include "ir/builder.h"
+
+namespace npp {
+namespace {
+
+struct Shape
+{
+    int64_t rows;
+    int64_t cols;
+};
+
+class SearchSweep : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    struct Built
+    {
+        Program prog;
+        int rVar, cVar;
+    };
+
+    static Built
+    makeSumRows()
+    {
+        ProgramBuilder b("sumRows");
+        Arr m = b.inF64("m");
+        Ex r = b.paramI64("R"), c = b.paramI64("C");
+        Arr out = b.outF64("out");
+        b.map(r, out, [&](Body &fn, Ex i) {
+            return fn.reduce(c, Op::Add,
+                             [&](Body &, Ex j) { return m(i * c + j); });
+        });
+        return {b.build(), r.ref()->varId, c.ref()->varId};
+    }
+};
+
+TEST_P(SearchSweep, SelectedMappingInvariants)
+{
+    const Shape shape = GetParam();
+    Built sp = makeSumRows();
+    const DeviceConfig dev = teslaK20c();
+
+    AnalysisEnv env;
+    env.prog = &sp.prog;
+    env.paramValues = {{sp.rVar, static_cast<double>(shape.rows)},
+                       {sp.cVar, static_cast<double>(shape.cols)}};
+    ConstraintSet cs = buildConstraints(sp.prog, env, dev);
+    MappingSearch search(dev);
+    SearchResult res = search.search(cs);
+
+    // 1. Hard feasibility, always.
+    EXPECT_TRUE(search.feasible(res.best, cs))
+        << res.best.toString() << " @" << shape.rows << "x" << shape.cols;
+
+    // 2. The inner (stride-1) level is on dimension x with a
+    //    warp-multiple block — whenever the inner domain can actually
+    //    fill a warp (with fewer elements than lanes the constraint
+    //    cannot bind and any dimension is equally good).
+    if (shape.cols >= dev.warpSize) {
+        EXPECT_EQ(res.best.levels[1].dim, 0);
+        EXPECT_GE(res.best.levels[1].blockSize, dev.warpSize);
+        EXPECT_EQ(res.best.levels[1].blockSize % dev.warpSize, 0);
+    }
+
+    // 3. The reduce level spans or splits (never span(1)).
+    EXPECT_NE(res.best.levels[1].span.kind, SpanKind::One);
+
+    // 4. DOP inside the window whenever the domain is big enough to
+    //    reach MIN_DOP at all.
+    const double domain =
+        static_cast<double>(shape.rows) * shape.cols;
+    if (domain >= dev.minDop()) {
+        EXPECT_GE(res.bestDop, static_cast<double>(dev.minDop()) * 0.5)
+            << res.best.toString();
+    }
+    EXPECT_LE(res.bestDop, static_cast<double>(dev.maxDop()) * 1.01);
+
+    // 5. Deterministic.
+    SearchResult again = search.search(cs);
+    EXPECT_TRUE(res.best == again.best);
+
+    // 6. No kept candidate may out-score the winner.
+    SearchOptions kopts;
+    kopts.keepCandidates = true;
+    MappingSearch keeper(dev, kopts);
+    SearchResult all = keeper.search(cs);
+    for (const auto &cand : all.candidates)
+        EXPECT_LE(cand.score, all.bestScore);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SearchSweep,
+    ::testing::Values(Shape{32, 32}, Shape{1, 4096}, Shape{4096, 1},
+                      Shape{64, 65536}, Shape{65536, 64},
+                      Shape{1000, 1000}, Shape{17, 100003},
+                      Shape{3, 3}, Shape{1 << 20, 8}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        return "r" + std::to_string(info.param.rows) + "c" +
+               std::to_string(info.param.cols);
+    });
+
+} // namespace
+} // namespace npp

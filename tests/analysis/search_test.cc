@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the mapping search (Algorithm 1): the selected mappings for
+ * the paper's running examples, hard-constraint filtering, DOP control,
+ * and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/presets.h"
+#include "analysis/search.h"
+#include "ir/builder.h"
+
+namespace npp {
+namespace {
+
+struct SumProgram
+{
+    Program prog;
+    int rVar, cVar;
+};
+
+SumProgram
+makeSumRows()
+{
+    ProgramBuilder b("sumRows");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        return fn.reduce(c, Op::Add,
+                         [&](Body &, Ex j) { return m(i * c + j); });
+    });
+    return {b.build(), r.ref()->varId, c.ref()->varId};
+}
+
+SumProgram
+makeSumCols()
+{
+    ProgramBuilder b("sumCols");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(c, out, [&](Body &fn, Ex j) {
+        return fn.reduce(r, Op::Add,
+                         [&](Body &, Ex i) { return m(i * c + j); });
+    });
+    return {b.build(), r.ref()->varId, c.ref()->varId};
+}
+
+TEST(Search, SumRowsAssignsInnerLevelToX)
+{
+    auto sp = makeSumRows();
+    auto res = findMapping(sp.prog, teslaK20c(),
+                           {{sp.rVar, 8192.0}, {sp.cVar, 8192.0}});
+    // The paper's Fig 9 mapping shape: outer on y span(1), inner (the
+    // reduce with stride-1 accesses) on x span(all), warp-multiple block.
+    ASSERT_EQ(res.best.numLevels(), 2);
+    EXPECT_NE(res.best.levels[0].dim, 0);
+    // Span(1) by default; ControlDOP may widen it to Span(n) when the
+    // outer domain alone exceeds MAX_DOP.
+    EXPECT_TRUE(res.best.levels[0].span.kind == SpanKind::One ||
+                res.best.levels[0].span.kind == SpanKind::N);
+    EXPECT_EQ(res.best.levels[1].dim, 0);
+    EXPECT_TRUE(res.best.levels[1].span.kind == SpanKind::All ||
+                res.best.levels[1].span.kind == SpanKind::Split);
+    EXPECT_GE(res.best.levels[1].blockSize, 32);
+    EXPECT_EQ(res.best.levels[1].blockSize % 32, 0);
+}
+
+TEST(Search, SumColsAssignsOuterLevelToX)
+{
+    auto sp = makeSumCols();
+    auto res = findMapping(sp.prog, teslaK20c(),
+                           {{sp.rVar, 8192.0}, {sp.cVar, 8192.0}});
+    ASSERT_EQ(res.best.numLevels(), 2);
+    EXPECT_EQ(res.best.levels[0].dim, 0);
+    EXPECT_GE(res.best.levels[0].blockSize, 32);
+    EXPECT_NE(res.best.levels[1].dim, 0);
+    EXPECT_TRUE(res.best.levels[1].span.kind == SpanKind::All ||
+                res.best.levels[1].span.kind == SpanKind::Split);
+}
+
+TEST(Search, JustSwitchingDimensionsBetweenVariants)
+{
+    // Section IV-B: "just switching the dimension assignment of the
+    // patterns allows coalescing" — same program shape, transposed
+    // access, mirrored dims.
+    auto rows = makeSumRows();
+    auto cols = makeSumCols();
+    auto resRows = findMapping(rows.prog, teslaK20c(),
+                               {{rows.rVar, 8192.0}, {rows.cVar, 8192.0}});
+    auto resCols = findMapping(cols.prog, teslaK20c(),
+                               {{cols.rVar, 8192.0}, {cols.cVar, 8192.0}});
+    EXPECT_EQ(resRows.best.levels[1].dim, 0);
+    EXPECT_EQ(resCols.best.levels[0].dim, 0);
+}
+
+TEST(Search, SkewedSizesGetDopRepair)
+{
+    // sumCols on [64K, 1K]: only 1K columns of outer parallelism; the
+    // span(all) reduce must be split to reach MIN_DOP.
+    auto sp = makeSumCols();
+    auto res = findMapping(sp.prog, teslaK20c(),
+                           {{sp.rVar, 65536.0}, {sp.cVar, 1024.0}});
+    const DeviceConfig dev = teslaK20c();
+    EXPECT_GE(res.bestDop, static_cast<double>(dev.minDop()))
+        << res.best.toString();
+}
+
+TEST(Search, HugeDomainsGetSpanN)
+{
+    // A 1-level map over 64M elements: DOP must be capped at MAX_DOP by
+    // Span(1) -> Span(n).
+    ProgramBuilder b("big");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &, Ex i) { return in(i) * 2.0; });
+    Program p = b.build();
+    Ex nParam(varRef(1, ScalarKind::I64));
+    auto res = findMapping(p, teslaK20c(), {{1, 64.0 * 1024 * 1024}});
+
+    const DeviceConfig dev = teslaK20c();
+    EXPECT_EQ(res.best.levels[0].span.kind, SpanKind::N);
+    EXPECT_LE(res.bestDop, static_cast<double>(dev.maxDop()));
+    EXPECT_GE(res.bestDop, static_cast<double>(dev.minDop()));
+}
+
+TEST(Search, FeasibleRejectsBadMappings)
+{
+    auto sp = makeSumRows();
+    AnalysisEnv env;
+    env.prog = &sp.prog;
+    ConstraintSet cs = buildConstraints(sp.prog, env, teslaK20c());
+    MappingSearch search(teslaK20c());
+
+    MappingDecision dupDims;
+    dupDims.levels = {{0, 32, SpanType::one()}, {0, 32, SpanType::all()}};
+    EXPECT_FALSE(search.feasible(dupDims, cs)) << "duplicate dims";
+
+    MappingDecision tooWide;
+    tooWide.levels = {{1, 64, SpanType::one()}, {0, 64, SpanType::all()}};
+    EXPECT_FALSE(search.feasible(tooWide, cs)) << "4096 threads per block";
+
+    MappingDecision nonPow2;
+    nonPow2.levels = {{1, 3, SpanType::one()}, {0, 32, SpanType::all()}};
+    EXPECT_FALSE(search.feasible(nonPow2, cs));
+
+    MappingDecision spanOneReduce;
+    spanOneReduce.levels = {{1, 2, SpanType::one()},
+                            {0, 32, SpanType::one()}};
+    EXPECT_FALSE(search.feasible(spanOneReduce, cs))
+        << "reduce level must span(all)";
+
+    MappingDecision good;
+    good.levels = {{1, 2, SpanType::one()}, {0, 32, SpanType::all()}};
+    EXPECT_TRUE(search.feasible(good, cs));
+}
+
+TEST(Search, ScoreIsZeroForInfeasible)
+{
+    auto sp = makeSumRows();
+    AnalysisEnv env;
+    env.prog = &sp.prog;
+    ConstraintSet cs = buildConstraints(sp.prog, env, teslaK20c());
+    MappingSearch search(teslaK20c());
+    MappingDecision bad;
+    bad.levels = {{0, 32, SpanType::one()}, {0, 32, SpanType::all()}};
+    EXPECT_DOUBLE_EQ(search.score(bad, cs), 0.0);
+}
+
+TEST(Search, DeterministicAcrossRuns)
+{
+    auto sp = makeSumRows();
+    auto r1 = findMapping(sp.prog, teslaK20c());
+    auto r2 = findMapping(sp.prog, teslaK20c());
+    EXPECT_TRUE(r1.best == r2.best);
+    EXPECT_DOUBLE_EQ(r1.bestScore, r2.bestScore);
+}
+
+TEST(Search, KeepCandidatesProducesScatter)
+{
+    auto sp = makeSumRows();
+    SearchOptions opts;
+    opts.keepCandidates = true;
+    auto res = findMapping(sp.prog, teslaK20c(), {}, opts);
+    EXPECT_GT(res.candidates.size(), 100u);
+    // Every kept candidate is hard-feasible and none out-scores best.
+    for (const auto &c : res.candidates)
+        EXPECT_LE(c.score, res.bestScore);
+}
+
+TEST(Search, TripleNestUsesThreeDims)
+{
+    ProgramBuilder b("triple");
+    Ex n = b.paramI64("n");
+    Arr in = b.inF64("in");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &f0, Ex i) {
+        return f0.reduce(n, Op::Add, [&](Body &f1, Ex j) {
+            return f1.reduce(n, Op::Add, [&](Body &, Ex k) {
+                return in((i * n + j) * n + k);
+            });
+        });
+    });
+    Program p = b.build();
+    auto res = findMapping(p, teslaK20c(), {{0, 64.0}});
+    ASSERT_EQ(res.best.numLevels(), 3);
+    // Innermost (stride-1) level gets x.
+    EXPECT_EQ(res.best.levels[2].dim, 0);
+    // All dims distinct.
+    EXPECT_NE(res.best.levels[0].dim, res.best.levels[1].dim);
+    EXPECT_NE(res.best.levels[1].dim, res.best.levels[2].dim);
+}
+
+//
+// Fixed-strategy presets (Fig 7).
+//
+
+TEST(Presets, OneDMapping)
+{
+    const DeviceConfig dev = teslaK20c();
+    MappingDecision d = oneDMapping(2, dev);
+    EXPECT_EQ(d.levels[0].dim, 0);
+    EXPECT_EQ(d.levels[0].span.kind, SpanKind::One);
+    EXPECT_EQ(d.levels[1].blockSize, 1);
+    EXPECT_EQ(d.levels[1].span.kind, SpanKind::All)
+        << "inner level is sequential inside the thread";
+    EXPECT_EQ(d.threadsPerBlock(), 256);
+}
+
+TEST(Presets, ThreadBlockThreadMatchesFig7a)
+{
+    const DeviceConfig dev = teslaK20c();
+    MappingDecision d = threadBlockThreadMapping(2, dev);
+    EXPECT_EQ(d.levels[0].dim, 1);
+    EXPECT_EQ(d.levels[0].blockSize, 1);
+    EXPECT_EQ(d.levels[0].span.kind, SpanKind::One);
+    EXPECT_EQ(d.levels[1].dim, 0);
+    EXPECT_EQ(d.levels[1].blockSize, 1024);
+    EXPECT_EQ(d.levels[1].span.kind, SpanKind::All);
+
+    // DOP = I * min(J, MAX_BLOCK_SIZE) per Section IV-B.
+    EXPECT_DOUBLE_EQ(d.dop({1000.0, 4096.0}), 1000.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(d.dop({1000.0, 100.0}), 1000.0 * 100.0);
+}
+
+TEST(Presets, WarpBasedMatchesFig7b)
+{
+    const DeviceConfig dev = teslaK20c();
+    MappingDecision d = warpBasedMapping(2, dev);
+    EXPECT_EQ(d.levels[0].dim, 1);
+    EXPECT_EQ(d.levels[0].blockSize, 16);
+    EXPECT_EQ(d.levels[1].dim, 0);
+    EXPECT_EQ(d.levels[1].blockSize, 32);
+    EXPECT_EQ(d.levels[1].span.kind, SpanKind::All);
+
+    // DOP = I * min(J, WARP_SIZE).
+    EXPECT_DOUBLE_EQ(d.dop({1000.0, 4096.0}), 1000.0 * 32.0);
+    EXPECT_DOUBLE_EQ(d.dop({1000.0, 8.0}), 1000.0 * 8.0);
+}
+
+TEST(Presets, SingleLevelCollapsesTo1D)
+{
+    const DeviceConfig dev = teslaK20c();
+    EXPECT_TRUE(threadBlockThreadMapping(1, dev) == oneDMapping(1, dev));
+    EXPECT_TRUE(warpBasedMapping(1, dev) == oneDMapping(1, dev));
+}
+
+TEST(Presets, ApplyHardSpansForcesReduceLevels)
+{
+    auto makeRootReduce = [] {
+        ProgramBuilder b("dot");
+        Arr a = b.inF64("a");
+        Ex n = b.paramI64("n");
+        Arr out = b.outF64("out");
+        b.reduce(n, Op::Add, out, [&](Body &, Ex i) { return a(i); });
+        return b.build();
+    };
+    Program p = makeRootReduce();
+    AnalysisEnv env;
+    env.prog = &p;
+    ConstraintSet cs = buildConstraints(p, env, teslaK20c());
+
+    MappingDecision d = oneDMapping(1, teslaK20c());
+    EXPECT_EQ(d.levels[0].span.kind, SpanKind::One);
+    applyHardSpans(d, cs);
+    EXPECT_EQ(d.levels[0].span.kind, SpanKind::All);
+    MappingSearch search(teslaK20c());
+    EXPECT_TRUE(search.feasible(d, cs));
+}
+
+//
+// Geometry instantiation.
+//
+
+TEST(Geometry, SpanOneTiles)
+{
+    MappingDecision d;
+    d.levels = {{0, 64, SpanType::one()}, {1, 16, SpanType::one()}};
+    LaunchGeometry g = makeGeometry(d, {1000, 64});
+    EXPECT_EQ(g.levels[0].blocks, 16); // ceil(1000/64)
+    EXPECT_EQ(g.levels[1].blocks, 4);
+    EXPECT_EQ(g.totalBlocks, 64);
+    EXPECT_EQ(g.threadsPerBlock, 64 * 16);
+    EXPECT_EQ(g.levels[0].itersPerThread, 1);
+}
+
+TEST(Geometry, SpanAllSingleBlockStrides)
+{
+    MappingDecision d;
+    d.levels = {{1, 16, SpanType::one()}, {0, 32, SpanType::all()}};
+    LaunchGeometry g = makeGeometry(d, {64, 1000});
+    EXPECT_EQ(g.levels[1].blocks, 1);
+    EXPECT_EQ(g.levels[1].itersPerThread, 32); // ceil(1000/32)
+    EXPECT_EQ(g.totalBlocks, 4);
+}
+
+TEST(Geometry, SplitMakesKBlocks)
+{
+    MappingDecision d;
+    d.levels = {{1, 16, SpanType::one()}, {0, 32, SpanType::split(3)}};
+    LaunchGeometry g = makeGeometry(d, {64, 3000});
+    EXPECT_EQ(g.levels[1].blocks, 3);
+    // Each split segment is 1000 wide; 32 threads stride it.
+    EXPECT_EQ(g.levels[1].itersPerThread, 32);
+    EXPECT_EQ(g.totalBlocks, 12);
+}
+
+TEST(Geometry, BlockTrimmedToSmallSizes)
+{
+    MappingDecision d;
+    d.levels = {{0, 256, SpanType::one()}};
+    LaunchGeometry g = makeGeometry(d, {100});
+    EXPECT_EQ(g.levels[0].blockSize, 100)
+        << "runtime trims block to actual size";
+    EXPECT_EQ(g.totalBlocks, 1);
+}
+
+TEST(Geometry, SpanNCoversDomain)
+{
+    MappingDecision d;
+    d.levels = {{0, 256, SpanType::n(26)}};
+    LaunchGeometry g = makeGeometry(d, {64 * 1024 * 1024});
+    // blocks * blockSize * n >= size
+    EXPECT_GE(g.levels[0].blocks * 256 * 26, 64LL * 1024 * 1024);
+    EXPECT_EQ(g.levels[0].itersPerThread, 26);
+}
+
+} // namespace
+} // namespace npp

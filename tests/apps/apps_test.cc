@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end application tests: every evaluation workload must produce
+ * reference-identical results under every mapping strategy, and the
+ * qualitative performance relationships the paper reports must hold on
+ * the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/rodinia.h"
+#include "apps/realworld.h"
+#include "apps/sums.h"
+
+namespace npp {
+namespace {
+
+/** Small instances so the whole matrix of (app x strategy) stays fast. */
+std::vector<std::unique_ptr<App>>
+smallApps()
+{
+    std::vector<std::unique_ptr<App>> apps;
+    apps.push_back(makeNearestNeighbor(1 << 12));
+    apps.push_back(makeGaussian(48, false));
+    apps.push_back(makeGaussian(48, true));
+    apps.push_back(makeHotspot(48, 2, false));
+    apps.push_back(makeHotspot(48, 2, true));
+    apps.push_back(makeMandelbrot(24, 96, 12, false));
+    apps.push_back(makeMandelbrot(24, 96, 12, true));
+    apps.push_back(makeSrad(40, 2, false));
+    apps.push_back(makeSrad(40, 2, true));
+    apps.push_back(makePathfinder(6, 1024));
+    apps.push_back(makeLud(40));
+    apps.push_back(makeBfs(2048, 6));
+    apps.push_back(makeQpscd(256, 64, 1));
+    apps.push_back(makeKmeans(512, 8, 12, 2));
+    apps.push_back(makeMsmBuilder(24, 12, 16));
+    apps.push_back(makeNaiveBayes(96, 64));
+    apps.push_back(makePageRank(1024, 6, 2));
+    return apps;
+}
+
+class AppStrategyValidation : public ::testing::TestWithParam<Strategy>
+{};
+
+TEST_P(AppStrategyValidation, AllAppsMatchReference)
+{
+    Gpu gpu;
+    for (auto &app : smallApps()) {
+        AppResult result = app->run(gpu, GetParam(), /*validate=*/true);
+        EXPECT_LE(result.maxError, 1e-6)
+            << app->name() << " under "
+            << strategyName(GetParam());
+        EXPECT_GT(result.gpuMs, 0.0) << app->name();
+        EXPECT_GT(result.referenceWork.iterations, 0u) << app->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, AppStrategyValidation,
+    ::testing::Values(Strategy::MultiDim, Strategy::OneD,
+                      Strategy::ThreadBlockThread, Strategy::WarpBased),
+    [](const ::testing::TestParamInfo<Strategy> &info) {
+        switch (info.param) {
+          case Strategy::MultiDim: return "MultiDim";
+          case Strategy::OneD: return "OneD";
+          case Strategy::ThreadBlockThread: return "ThreadBlockThread";
+          case Strategy::WarpBased: return "WarpBased";
+          default: return "Fixed";
+        }
+    });
+
+TEST(AppManuals, ManualImplementationsRun)
+{
+    Gpu gpu;
+    for (auto &app : smallApps()) {
+        if (!app->hasManual())
+            continue;
+        EXPECT_GT(app->runManualMs(gpu), 0.0) << app->name();
+    }
+}
+
+//
+// Qualitative orderings the figures rely on (moderate sizes).
+//
+
+TEST(AppShapes, OneDLosesOnMultiLevelApps)
+{
+    Gpu gpu;
+    // Hotspot / Mandelbrot / Srad: "perform very poorly with a 1D
+    // mapping strategy" (Section VI-C).
+    std::vector<std::unique_ptr<App>> apps;
+    apps.push_back(makeHotspot(192, 2, false));
+    apps.push_back(makeMandelbrot(128, 512, 16, false));
+    apps.push_back(makeSrad(160, 1, false));
+    for (auto &app : apps) {
+        const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+        const double oneD = app->run(gpu, Strategy::OneD).gpuMs;
+        EXPECT_GT(oneD, 1.5 * multi) << app->name();
+    }
+}
+
+TEST(AppShapes, MultiDimBeatsManualOnGaussianAndBfs)
+{
+    Gpu gpu;
+    {
+        auto app = makeGaussian(96, false);
+        const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+        const double manual = app->runManualMs(gpu);
+        EXPECT_LT(multi, manual) << "Gaussian: analysis coalesces the "
+                                    "nest the manual kernel missed";
+    }
+    {
+        auto app = makeBfs(16384, 24);
+        const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+        const double oneD = app->run(gpu, Strategy::OneD).gpuMs;
+        const double manual = app->runManualMs(gpu);
+        EXPECT_LT(multi, oneD)
+            << "BFS: the 1D equivalent of the manual kernel loses";
+        EXPECT_LT(multi, manual * 1.05)
+            << "BFS: at worst on par with hand-written CUDA";
+    }
+}
+
+TEST(AppShapes, ManualWinsOnFusedStencilApps)
+{
+    Gpu gpu;
+    {
+        auto app = makePathfinder(32, 16384);
+        const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+        const double manual = app->runManualMs(gpu);
+        EXPECT_GT(multi, 1.3 * manual)
+            << "Pathfinder: manual fuses iterations in shared memory";
+    }
+    {
+        auto app = makeLud(128);
+        const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+        const double manual = app->runManualMs(gpu);
+        EXPECT_GT(multi, 1.5 * manual)
+            << "LUD: manual is block-tiled in shared memory";
+    }
+}
+
+TEST(AppShapes, NearestNeighborGapIsWrapperOverhead)
+{
+    Gpu gpu;
+    auto app = makeNearestNeighbor(1 << 18);
+    const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+    const double manual = app->runManualMs(gpu);
+    EXPECT_GT(multi, manual);
+    EXPECT_LT(multi, 2.0 * manual)
+        << "gap should be modest (paper: ~20%)";
+}
+
+TEST(AppShapes, QpscdOneDWorseThanCpu)
+{
+    Gpu gpu;
+    auto app = makeQpscd(8192, 256, 1);
+    AppResult multi = app->run(gpu, Strategy::MultiDim, true);
+    AppResult oneD = app->run(gpu, Strategy::OneD, true);
+    EXPECT_GT(oneD.gpuMs, oneD.cpuMs)
+        << "random outer rows cannot coalesce under 1D";
+    EXPECT_LT(multi.gpuMs, multi.cpuMs)
+        << "MultiDim maps the sequential row walk to dimension x";
+    EXPECT_GT(oneD.gpuMs, 2.0 * multi.gpuMs);
+}
+
+TEST(AppShapes, MsmBuilderNeedsProductParallelism)
+{
+    Gpu gpu;
+    auto app = makeMsmBuilder(160, 96, 64);
+    const double multi = app->run(gpu, Strategy::MultiDim).gpuMs;
+    const double oneD = app->run(gpu, Strategy::OneD).gpuMs;
+    EXPECT_GT(oneD, 2.0 * multi)
+        << "160 threads cannot utilize the device";
+}
+
+TEST(AppShapes, NaiveBayesTransferIsSignificant)
+{
+    Gpu gpu;
+    auto app = makeNaiveBayes(2048, 1024);
+    AppResult r = app->run(gpu, Strategy::MultiDim);
+    EXPECT_GT(r.transferMs, r.gpuMs * 0.3)
+        << "one-shot job: the matrix upload matters (Section VI-E)";
+}
+
+TEST(Sums, WeightedVariantsValidateUnderAllStrategies)
+{
+    Gpu gpu;
+    for (bool byCols : {false, true}) {
+        SumsProgram sp = buildSum(byCols, true);
+        std::vector<double> expect = referenceSum(sp, 64, 96);
+        for (Strategy s : {Strategy::MultiDim, Strategy::OneD,
+                           Strategy::ThreadBlockThread,
+                           Strategy::WarpBased}) {
+            CompileOptions copts;
+            copts.strategy = s;
+            std::vector<double> out;
+            runSum(gpu, sp, 64, 96, copts, &out);
+            EXPECT_LE(maxRelDiff(expect, out), 1e-9)
+                << sp.prog->name() << " under " << strategyName(s);
+        }
+    }
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the affine index analysis that drives the coalescing
+ * constraints: constant folding with param values/hints, per-variable
+ * stride extraction, and dynamic-size detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/affine.h"
+#include "ir/builder.h"
+
+namespace npp {
+namespace {
+
+/** Fixture providing a two-level program and handles into it. */
+class AffineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ProgramBuilder b("t");
+        m = b.inF64("m");
+        r = b.paramI64("R");
+        c = b.paramI64("C");
+        out = b.outF64("out");
+        b.map(r, out, [&](Body &fn, Ex i) {
+            iVar = i.ref()->varId;
+            return fn.reduce(c, Op::Add, [&](Body &, Ex j) {
+                jVar = j.ref()->varId;
+                rowMajor = (i * c + j).ref();
+                colMajor = (j * c + i).ref();
+                strided2 = (i * 2 + j * c).ref();
+                dataDep = (m(i) * 8.0 + j).ref();
+                quadratic = ((i * j) + j).ref();
+                return m(i * c + j);
+            });
+        });
+        prog = std::make_unique<Program>(b.build());
+        env.prog = prog.get();
+        env.paramValues[c.ref()->varId] = 512;
+        env.paramValues[r.ref()->varId] = 64;
+    }
+
+    std::unique_ptr<Program> prog;
+    AnalysisEnv env;
+    Arr m, out;
+    Ex r, c;
+    int iVar = -1, jVar = -1;
+    ExprRef rowMajor, colMajor, strided2, dataDep, quadratic;
+};
+
+TEST_F(AffineTest, ConstEvalFoldsParams)
+{
+    auto v = constEval((c * 2 + 1).ref(), env);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 1025.0);
+}
+
+TEST_F(AffineTest, ConstEvalRejectsIndexDependence)
+{
+    EXPECT_FALSE(constEval(rowMajor, env).has_value());
+}
+
+TEST_F(AffineTest, ConstEvalSelect)
+{
+    auto v = constEval(sel(c > r, c, r).ref(), env);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 512.0);
+}
+
+TEST_F(AffineTest, RowMajorStrides)
+{
+    EXPECT_DOUBLE_EQ(*coeffOf(rowMajor, jVar, env), 1.0);
+    EXPECT_DOUBLE_EQ(*coeffOf(rowMajor, iVar, env), 512.0);
+}
+
+TEST_F(AffineTest, ColMajorStrides)
+{
+    EXPECT_DOUBLE_EQ(*coeffOf(colMajor, iVar, env), 1.0);
+    EXPECT_DOUBLE_EQ(*coeffOf(colMajor, jVar, env), 512.0);
+}
+
+TEST_F(AffineTest, MixedStrides)
+{
+    EXPECT_DOUBLE_EQ(*coeffOf(strided2, iVar, env), 2.0);
+    EXPECT_DOUBLE_EQ(*coeffOf(strided2, jVar, env), 512.0);
+}
+
+TEST_F(AffineTest, DataDependentOffsetStillAffineInJ)
+{
+    // m[i]*8 + j: affine in j (coeff 1) even though the offset is a load.
+    EXPECT_DOUBLE_EQ(*coeffOf(dataDep, jVar, env), 1.0);
+    // ...but not affine in i (coefficient would need the load's value).
+    EXPECT_FALSE(coeffOf(dataDep, iVar, env).has_value());
+}
+
+TEST_F(AffineTest, QuadraticIsNotAffine)
+{
+    EXPECT_FALSE(coeffOf(quadratic, iVar, env).has_value());
+    EXPECT_FALSE(coeffOf(quadratic, jVar, env).has_value());
+}
+
+TEST_F(AffineTest, CoeffOfAbsentVarIsZero)
+{
+    EXPECT_DOUBLE_EQ(*coeffOf((c * 3).ref(), iVar, env), 0.0);
+}
+
+TEST_F(AffineTest, NegationAndSubtraction)
+{
+    Ex i(varRef(iVar, ScalarKind::I64));
+    Ex j(varRef(jVar, ScalarKind::I64));
+    EXPECT_DOUBLE_EQ(*coeffOf((-i).ref(), iVar, env), -1.0);
+    EXPECT_DOUBLE_EQ(*coeffOf((j - i * 4).ref(), iVar, env), -4.0);
+    EXPECT_DOUBLE_EQ(*coeffOf((j - i * 4).ref(), jVar, env), 1.0);
+}
+
+TEST_F(AffineTest, DivisionByConstant)
+{
+    Ex i(varRef(iVar, ScalarKind::I64));
+    // (i*512)/512 → coeff 1; (i*3)/2 → non-integral, rejected.
+    EXPECT_DOUBLE_EQ(*coeffOf((i * c / c).ref(), iVar, env), 1.0);
+    EXPECT_FALSE(coeffOf((i * 3 / 2).ref(), iVar, env).has_value());
+}
+
+TEST_F(AffineTest, SizeForAnalysisFallsBackToDefault)
+{
+    AnalysisEnv bare;
+    bare.prog = prog.get();
+    bare.defaultSize = 1000.0;
+    // Unhinted param: falls back to the paper's default of 1000.
+    EXPECT_DOUBLE_EQ(sizeForAnalysis(c.ref(), bare), 1000.0);
+    // With a hint.
+    const_cast<Program &>(*prog).setSizeHint(c.ref()->varId, 4096);
+    EXPECT_DOUBLE_EQ(sizeForAnalysis(c.ref(), bare), 4096.0);
+    // Actual values take precedence over hints.
+    bare.paramValues[c.ref()->varId] = 128;
+    EXPECT_DOUBLE_EQ(sizeForAnalysis(c.ref(), bare), 128.0);
+}
+
+TEST_F(AffineTest, DependsOnAnyIndex)
+{
+    EXPECT_TRUE(dependsOnAnyIndex(rowMajor, *prog));
+    EXPECT_FALSE(dependsOnAnyIndex((c * 2).ref(), *prog));
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for expression construction, operator properties, and the
+ * scalar op semantics shared by the interpreter and the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/expr.h"
+
+namespace npp {
+namespace {
+
+TEST(ExprOps, UnaryClassification)
+{
+    EXPECT_TRUE(isUnaryOp(Op::Neg));
+    EXPECT_TRUE(isUnaryOp(Op::Not));
+    EXPECT_TRUE(isUnaryOp(Op::Exp));
+    EXPECT_TRUE(isUnaryOp(Op::Sqrt));
+    EXPECT_FALSE(isUnaryOp(Op::Add));
+    EXPECT_FALSE(isUnaryOp(Op::Min));
+    EXPECT_FALSE(isUnaryOp(Op::Lt));
+}
+
+TEST(ExprOps, CombinerClassification)
+{
+    EXPECT_TRUE(isCombinerOp(Op::Add));
+    EXPECT_TRUE(isCombinerOp(Op::Mul));
+    EXPECT_TRUE(isCombinerOp(Op::Min));
+    EXPECT_TRUE(isCombinerOp(Op::Max));
+    EXPECT_FALSE(isCombinerOp(Op::Sub));
+    EXPECT_FALSE(isCombinerOp(Op::Div));
+    EXPECT_FALSE(isCombinerOp(Op::Lt));
+}
+
+TEST(ExprOps, CombinerIdentities)
+{
+    // x combine identity == x for every combiner.
+    const double samples[] = {-3.5, 0.0, 1.0, 42.0};
+    for (Op op : {Op::Add, Op::Mul, Op::Min, Op::Max}) {
+        for (double x : samples) {
+            EXPECT_DOUBLE_EQ(applyOp(op, x, combinerIdentity(op)), x)
+                << opName(op) << " identity failed for " << x;
+        }
+    }
+    // Bool combiners over the bool domain.
+    for (double x : {0.0, 1.0}) {
+        EXPECT_DOUBLE_EQ(applyOp(Op::And, x, combinerIdentity(Op::And)), x);
+        EXPECT_DOUBLE_EQ(applyOp(Op::Or, x, combinerIdentity(Op::Or)), x);
+    }
+}
+
+TEST(ExprOps, ApplyOpArithmetic)
+{
+    EXPECT_DOUBLE_EQ(applyOp(Op::Add, 2, 3), 5);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Sub, 2, 3), -1);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Mul, 2, 3), 6);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Div, 7, 2), 3.5);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Mod, 7, 3), 1);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Mod, -1, 3), 2) << "floored modulo";
+    EXPECT_DOUBLE_EQ(applyOp(Op::Min, 2, 3), 2);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Max, 2, 3), 3);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Pow, 2, 10), 1024);
+}
+
+TEST(ExprOps, ApplyOpComparisons)
+{
+    EXPECT_DOUBLE_EQ(applyOp(Op::Lt, 1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Lt, 2, 2), 0.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Le, 2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Gt, 3, 2), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Ge, 2, 3), 0.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Eq, 2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Ne, 2, 2), 0.0);
+}
+
+TEST(ExprOps, ApplyOpLogicAndUnary)
+{
+    EXPECT_DOUBLE_EQ(applyOp(Op::And, 1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::And, 2, 3), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Or, 0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Or, 0, 5), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Neg, 4, 0), -4);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Not, 0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Not, 7, 0), 0.0);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Abs, -3, 0), 3);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Floor, 2.7, 0), 2);
+    EXPECT_DOUBLE_EQ(applyOp(Op::Sqrt, 9, 0), 3);
+    EXPECT_NEAR(applyOp(Op::Exp, std::log(5.0), 0), 5.0, 1e-12);
+}
+
+TEST(ExprFactories, LiteralKinds)
+{
+    auto d = lit(2.5);
+    EXPECT_EQ(d->kind, ExprKind::Lit);
+    EXPECT_EQ(d->type, ScalarKind::F64);
+    EXPECT_DOUBLE_EQ(d->lit, 2.5);
+
+    auto i = litI(7);
+    EXPECT_EQ(i->type, ScalarKind::I64);
+    EXPECT_DOUBLE_EQ(i->lit, 7.0);
+
+    auto b = litB(true);
+    EXPECT_EQ(b->type, ScalarKind::Bool);
+    EXPECT_DOUBLE_EQ(b->lit, 1.0);
+}
+
+TEST(ExprFactories, TreeStructure)
+{
+    auto v = varRef(3, ScalarKind::I64);
+    auto e = binary(Op::Mul, v, lit(8.0));
+    EXPECT_EQ(e->kind, ExprKind::Binary);
+    EXPECT_EQ(e->op, Op::Mul);
+    EXPECT_EQ(e->a->varId, 3);
+    EXPECT_DOUBLE_EQ(e->b->lit, 8.0);
+}
+
+TEST(ExprFactories, ReadSitesAreUnique)
+{
+    auto r1 = read(0, lit(0.0), ScalarKind::F64);
+    auto r2 = read(0, lit(0.0), ScalarKind::F64);
+    EXPECT_NE(r1->readSite, r2->readSite);
+}
+
+TEST(ExprFactories, OperatorSugarBuildsExpectedTrees)
+{
+    Ex a(varRef(0, ScalarKind::F64));
+    Ex b(varRef(1, ScalarKind::F64));
+    Ex sum = a + b * 2.0;
+    ASSERT_TRUE(sum.valid());
+    EXPECT_EQ(sum.ref()->op, Op::Add);
+    EXPECT_EQ(sum.ref()->b->op, Op::Mul);
+
+    Ex cmp = (a < b) && !(a == b);
+    EXPECT_EQ(cmp.ref()->op, Op::And);
+    EXPECT_EQ(cmp.ref()->b->op, Op::Not);
+
+    Ex m = min(a, max(b, 0.0));
+    EXPECT_EQ(m.ref()->op, Op::Min);
+    EXPECT_EQ(m.ref()->b->op, Op::Max);
+
+    Ex s = sel(a < b, a, b);
+    EXPECT_EQ(s.ref()->kind, ExprKind::Select);
+}
+
+TEST(ExprFactories, OpCostOrdering)
+{
+    EXPECT_LT(opCost(Op::Add), opCost(Op::Div));
+    EXPECT_LT(opCost(Op::Div), opCost(Op::Exp));
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden tests for the IR pretty printer: stable, readable renderings of
+ * representative programs (variable numbering is deterministic, so exact
+ * snapshots are safe).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+namespace npp {
+namespace {
+
+TEST(PrinterGolden, SumRows)
+{
+    ProgramBuilder b("sumRows");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        return fn.reduce(c, Op::Add,
+                         [&](Body &, Ex j) { return m(i * c + j); });
+    });
+    Program p = b.build();
+
+    const char *expected =
+        "program sumRows(in m[], R, C, out out[])\n"
+        "map(i4 < R) {\n"
+        "  acc6 = reduce(i5 < C, +) {\n"
+        "    yield m[((i4 * C) + i5)]\n"
+        "  }\n"
+        "  yield acc6\n"
+        "}\n";
+    EXPECT_EQ(printProgram(p), expected);
+}
+
+TEST(PrinterGolden, ControlFlowAndMutables)
+{
+    ProgramBuilder b("escape");
+    Arr c = b.inF64("c");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Mut x = fn.mut("x", Ex(0.0));
+        fn.branch(
+            c(i) > 0.0, [&](Body &t) { t.assign(x, Ex(1.0)); },
+            [&](Body &e) { e.assign(x, Ex(-1.0)); });
+        fn.seqLoop(
+            Ex(8),
+            [&](Body &body, Ex) { body.assign(x, x.ex() * 2.0); },
+            x.ex() > 100.0);
+        return x.ex();
+    });
+    Program p = b.build();
+
+    const std::string text = printProgram(p);
+    EXPECT_NE(text.find("var x = 0"), std::string::npos) << text;
+    EXPECT_NE(text.find("if (c[i3] > 0)"), std::string::npos) << text;
+    EXPECT_NE(text.find("} else {"), std::string::npos) << text;
+    EXPECT_NE(text.find("x := -1"), std::string::npos) << text;
+    EXPECT_NE(text.find("for k5 < 8 until (x > 100)"), std::string::npos)
+        << text;
+}
+
+TEST(PrinterGolden, FilterAndGroupBy)
+{
+    {
+        ProgramBuilder b("pos");
+        Arr in = b.inF64("in");
+        Ex n = b.paramI64("n");
+        Arr out = b.outF64("out");
+        Arr cnt = b.outF64("cnt");
+        b.filter(n, out, cnt, [&](Body &, Ex i) {
+            return FilterItem{in(i) > 0.0, in(i)};
+        });
+        const std::string text = printProgram(b.build());
+        EXPECT_NE(text.find("filter(i4 < n)"), std::string::npos) << text;
+        EXPECT_NE(text.find("where (in[i4] > 0)"), std::string::npos)
+            << text;
+    }
+    {
+        ProgramBuilder b("hist");
+        Arr keys = b.inI64("keys");
+        Ex n = b.paramI64("n");
+        Arr out = b.outF64("out");
+        b.groupBy(n, Op::Add, out, [&](Body &, Ex i) {
+            return KeyedValue{keys(i), Ex(1.0)};
+        });
+        const std::string text = printProgram(b.build());
+        EXPECT_NE(text.find("groupBy(i3 < n, +)"), std::string::npos)
+            << text;
+        EXPECT_NE(text.find("key keys[i3]"), std::string::npos) << text;
+    }
+}
+
+TEST(PrinterGolden, ExprForms)
+{
+    ProgramBuilder b("exprs");
+    Arr a = b.inF64("a");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &, Ex i) {
+        return sel(a(i) < 0.0, -a(i), sqrt(a(i))) +
+               min(Ex(2.0), max(a(i), 0.5)) + a(i) % 3.0;
+    });
+    Program p = b.build();
+    const std::string text = printProgram(p);
+    EXPECT_NE(text.find("sel((a[i3] < 0), neg(a[i3]), sqrt(a[i3]))"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("(2 min (a[i3] max 0.5))"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("(a[i3] % 3)"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for vertical map-reduce fusion: the intermediate array
+ * disappears, results are unchanged, and fusion correctly refuses when
+ * the array has other consumers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/traverse.h"
+#include "opt/fusion.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+int
+nestedPatternCount(const Program &prog)
+{
+    return static_cast<int>(collectPatterns(prog.root()).size());
+}
+
+TEST(Fusion, WeightedSumFusesToSinglePattern)
+{
+    ProgramBuilder b("weighted");
+    Arr m = b.inF64("m");
+    Arr v = b.inF64("v");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        Arr temp = fn.zipWith(
+            c, [&](Body &, Ex j) { return m(i * c + j) * v(j); });
+        return fn.reduce(c, Op::Add,
+                         [&](Body &, Ex j) { return temp(j); });
+    });
+    Program p = b.build();
+    ASSERT_EQ(nestedPatternCount(p), 3);
+
+    FusionResult fused = fuseMapReduce(p);
+    EXPECT_EQ(fused.fused, 1);
+    EXPECT_EQ(nestedPatternCount(*fused.program), 2)
+        << "the zipWith is gone";
+
+    // Same results.
+    const int64_t R = 16, C = 40;
+    Rng rng(3);
+    std::vector<double> md(R * C), vd(C);
+    for (auto &x : md)
+        x = rng.uniform(-1, 1);
+    for (auto &x : vd)
+        x = rng.uniform(-1, 1);
+    std::vector<double> expect(R, 0.0), got(R, 0.0);
+    {
+        Bindings args(p);
+        args.scalar(r, R);
+        args.scalar(c, C);
+        args.array(m, md);
+        args.array(v, vd);
+        args.array(out, expect);
+        ReferenceInterp().run(p, args);
+    }
+    {
+        Bindings args(*fused.program);
+        args.scalar(r, R);
+        args.scalar(c, C);
+        args.array(m, md);
+        args.array(v, vd);
+        args.array(out, got);
+        ReferenceInterp().run(*fused.program, args);
+    }
+    EXPECT_LE(maxRelDiff(expect, got), 1e-12);
+}
+
+TEST(Fusion, ProducerLetsAreInlined)
+{
+    ProgramBuilder b("lets");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Arr sq = fn.map(n, [&](Body &inner, Ex j) {
+            Ex x = inner.let("x", in(i * n + j) + 1.0);
+            return x * x;
+        });
+        return fn.reduce(n, Op::Max,
+                         [&](Body &, Ex j) { return sq(j); });
+    });
+    Program p = b.build();
+    FusionResult fused = fuseMapReduce(p);
+    EXPECT_EQ(fused.fused, 1);
+
+    const int64_t N = 12;
+    std::vector<double> data(N * N);
+    Rng rng(8);
+    for (auto &x : data)
+        x = rng.uniform(-2, 2);
+    std::vector<double> expect(N), got(N);
+    {
+        Bindings args(p);
+        args.scalar(n, N);
+        args.array(in, data);
+        args.array(out, expect);
+        ReferenceInterp().run(p, args);
+    }
+    {
+        Bindings args(*fused.program);
+        args.scalar(n, N);
+        args.array(in, data);
+        args.array(out, got);
+        ReferenceInterp().run(*fused.program, args);
+    }
+    EXPECT_LE(maxRelDiff(expect, got), 1e-12);
+}
+
+TEST(Fusion, RefusesWhenArrayHasOtherUses)
+{
+    // temp feeds the reduce AND the enclosing yield: not fusable.
+    ProgramBuilder b("multiuse");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Arr temp = fn.map(n, [&](Body &, Ex j) {
+            return in(i * n + j) * 2.0;
+        });
+        Ex sum = fn.reduce(n, Op::Add,
+                           [&](Body &, Ex j) { return temp(j); });
+        return sum + temp(Ex(0));
+    });
+    Program p = b.build();
+    FusionResult fused = fuseMapReduce(p);
+    EXPECT_EQ(fused.fused, 0);
+}
+
+TEST(Fusion, RefusesEffectfulProducers)
+{
+    ProgramBuilder b("effects");
+    Arr in = b.inF64("in");
+    Arr scratch = b.inOutF64("scratch");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Arr temp = fn.map(n, [&](Body &inner, Ex j) {
+            inner.store(scratch, j, in(i * n + j)); // side effect
+            return in(i * n + j);
+        });
+        return fn.reduce(n, Op::Add,
+                         [&](Body &, Ex j) { return temp(j); });
+    });
+    Program p = b.build();
+    EXPECT_EQ(fuseMapReduce(p).fused, 0);
+}
+
+TEST(Fusion, DynamicSizePageRankShape)
+{
+    // The Fig 5 shape: dynamic inner size; fusion removes the malloc.
+    ProgramBuilder b("pr");
+    Arr start = b.inI64("start");
+    Arr nbrs = b.inI64("nbrs");
+    Arr prev = b.inF64("prev");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex v) {
+        Ex begin = fn.let("begin", start(v));
+        Ex cnt = fn.let("cnt", start(v + 1) - begin);
+        Arr w = fn.map(cnt, [&](Body &, Ex e) {
+            return prev(nbrs(begin + e)) * 0.5;
+        });
+        return fn.reduce(cnt, Op::Add,
+                         [&](Body &, Ex e) { return w(e); });
+    });
+    Program p = b.build();
+    FusionResult fused = fuseMapReduce(p);
+    ASSERT_EQ(fused.fused, 1);
+
+    // The fused program must have no array locals left.
+    bool hasArrayLocal = false;
+    Walker walker;
+    walker.onStmt = [&](const Stmt &s, const WalkCtx &) {
+        if (s.kind == StmtKind::Nested && s.var >= 0 &&
+            fused.program->var(s.var).role == VarRole::ArrayLocal) {
+            hasArrayLocal = true;
+        }
+    };
+    walkPattern(fused.program->root(), walker);
+    EXPECT_FALSE(hasArrayLocal);
+
+    // And it must simulate without any mallocs.
+    const int64_t N = 64;
+    std::vector<double> startD, nbrD, prevD(N, 1.0), outD(N);
+    Rng rng(4);
+    startD.push_back(0);
+    for (int64_t i = 0; i < N; i++) {
+        const int64_t deg = 1 + rng.below(6);
+        for (int64_t e = 0; e < deg; e++)
+            nbrD.push_back(static_cast<double>(rng.below(N)));
+        startD.push_back(static_cast<double>(nbrD.size()));
+    }
+    Bindings args(*fused.program);
+    args.scalar(n, N);
+    args.array(start, startD);
+    args.array(nbrs, nbrD);
+    args.array(prev, prevD);
+    args.array(out, outD);
+    Gpu gpu;
+    CompileOptions copts;
+    CompileResult compiled =
+        compileProgram(*fused.program, gpu.config(), copts);
+    KernelStats stats =
+        executeOnDevice(compiled.spec, args, gpu.config());
+    EXPECT_EQ(stats.mallocs, 0.0);
+}
+
+TEST(Fusion, CompilePipelineAppliesWhenRequested)
+{
+    ProgramBuilder b("w2");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Arr t = fn.map(n, [&](Body &, Ex j) {
+            return in(i * n + j) + 1.0;
+        });
+        return fn.reduce(n, Op::Add,
+                         [&](Body &, Ex j) { return t(j); });
+    });
+    Program p = b.build();
+
+    Gpu gpu;
+    CompileOptions off;
+    EXPECT_EQ(compileProgram(p, gpu.config(), off).fusedPatterns, 0);
+
+    CompileOptions on;
+    on.fuseMapReduce = true;
+    CompileResult res = compileProgram(p, gpu.config(), on);
+    EXPECT_EQ(res.fusedPatterns, 1);
+    ASSERT_TRUE(res.ownedProgram != nullptr);
+    EXPECT_EQ(res.spec.prog, res.ownedProgram.get());
+}
+
+} // namespace
+} // namespace npp

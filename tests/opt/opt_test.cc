@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the Section V optimizations: preallocation planning with
+ * mapping-guided layout selection (V-A) and shared-memory prefetch
+ * detection (V-B), including their end-to-end performance effects on the
+ * simulator (the Fig 16 ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "opt/smem.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+struct Weighted
+{
+    std::shared_ptr<Program> prog;
+    Ex r, c;
+    Arr m, v, out;
+};
+
+/** sumWeightedCols when byCols, sumWeightedRows otherwise (Fig 15). */
+Weighted
+makeWeighted(bool byCols)
+{
+    Weighted w;
+    ProgramBuilder b(byCols ? "sumWeightedCols" : "sumWeightedRows");
+    w.m = b.inF64("m");
+    w.v = b.inF64("v");
+    w.r = b.paramI64("R");
+    w.c = b.paramI64("C");
+    w.out = b.outF64("out");
+    Arr m = w.m, v = w.v;
+    Ex r = w.r, c = w.c;
+    if (byCols) {
+        b.map(c, w.out, [&](Body &fn, Ex j) {
+            Arr temp = fn.zipWith(
+                r, [&](Body &, Ex i) { return m(i * c + j) * v(i); });
+            return fn.reduce(r, Op::Add,
+                             [&](Body &, Ex i) { return temp(i); });
+        });
+    } else {
+        b.map(r, w.out, [&](Body &fn, Ex i) {
+            Arr temp = fn.zipWith(
+                c, [&](Body &, Ex j) { return m(i * c + j) * v(j); });
+            return fn.reduce(c, Op::Add,
+                             [&](Body &, Ex j) { return temp(j); });
+        });
+    }
+    w.prog = std::make_shared<Program>(b.build());
+    return w;
+}
+
+TEST(PreallocPlan, LayoutFollowsDefiningLevelDim)
+{
+    Weighted w = makeWeighted(false);
+    MappingDecision innerX;
+    innerX.levels = {{1, 4, SpanType::one()}, {0, 64, SpanType::all()}};
+    auto plans = planLocalArrays(*w.prog, innerX);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].mode, LocalArrayPlan::Mode::Prealloc);
+    EXPECT_EQ(plans[0].layout, LocalArrayPlan::Layout::Contiguous);
+    EXPECT_EQ(plans[0].definingLevel, 1);
+
+    MappingDecision innerY;
+    innerY.levels = {{0, 64, SpanType::one()}, {1, 4, SpanType::all()}};
+    plans = planLocalArrays(*w.prog, innerY);
+    EXPECT_EQ(plans[0].layout, LocalArrayPlan::Layout::Interleaved);
+}
+
+TEST(PreallocPlan, DisabledFallsBackToMalloc)
+{
+    Weighted w = makeWeighted(false);
+    MappingDecision d;
+    d.levels = {{1, 4, SpanType::one()}, {0, 64, SpanType::all()}};
+    PreallocOptions opts;
+    opts.enable = false;
+    auto plans = planLocalArrays(*w.prog, d, opts);
+    EXPECT_EQ(plans[0].mode, LocalArrayPlan::Mode::ThreadMalloc);
+}
+
+TEST(PreallocPlan, FixedLayoutWhenLayoutOptOff)
+{
+    Weighted w = makeWeighted(false);
+    MappingDecision innerY;
+    innerY.levels = {{0, 64, SpanType::one()}, {1, 4, SpanType::all()}};
+    PreallocOptions opts;
+    opts.layoutFromMapping = false;
+    auto plans = planLocalArrays(*w.prog, innerY, opts);
+    EXPECT_EQ(plans[0].mode, LocalArrayPlan::Mode::Prealloc);
+    EXPECT_EQ(plans[0].layout, LocalArrayPlan::Layout::Contiguous)
+        << "fixed row-major strategy of the Fig 16 middle bar";
+}
+
+TEST(PreallocPlan, DynamicSizeForcesMalloc)
+{
+    // Inner allocation whose size depends on the outer index cannot be
+    // uniformly preallocated.
+    ProgramBuilder b("jagged");
+    Arr start = b.inI64("start");
+    Arr vals = b.inF64("vals");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Ex cnt = fn.let("cnt", start(i + 1) - start(i));
+        Arr temp = fn.map(cnt, [&](Body &, Ex j) {
+            return vals(start(i) + j) * 2.0;
+        });
+        return fn.reduce(cnt, Op::Add,
+                         [&](Body &, Ex j) { return temp(j); });
+    });
+    Program p = b.build();
+    MappingDecision d;
+    d.levels = {{1, 4, SpanType::one()}, {0, 32, SpanType::all()}};
+    auto plans = planLocalArrays(p, d);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].mode, LocalArrayPlan::Mode::ThreadMalloc);
+}
+
+//
+// Shared-memory prefetch detection (V-B).
+//
+
+TEST(SmemPrefetch, Fig8OuterReadIsPrefetched)
+{
+    // Fig 8: array1D(i) read at the outer level, array2D(i,j) inside.
+    ProgramBuilder b("fig8");
+    Arr a1 = b.inF64("array1D");
+    Arr a2 = b.inF64("array2D");
+    Ex n = b.paramI64("I"), m = b.paramI64("J");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Ex scale = fn.let("scale", a1(i));
+        return fn.reduce(m, Op::Add, [&](Body &, Ex j) {
+            return a2(i * m + j) * scale;
+        });
+    });
+    Program p = b.build();
+
+    AnalysisEnv env;
+    env.prog = &p;
+    MappingDecision d;
+    d.levels = {{1, 16, SpanType::one()}, {0, 64, SpanType::all()}};
+    PrefetchPlan plan = findPrefetchable(p, d, env);
+    EXPECT_EQ(plan.sites.size(), 1u);
+    EXPECT_GT(plan.sharedBytes, 0);
+
+    // If the outer level is already x, no prefetch is needed.
+    MappingDecision outerX;
+    outerX.levels = {{0, 64, SpanType::one()}, {1, 16, SpanType::all()}};
+    EXPECT_TRUE(findPrefetchable(p, outerX, env).sites.empty());
+
+    // Without inner x-lanes there is nothing to prefetch with.
+    MappingDecision oneD;
+    oneD.levels = {{0, 256, SpanType::one()}, {1, 1, SpanType::all()}};
+    EXPECT_TRUE(findPrefetchable(p, oneD, env).sites.empty());
+}
+
+TEST(SmemPrefetch, InnermostReadsNotPrefetched)
+{
+    ProgramBuilder b("plain");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        return fn.reduce(c, Op::Add,
+                         [&](Body &, Ex j) { return m(i * c + j); });
+    });
+    Program p = b.build();
+    AnalysisEnv env;
+    env.prog = &p;
+    MappingDecision d;
+    d.levels = {{1, 16, SpanType::one()}, {0, 64, SpanType::all()}};
+    EXPECT_TRUE(findPrefetchable(p, d, env).sites.empty());
+}
+
+//
+// End-to-end Fig 16 ordering on the simulator.
+//
+
+double
+runWeighted(const Weighted &w, int64_t R, int64_t C,
+            const PreallocOptions &popts)
+{
+    static std::vector<double> m, v;
+    if (static_cast<int64_t>(m.size()) < R * C) {
+        Rng rng(2);
+        m.resize(R * C);
+        for (auto &x : m)
+            x = rng.uniform(0, 1);
+    }
+    const int64_t vlen = std::max(R, C);
+    if (static_cast<int64_t>(v.size()) < vlen) {
+        Rng rng(3);
+        v.resize(vlen);
+        for (auto &x : v)
+            x = rng.uniform(0, 1);
+    }
+    const bool byCols = w.prog->name() == "sumWeightedCols";
+    std::vector<double> out(byCols ? C : R, 0.0);
+    Bindings args(*w.prog);
+    args.scalar(w.r, static_cast<double>(R));
+    args.scalar(w.c, static_cast<double>(C));
+    args.array(w.m, m);
+    args.array(w.v, v);
+    args.array(w.out, out);
+
+    // Hold the mapping fixed across the ablation (the Fig 16 bars vary
+    // only the allocation handling): use the full-optimization mapping.
+    CompileOptions base;
+    base.paramValues = {{w.r.ref()->varId, static_cast<double>(R)},
+                        {w.c.ref()->varId, static_cast<double>(C)}};
+    CompileResult full = compileProgram(*w.prog, teslaK20c(), base);
+
+    CompileOptions copts = base;
+    copts.strategy = Strategy::Fixed;
+    copts.fixedMapping = full.spec.mapping;
+    copts.prealloc = popts;
+    return Gpu().compileAndRun(*w.prog, args, copts).totalMs;
+}
+
+TEST(Fig16Ordering, PreallocBeatsMallocAndLayoutMatters)
+{
+    Weighted cols = makeWeighted(true);
+    PreallocOptions mallocOpts;
+    mallocOpts.enable = false;
+    PreallocOptions noLayout;
+    noLayout.layoutFromMapping = false;
+    PreallocOptions full;
+
+    const int64_t R = 1024, C = 1024;
+    const double tMalloc = runWeighted(cols, R, C, mallocOpts);
+    const double tNoLayout = runWeighted(cols, R, C, noLayout);
+    const double tFull = runWeighted(cols, R, C, full);
+
+    EXPECT_GT(tMalloc, 2 * tNoLayout)
+        << "per-thread malloc dominates (Fig 16 right bar)";
+    EXPECT_GT(tNoLayout, 1.5 * tFull)
+        << "wrong temp layout is uncoalesced (Fig 16 middle bar)";
+}
+
+TEST(Fig16Ordering, RowsVariantInsensitiveToLayoutChoice)
+{
+    // sumWeightedRows with the fixed row-major layout is already
+    // coalesced: layout optimization should not change much.
+    Weighted rows = makeWeighted(false);
+    PreallocOptions noLayout;
+    noLayout.layoutFromMapping = false;
+    PreallocOptions full;
+    const double tNoLayout = runWeighted(rows, 1024, 1024, noLayout);
+    const double tFull = runWeighted(rows, 1024, 1024, full);
+    EXPECT_LT(tNoLayout / tFull, 1.3);
+    EXPECT_GT(tNoLayout / tFull, 0.7);
+}
+
+TEST(Fig16Ordering, BothVariantsConvergeWithFullOpt)
+{
+    // Paper: "After choosing the optimal layout ... both execute in the
+    // same amount of time for a given input size."
+    Weighted rows = makeWeighted(false);
+    Weighted cols = makeWeighted(true);
+    const double tRows = runWeighted(rows, 1024, 1024, {});
+    const double tCols = runWeighted(cols, 1024, 1024, {});
+    EXPECT_LT(tRows / tCols, 1.6);
+    EXPECT_GT(tRows / tCols, 0.6);
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the sequential reference interpreter — the functional ground
+ * truth all mapped executions are compared against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ir/builder.h"
+#include "runtime/reference.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+TEST(Reference, SumRows)
+{
+    const int64_t R = 13, C = 37;
+    ProgramBuilder b("sumRows");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        return fn.reduce(c, Op::Add,
+                         [&](Body &, Ex j) { return m(i * c + j); });
+    });
+    Program p = b.build();
+
+    std::vector<double> mData(R * C);
+    std::iota(mData.begin(), mData.end(), 0.0);
+    std::vector<double> outData(R, -1.0);
+
+    Bindings args(p);
+    args.scalar(r, R);
+    args.scalar(c, C);
+    args.array(m, mData);
+    args.array(out, outData);
+
+    ReferenceInterp interp;
+    WorkCounts wc = interp.run(p, args);
+
+    for (int64_t i = 0; i < R; i++) {
+        double expect = 0;
+        for (int64_t j = 0; j < C; j++)
+            expect += mData[i * C + j];
+        EXPECT_DOUBLE_EQ(outData[i], expect) << "row " << i;
+    }
+    EXPECT_EQ(wc.iterations, static_cast<uint64_t>(R + R * C));
+    EXPECT_GE(wc.bytesRead, static_cast<uint64_t>(R * C * 8));
+    EXPECT_EQ(wc.bytesWritten, static_cast<uint64_t>(R * 8));
+}
+
+TEST(Reference, RootReduceWritesSingleElement)
+{
+    const int64_t N = 1000;
+    ProgramBuilder b("total");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.reduce(n, Op::Max, out, [&](Body &, Ex i) { return in(i); });
+    Program p = b.build();
+
+    Rng rng(7);
+    std::vector<double> data(N);
+    double expectMax = -1e300;
+    for (auto &v : data) {
+        v = rng.uniform(-100, 100);
+        expectMax = std::max(expectMax, v);
+    }
+    std::vector<double> outData(1, 0.0);
+
+    Bindings args(p);
+    args.scalar(n, N);
+    args.array(in, data);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+    EXPECT_DOUBLE_EQ(outData[0], expectMax);
+}
+
+TEST(Reference, NestedMapThenReduce)
+{
+    // sumWeightedRows (Fig 15 shape): temp = zipWith(row, v); reduce temp.
+    const int64_t R = 8, C = 16;
+    ProgramBuilder b("sumWeightedRows");
+    Arr m = b.inF64("m");
+    Arr v = b.inF64("v");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        Arr temp = fn.zipWith(
+            c, [&](Body &, Ex j) { return m(i * c + j) * v(j); });
+        return fn.reduce(c, Op::Add,
+                         [&](Body &, Ex j) { return temp(j); });
+    });
+    Program p = b.build();
+
+    std::vector<double> mData(R * C), vData(C), outData(R);
+    Rng rng(11);
+    for (auto &x : mData)
+        x = rng.uniform(0, 1);
+    for (auto &x : vData)
+        x = rng.uniform(0, 1);
+
+    Bindings args(p);
+    args.scalar(r, R);
+    args.scalar(c, C);
+    args.array(m, mData);
+    args.array(v, vData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    for (int64_t i = 0; i < R; i++) {
+        double expect = 0;
+        for (int64_t j = 0; j < C; j++)
+            expect += mData[i * C + j] * vData[j];
+        EXPECT_NEAR(outData[i], expect, 1e-9);
+    }
+}
+
+TEST(Reference, DynamicInnerSize)
+{
+    // CSR-style: per-row segment sizes differ (BFS/PageRank shape).
+    ProgramBuilder b("segSum");
+    Arr start = b.inI64("start");
+    Arr vals = b.inF64("vals");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Ex begin = fn.let("begin", start(i));
+        Ex cnt = fn.let("cnt", start(i + 1) - begin);
+        return fn.reduce(cnt, Op::Add,
+                         [&](Body &, Ex j) { return vals(begin + j); });
+    });
+    Program p = b.build();
+
+    std::vector<double> startData = {0, 3, 3, 7, 10};
+    std::vector<double> valsData = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::vector<double> outData(4);
+    Bindings args(p);
+    args.scalar(n, 4);
+    args.array(start, startData);
+    args.array(vals, valsData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 6);   // 1+2+3
+    EXPECT_DOUBLE_EQ(outData[1], 0);   // empty segment
+    EXPECT_DOUBLE_EQ(outData[2], 22);  // 4+5+6+7
+    EXPECT_DOUBLE_EQ(outData[3], 27);  // 8+9+10
+}
+
+TEST(Reference, ForeachWithBranches)
+{
+    ProgramBuilder b("threshold");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.foreach(n, [&](Body &fn, Ex i) {
+        fn.branch(
+            in(i) >= 0.0,
+            [&](Body &t) { t.store(out, i, in(i)); },
+            [&](Body &e) { e.store(out, i, Ex(0.0)); });
+    });
+    Program p = b.build();
+
+    std::vector<double> inData = {-2, 5, -0.5, 3};
+    std::vector<double> outData(4, -99);
+    Bindings args(p);
+    args.scalar(n, 4);
+    args.array(in, inData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 0);
+    EXPECT_DOUBLE_EQ(outData[1], 5);
+    EXPECT_DOUBLE_EQ(outData[2], 0);
+    EXPECT_DOUBLE_EQ(outData[3], 3);
+}
+
+TEST(Reference, SeqLoopWithBreak)
+{
+    // Escape-time iteration: count steps until value exceeds a bound.
+    ProgramBuilder b("escape");
+    Arr c = b.inF64("c");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        Mut x = fn.mut("x", Ex(0.0));
+        Mut steps = fn.mut("steps", Ex(0.0));
+        fn.seqLoop(
+            Ex(100),
+            [&](Body &body, Ex) {
+                body.assign(x, x.ex() + c(i));
+                body.assign(steps, steps.ex() + 1.0);
+            },
+            x.ex() >= 10.0);
+        return steps.ex();
+    });
+    Program p = b.build();
+
+    std::vector<double> cData = {1.0, 2.5, 20.0, 0.0};
+    std::vector<double> outData(4);
+    Bindings args(p);
+    args.scalar(n, 4);
+    args.array(c, cData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 10);  // 10 steps of +1 to reach 10
+    EXPECT_DOUBLE_EQ(outData[1], 4);   // 4 steps of +2.5
+    EXPECT_DOUBLE_EQ(outData[2], 1);   // immediately past bound
+    EXPECT_DOUBLE_EQ(outData[3], 100); // never escapes: full trip count
+}
+
+TEST(Reference, FilterRoot)
+{
+    ProgramBuilder b("positives");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    Arr count = b.outF64("count");
+    b.filter(n, out, count, [&](Body &, Ex i) {
+        return FilterItem{in(i) > 0.0, in(i) * 10.0};
+    });
+    Program p = b.build();
+
+    std::vector<double> inData = {1, -1, 2, -2, 3};
+    std::vector<double> outData(5, 0.0), countData(1, 0.0);
+    Bindings args(p);
+    args.scalar(n, 5);
+    args.array(in, inData);
+    args.array(out, outData);
+    args.array(count, countData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(countData[0], 3);
+    EXPECT_DOUBLE_EQ(outData[0], 10);
+    EXPECT_DOUBLE_EQ(outData[1], 20);
+    EXPECT_DOUBLE_EQ(outData[2], 30) << "order preserved";
+}
+
+TEST(Reference, GroupByHistogram)
+{
+    ProgramBuilder b("hist");
+    Arr keys = b.inI64("keys");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.groupBy(n, Op::Add, out, [&](Body &, Ex i) {
+        return KeyedValue{keys(i), Ex(1.0)};
+    });
+    Program p = b.build();
+
+    std::vector<double> keyData = {0, 2, 2, 1, 2, 0};
+    std::vector<double> outData(3, 99.0); // interpreter must reset these
+    Bindings args(p);
+    args.scalar(n, 6);
+    args.array(keys, keyData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 2);
+    EXPECT_DOUBLE_EQ(outData[1], 1);
+    EXPECT_DOUBLE_EQ(outData[2], 3);
+}
+
+TEST(Reference, GroupByMinCombiner)
+{
+    ProgramBuilder b("minByKey");
+    Arr keys = b.inI64("keys");
+    Arr vals = b.inF64("vals");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.groupBy(n, Op::Min, out, [&](Body &, Ex i) {
+        return KeyedValue{keys(i), vals(i)};
+    });
+    Program p = b.build();
+
+    std::vector<double> keyData = {0, 1, 0, 1};
+    std::vector<double> valData = {5, 7, 3, 9};
+    std::vector<double> outData(2);
+    Bindings args(p);
+    args.scalar(n, 4);
+    args.array(keys, keyData);
+    args.array(vals, valData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 3);
+    EXPECT_DOUBLE_EQ(outData[1], 7);
+}
+
+TEST(ReferenceDeath, OutOfBoundsReadIsCaught)
+{
+    ProgramBuilder b("oob");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &, Ex i) { return in(i + 1); });
+    Program p = b.build();
+
+    std::vector<double> inData(4), outData(4);
+    Bindings args(p);
+    args.scalar(n, 4);
+    args.array(in, inData);
+    args.array(out, outData);
+    EXPECT_DEATH(ReferenceInterp().run(p, args), "out of bounds");
+}
+
+TEST(ReferenceDeath, UnboundParamIsFatal)
+{
+    ProgramBuilder b("unbound");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &, Ex i) { return in(i); });
+    Program p = b.build();
+
+    std::vector<double> inData(4), outData(4);
+    Bindings args(p);
+    args.array(in, inData);
+    args.array(out, outData);
+    EXPECT_DEATH(ReferenceInterp().run(p, args), "not bound");
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Edge cases and failure injection for the executor and pipeline: empty
+ * domains, identity reductions, single-element domains, filters that
+ * keep nothing/everything, degenerate graphs, and device-sensitivity
+ * directions (a bigger GPU must not slow anything down).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/gpu.h"
+
+namespace npp {
+namespace {
+
+TEST(EdgeCases, EmptyMapDomainWritesNothing)
+{
+    ProgramBuilder b("empty");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &, Ex i) { return in(i) * 2.0; });
+    Program p = b.build();
+
+    std::vector<double> inData(4, 1.0), outData(4, -7.0);
+    Bindings args(p);
+    args.scalar(n, 0);
+    args.array(in, inData);
+    args.array(out, outData);
+    Gpu().compileAndRun(p, args);
+    for (double v : outData)
+        EXPECT_DOUBLE_EQ(v, -7.0) << "no element may be touched";
+}
+
+TEST(EdgeCases, EmptyReduceYieldsIdentity)
+{
+    for (Op op : {Op::Add, Op::Mul, Op::Min, Op::Max}) {
+        ProgramBuilder b("emptyReduce");
+        Arr in = b.inF64("in");
+        Ex n = b.paramI64("n");
+        Arr out = b.outF64("out");
+        b.reduce(n, op, out, [&](Body &, Ex i) { return in(i); });
+        Program p = b.build();
+
+        std::vector<double> inData(4, 3.0), outData(1, -1.0);
+        Bindings args(p);
+        args.scalar(n, 0);
+        args.array(in, inData);
+        args.array(out, outData);
+        Gpu().compileAndRun(p, args);
+        EXPECT_DOUBLE_EQ(outData[0], combinerIdentity(op))
+            << opName(op);
+    }
+}
+
+TEST(EdgeCases, EmptyInnerDomains)
+{
+    // Nested reduce with size 0 for every outer iteration.
+    ProgramBuilder b("innerEmpty");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex) {
+        return fn.reduce(Ex(0), Op::Add,
+                         [&](Body &, Ex) { return Ex(1.0); });
+    });
+    Program p = b.build();
+
+    std::vector<double> outData(8, -1.0);
+    Bindings args(p);
+    args.scalar(n, 8);
+    args.array(out, outData);
+    Gpu().compileAndRun(p, args);
+    for (double v : outData)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, SingleElementEverything)
+{
+    ProgramBuilder b("one");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex i) {
+        return fn.reduce(Ex(1), Op::Add,
+                         [&](Body &, Ex) { return in(i); });
+    });
+    Program p = b.build();
+    std::vector<double> inData = {42.0}, outData = {0.0};
+    Bindings args(p);
+    args.scalar(n, 1);
+    args.array(in, inData);
+    args.array(out, outData);
+    Gpu().compileAndRun(p, args);
+    EXPECT_DOUBLE_EQ(outData[0], 42.0);
+}
+
+TEST(EdgeCases, FilterKeepsNothingAndEverything)
+{
+    ProgramBuilder b("f");
+    Arr in = b.inF64("in");
+    Ex n = b.paramI64("n");
+    Ex cut = b.paramF64("cut");
+    Arr out = b.outF64("out");
+    Arr cnt = b.outF64("cnt");
+    b.filter(n, out, cnt, [&](Body &, Ex i) {
+        return FilterItem{in(i) > cut, in(i)};
+    });
+    Program p = b.build();
+
+    std::vector<double> inData = {1, 2, 3, 4, 5};
+    for (double threshold : {100.0, -100.0}) {
+        std::vector<double> outData(5, 0.0), cntData(1, -1.0);
+        Bindings args(p);
+        args.scalar(n, 5);
+        args.scalar(cut, threshold);
+        args.array(in, inData);
+        args.array(out, outData);
+        args.array(cnt, cntData);
+        Gpu().compileAndRun(p, args);
+        EXPECT_DOUBLE_EQ(cntData[0], threshold > 0 ? 0.0 : 5.0);
+        if (threshold < 0) {
+            for (int i = 0; i < 5; i++)
+                EXPECT_DOUBLE_EQ(outData[i], inData[i]);
+        }
+    }
+}
+
+TEST(EdgeCases, GroupByAllOneKey)
+{
+    ProgramBuilder b("g");
+    Arr vals = b.inF64("vals");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.groupBy(n, Op::Add, out, [&](Body &, Ex i) {
+        return KeyedValue{Ex(0), vals(i)};
+    });
+    Program p = b.build();
+    std::vector<double> valData = {1, 2, 3}, outData = {99.0, 99.0};
+    Bindings args(p);
+    args.scalar(n, 3);
+    args.array(vals, valData);
+    args.array(out, outData);
+    Gpu().compileAndRun(p, args);
+    EXPECT_DOUBLE_EQ(outData[0], 6.0);
+    EXPECT_DOUBLE_EQ(outData[1], combinerIdentity(Op::Add))
+        << "untouched keys hold the identity";
+}
+
+TEST(EdgeCases, SeqLoopZeroTrips)
+{
+    ProgramBuilder b("z");
+    Ex n = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &fn, Ex) {
+        Mut acc = fn.mut("acc", Ex(5.0));
+        fn.seqLoop(Ex(0), [&](Body &body, Ex) {
+            body.assign(acc, acc.ex() + 1.0);
+        });
+        return acc.ex();
+    });
+    Program p = b.build();
+    std::vector<double> outData(3, 0.0);
+    Bindings args(p);
+    args.scalar(n, 3);
+    args.array(out, outData);
+    Gpu().compileAndRun(p, args);
+    for (double v : outData)
+        EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+//
+// Device sensitivity: scaling the hardware must move model time in the
+// right direction.
+//
+
+SimReport
+runSumRowsOn(const DeviceConfig &dev, int64_t R, int64_t C)
+{
+    ProgramBuilder b("sumRows");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    Arr mm = m;
+    Ex cc = c;
+    b.map(r, out, [&](Body &fn, Ex i) {
+        return fn.reduce(cc, Op::Add,
+                         [&](Body &, Ex j) { return mm(i * cc + j); });
+    });
+    Program p = b.build();
+
+    std::vector<double> data(R * C, 1.0), result(R, 0.0);
+    Bindings args(p);
+    args.scalar(r, static_cast<double>(R));
+    args.scalar(c, static_cast<double>(C));
+    args.array(m, data);
+    args.array(out, result);
+    Gpu gpu(dev);
+    CompileOptions copts;
+    copts.paramValues = {{1, static_cast<double>(R)},
+                         {2, static_cast<double>(C)}};
+    return gpu.compileAndRun(p, args, copts);
+}
+
+TEST(DeviceSensitivity, MoreBandwidthSpeedsUpMemoryBoundKernels)
+{
+    DeviceConfig base = teslaK20c();
+    DeviceConfig fat = base;
+    fat.dramBandwidthGBs *= 2;
+    const double t1 = runSumRowsOn(base, 2048, 2048).totalMs;
+    const double t2 = runSumRowsOn(fat, 2048, 2048).totalMs;
+    EXPECT_LT(t2, t1);
+    EXPECT_NEAR(t1 / t2, 2.0, 0.5) << "sumRows is bandwidth bound";
+}
+
+TEST(DeviceSensitivity, MoreSMsNeverSlower)
+{
+    DeviceConfig base = teslaK20c();
+    DeviceConfig big = base;
+    big.numSMs = 26;
+    const double t1 = runSumRowsOn(base, 2048, 2048).totalMs;
+    const double t2 = runSumRowsOn(big, 2048, 2048).totalMs;
+    EXPECT_LE(t2, t1 * 1.01);
+}
+
+TEST(DeviceSensitivity, MinDopScalesWithDevice)
+{
+    DeviceConfig base = teslaK20c();
+    DeviceConfig big = base;
+    big.numSMs = 26;
+    EXPECT_EQ(big.minDop(), 2 * base.minDop());
+    EXPECT_EQ(big.maxDop(), 2 * base.maxDop());
+}
+
+TEST(DeviceSensitivity, MappingAdaptsToDeviceDopWindow)
+{
+    // The C2050's MIN_DOP (14 x 1536) differs from the K20c's
+    // (13 x 2048); the DOP-repair decisions must follow the target.
+    const DeviceConfig fermi = teslaC2050();
+    const DeviceConfig kepler = teslaK20c();
+    EXPECT_NE(fermi.minDop(), kepler.minDop());
+
+    ProgramBuilder b("sumCols");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    Arr mm = m;
+    Ex rr = r, cc = c;
+    b.map(cc, out, [&](Body &fn, Ex j) {
+        return fn.reduce(rr, Op::Add,
+                         [&](Body &, Ex i) { return mm(i * cc + j); });
+    });
+    Program p = b.build();
+
+    for (const DeviceConfig &dev : {fermi, kepler}) {
+        AnalysisEnv env;
+        env.prog = &p;
+        env.paramValues = {{1, 65536.0}, {2, 512.0}};
+        ConstraintSet cs = buildConstraints(p, env, dev);
+        MappingSearch search(dev);
+        SearchResult res = search.search(cs);
+        EXPECT_GE(res.bestDop, static_cast<double>(dev.minDop()))
+            << dev.name << ": " << res.best.toString();
+        EXPECT_LE(res.bestDop, static_cast<double>(dev.maxDop()));
+    }
+}
+
+TEST(DeviceSensitivity, SlowerLaunchHurtsIterativeKernels)
+{
+    DeviceConfig base = teslaK20c();
+    DeviceConfig slowLaunch = base;
+    slowLaunch.kernelLaunchOverheadUs = 50.0;
+    const double t1 = runSumRowsOn(base, 64, 64).totalMs;
+    const double t2 = runSumRowsOn(slowLaunch, 64, 64).totalMs;
+    EXPECT_GT(t2, t1 + 0.04) << "tiny kernels are launch bound";
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Qualitative tests of the timing model: the mechanisms the paper's
+ * analysis exploits must move model time in the right direction —
+ * coalescing, DOP/latency hiding, block-scheduling overhead, malloc
+ * cost, and the CPU/transfer baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+struct SumPair
+{
+    std::shared_ptr<Program> prog;
+    Ex r, c;
+    Arr m, out;
+};
+
+SumPair
+makeSum(bool rows)
+{
+    SumPair sp;
+    ProgramBuilder b(rows ? "sumRows" : "sumCols");
+    sp.m = b.inF64("m");
+    sp.r = b.paramI64("R");
+    sp.c = b.paramI64("C");
+    sp.out = b.outF64("out");
+    if (rows) {
+        Ex c = sp.c;
+        Arr m = sp.m;
+        b.map(sp.r, sp.out, [&](Body &fn, Ex i) {
+            return fn.reduce(c, Op::Add,
+                             [&](Body &, Ex j) { return m(i * c + j); });
+        });
+    } else {
+        Ex r = sp.r, c = sp.c;
+        Arr m = sp.m;
+        b.map(sp.c, sp.out, [&](Body &fn, Ex j) {
+            return fn.reduce(r, Op::Add,
+                             [&](Body &, Ex i) { return m(i * c + j); });
+        });
+    }
+    sp.prog = std::make_shared<Program>(b.build());
+    return sp;
+}
+
+SimReport
+runSum(const SumPair &sp, int64_t R, int64_t C, Strategy strategy)
+{
+    static std::vector<double> m;
+    const int64_t need = R * C;
+    if (static_cast<int64_t>(m.size()) < need) {
+        m.resize(need);
+        Rng rng(1);
+        for (auto &v : m)
+            v = rng.uniform(0, 1);
+    }
+    const bool rowsProgram = sp.prog->name() == "sumRows";
+    std::vector<double> out(rowsProgram ? R : C, 0.0);
+    Bindings args(*sp.prog);
+    args.scalar(sp.r, static_cast<double>(R));
+    args.scalar(sp.c, static_cast<double>(C));
+    args.array(sp.m, m);
+    args.array(sp.out, out);
+
+    CompileOptions copts;
+    copts.strategy = strategy;
+    // The compiler sees the actual sizes (runtime parameter tuning).
+    copts.paramValues = {{sp.r.ref()->varId, static_cast<double>(R)},
+                         {sp.c.ref()->varId, static_cast<double>(C)}};
+    return Gpu().compileAndRun(*sp.prog, args, copts);
+}
+
+constexpr int64_t kDim = 1024; // square matrices for direction checks
+
+TEST(TimingModel, UncoalescedSumRows1DMuchSlower)
+{
+    // Enough rows that the resident threads' lines thrash the cache
+    // (at small sizes the line-reuse model legitimately saves 1D).
+    SumPair rows = makeSum(true);
+    SimReport best = runSum(rows, 4096, kDim, Strategy::MultiDim);
+    SimReport oneD = runSum(rows, 4096, kDim, Strategy::OneD);
+    // 1D sumRows strides rows across warp lanes: ~16x the transactions.
+    EXPECT_GT(oneD.stats.transactions, 8 * best.stats.transactions);
+    EXPECT_GT(oneD.totalMs, 5 * best.totalMs);
+}
+
+TEST(TimingModel, MultiDimMatchesWarpBasedOnSumRows)
+{
+    SumPair rows = makeSum(true);
+    SimReport best = runSum(rows, kDim, kDim, Strategy::MultiDim);
+    SimReport warp = runSum(rows, kDim, kDim, Strategy::WarpBased);
+    // Warp-based coalesces sumRows too; MultiDim must be at least as
+    // good and within ~2x of it (same traffic class).
+    EXPECT_LE(best.totalMs, warp.totalMs * 1.05);
+    EXPECT_LT(warp.totalMs, best.totalMs * 3);
+}
+
+TEST(TimingModel, SumColsPunishesWarpBased)
+{
+    SumPair cols = makeSum(false);
+    SimReport best = runSum(cols, kDim, kDim, Strategy::MultiDim);
+    SimReport warp = runSum(cols, kDim, kDim, Strategy::WarpBased);
+    // Warp-based puts the strided (column) walk on the warp lanes:
+    // uncoalesced.
+    EXPECT_GT(warp.stats.transactions, 8 * best.stats.transactions);
+    EXPECT_GT(warp.totalMs, 3 * best.totalMs);
+}
+
+TEST(TimingModel, LowDopIsLatencyBound)
+{
+    // sumCols on a [64K, 64] matrix: only 64 columns of outer
+    // parallelism for 1D -> latency bound.
+    SumPair cols = makeSum(false);
+    SimReport oneD = runSum(cols, 16384, 64, Strategy::OneD);
+    SimReport best = runSum(cols, 16384, 64, Strategy::MultiDim);
+    EXPECT_LT(oneD.achievedBandwidth, 30.0)
+        << "64 threads cannot saturate DRAM";
+    EXPECT_GT(best.totalMs * 4, 0.0);
+    EXPECT_GT(oneD.totalMs, 2 * best.totalMs);
+}
+
+TEST(TimingModel, OptimalIsFlatAcrossShapes)
+{
+    // The paper's headline: with the right mapping, all shapes of the
+    // same total size take the same time (Fig 3 discussion).
+    SumPair rows = makeSum(true);
+    SumPair cols = makeSum(false);
+    const int64_t total = 1 << 22;
+    SimReport a = runSum(rows, 1 << 14, total >> 14, Strategy::MultiDim);
+    SimReport b = runSum(rows, 1 << 11, total >> 11, Strategy::MultiDim);
+    SimReport c = runSum(cols, 1 << 11, total >> 11, Strategy::MultiDim);
+    EXPECT_LT(a.totalMs / b.totalMs, 2.0);
+    EXPECT_GT(a.totalMs / b.totalMs, 0.5);
+    EXPECT_LT(a.totalMs / c.totalMs, 2.0);
+    EXPECT_GT(a.totalMs / c.totalMs, 0.5);
+}
+
+TEST(TimingModel, TooManyTinyBlocksCostsTime)
+{
+    KernelStats few;
+    few.totalBlocks = 64;
+    few.threadsPerBlock = 256;
+    few.transactions = 1000;
+    KernelStats many = few;
+    many.totalBlocks = 1 << 20;
+    many.threadsPerBlock = 1; // degenerate tiny blocks
+
+    const DeviceConfig dev = teslaK20c();
+    SimReport a = computeTiming(few, dev);
+    SimReport b = computeTiming(many, dev);
+    EXPECT_GT(b.blockOverheadMs, 100 * a.blockOverheadMs);
+}
+
+TEST(TimingModel, OccupancyLimitedBySharedMemory)
+{
+    KernelStats stats;
+    stats.totalBlocks = 1000;
+    stats.threadsPerBlock = 256;
+    stats.transactions = 1e6;
+    const DeviceConfig dev = teslaK20c();
+
+    stats.sharedMemPerBlock = 0;
+    SimReport free = computeTiming(stats, dev);
+    stats.sharedMemPerBlock = 24 * 1024; // two blocks per SM max
+    SimReport heavy = computeTiming(stats, dev);
+    EXPECT_LT(heavy.blocksPerSM, free.blocksPerSM);
+    EXPECT_LE(heavy.residentWarps, free.residentWarps);
+}
+
+TEST(TimingModel, MallocDominatesWhenPresent)
+{
+    KernelStats stats;
+    stats.totalBlocks = 1000;
+    stats.threadsPerBlock = 256;
+    stats.transactions = 1e5;
+    stats.mallocs = 256000;
+    const DeviceConfig dev = teslaK20c();
+    SimReport r = computeTiming(stats, dev);
+    EXPECT_GT(r.mallocMs, r.memoryMs);
+}
+
+TEST(TimingModel, LaunchOverheadFloorsTinyKernels)
+{
+    KernelStats stats;
+    stats.totalBlocks = 1;
+    stats.threadsPerBlock = 32;
+    stats.transactions = 1;
+    const DeviceConfig dev = teslaK20c();
+    SimReport r = computeTiming(stats, dev);
+    EXPECT_GE(r.totalMs, dev.kernelLaunchOverheadUs * 1e-3);
+}
+
+TEST(Baselines, CpuRooflineDirections)
+{
+    // Bandwidth-bound work: time tracks bytes.
+    double t1 = cpuTimeMs(1e6, 1e9);
+    double t2 = cpuTimeMs(1e6, 2e9);
+    EXPECT_NEAR(t2 / t1, 2.0, 0.3);
+    // Compute-bound work: time tracks ops.
+    double t3 = cpuTimeMs(4e9, 1e6);
+    double t4 = cpuTimeMs(8e9, 1e6);
+    EXPECT_NEAR(t4 / t3, 2.0, 0.3);
+}
+
+TEST(Baselines, TransferTimeTracksBytes)
+{
+    const DeviceConfig dev = teslaK20c();
+    EXPECT_NEAR(transferMs(6e9, dev), 1000.0, 20.0);
+    EXPECT_LT(transferMs(0, dev), 0.1);
+}
+
+TEST(TimingModel, ReportPrints)
+{
+    KernelStats stats;
+    stats.totalBlocks = 10;
+    stats.threadsPerBlock = 128;
+    stats.transactions = 1000;
+    SimReport r = computeTiming(stats, teslaK20c());
+    EXPECT_NE(r.toString().find("total"), std::string::npos);
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the support layer: deterministic RNG, statistics
+ * helpers, and the string formatting used throughout diagnostics and
+ * reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace npp {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        const double v = rng.uniform(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LT(v, 5);
+    }
+}
+
+TEST(Rng, BelowInRangeAndCoversValues)
+{
+    Rng rng(9);
+    bool seen[7] = {};
+    for (int i = 0; i < 1000; i++) {
+        const uint64_t v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianRoughlyStandard)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 20000; i++)
+        stat.add(rng.gaussian());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+    EXPECT_GT(stat.max(), 2.0);
+    EXPECT_LT(stat.min(), -2.0);
+}
+
+TEST(Stats, RunningStatTracksExtremesAndMean)
+{
+    RunningStat s;
+    for (double v : {3.0, -1.0, 7.0, 5.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.total(), 14.0);
+}
+
+TEST(Stats, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, IntegerHelpers)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(96));
+}
+
+TEST(Strings, FmtSubstitution)
+{
+    EXPECT_EQ(fmt("a {} c {}", 1, "b"), "a 1 c b");
+    EXPECT_EQ(fmt("no placeholders"), "no placeholders");
+    EXPECT_EQ(fmt("{} {}", true, 2.5), "true 2.5");
+    // More args than placeholders: appended.
+    EXPECT_EQ(fmt("x {}", 1, 2), "x 1 2");
+    // Fewer args than placeholders: literal braces remain.
+    EXPECT_EQ(fmt("x {} {}", 1), "x 1 {}");
+}
+
+TEST(Strings, PaddingAndRepeat)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+    EXPECT_EQ(repeat("ab", 3), "ababab");
+    EXPECT_EQ(repeat("x", 0), "");
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Strings, Join)
+{
+    std::vector<std::string> parts = {"a", "b", "c"};
+    EXPECT_EQ(join(parts, ", "), "a, b, c");
+    EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+    EXPECT_EQ(join(std::vector<int>{1, 2}, "-"), "1-2");
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * nppc — command-line inspector for the compilation pipeline. Picks one
+ * of the built-in demo programs, then prints any combination of its IR,
+ * the generated constraints, the candidate search outcome, the selected
+ * mapping, the generated CUDA, and a simulated run.
+ *
+ *     nppc <program> [--strategy=multidim|1d|tbt|warp]
+ *                    [--ir] [--constraints] [--mapping] [--cuda]
+ *                    [--run] [--all]
+ *
+ * programs: sumrows, sumcols, weightedrows, weightedcols, pagerank,
+ *           mandelbrot
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/sums.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+using namespace npp;
+
+namespace {
+
+struct Demo
+{
+    std::shared_ptr<Program> prog;
+    std::function<void(Bindings &)> bind;
+    std::unordered_map<int, double> params;
+    bool fuse = false;
+};
+
+Demo
+sumDemo(bool byCols, bool weighted)
+{
+    SumsProgram sp = buildSum(byCols, weighted);
+    const int64_t R = 2048, C = 2048;
+    Demo d;
+    d.prog = sp.prog;
+    d.params = {{sp.r.ref()->varId, static_cast<double>(R)},
+                {sp.c.ref()->varId, static_cast<double>(C)}};
+    d.bind = [sp, R, C](Bindings &args) {
+        static std::vector<double> m, v, out;
+        Rng rng(1);
+        m.assign(R * C, 0.0);
+        for (auto &x : m)
+            x = rng.uniform(0, 1);
+        args.scalar(sp.r, static_cast<double>(R));
+        args.scalar(sp.c, static_cast<double>(C));
+        args.array(sp.m, m);
+        if (sp.weighted) {
+            v.assign(std::max(R, C), 1.0);
+            args.array(sp.v, v);
+        }
+        out.assign(sp.outputSize(R, C), 0.0);
+        args.array(sp.out, out);
+    };
+    return d;
+}
+
+Demo
+pagerankDemo()
+{
+    ProgramBuilder b("pagerank_step");
+    Arr start = b.inI64("rowStart");
+    Arr nbrs = b.inI64("nbrs");
+    Arr deg = b.inF64("degree");
+    Arr prev = b.inF64("prev");
+    Ex n = b.paramI64("numNodes");
+    Ex damp = b.paramF64("damp");
+    Arr out = b.outF64("rank");
+    Arr st = start, nb = nbrs, dg = deg, pv = prev;
+    Ex np = n, dp = damp;
+    b.map(np, out, [&](Body &fn, Ex v) {
+        Ex begin = fn.let("begin", st(v));
+        Ex cnt = fn.let("cnt", st(v + 1) - begin);
+        Arr weights = fn.map(cnt, [&](Body &, Ex e) {
+            return pv(nb(begin + e)) / dg(nb(begin + e));
+        });
+        Ex sum = fn.reduce(cnt, Op::Add,
+                           [&](Body &, Ex e) { return weights(e); });
+        return (1.0 - dp) / np + dp * sum;
+    });
+    Demo d;
+    d.prog = std::make_shared<Program>(b.build());
+    d.fuse = true;
+    const int64_t N = 8192;
+    d.params = {{n.ref()->varId, static_cast<double>(N)}};
+    d.bind = [=](Bindings &args) {
+        static std::vector<double> startD, nbrD, degD, prevD, rankD;
+        if (startD.empty()) {
+            Rng rng(3);
+            startD.push_back(0);
+            for (int64_t v = 0; v < N; v++) {
+                const int64_t degN = 1 + rng.below(16);
+                for (int64_t e = 0; e < degN; e++)
+                    nbrD.push_back(static_cast<double>(rng.below(N)));
+                startD.push_back(static_cast<double>(nbrD.size()));
+            }
+            degD.assign(N, 1.0);
+            for (double x : nbrD)
+                degD[static_cast<int64_t>(x)] += 1.0;
+            prevD.assign(N, 1.0 / N);
+        }
+        rankD.assign(N, 0.0);
+        args.scalar(n, static_cast<double>(N));
+        args.scalar(damp, 0.85);
+        args.array(start, startD);
+        args.array(nbrs, nbrD);
+        args.array(deg, degD);
+        args.array(prev, prevD);
+        args.array(out, rankD);
+    };
+    return d;
+}
+
+Demo
+mandelDemo()
+{
+    ProgramBuilder b("mandelbrot");
+    Ex h = b.paramI64("H"), w = b.paramI64("W");
+    Arr img = b.outF64("img");
+    Ex hp = h, wp = w;
+    Arr im = img;
+    b.foreach(hp, [&](Body &outer, Ex y) {
+        outer.foreach(wp, [&](Body &fn, Ex x) {
+            Ex cr = fn.let("cr", (Ex(x) * 3.5) / wp - 2.5);
+            Ex ci = fn.let("ci", (Ex(y) * 2.0) / hp - 1.0);
+            Mut zr = fn.mut("zr", Ex(0.0));
+            Mut zi = fn.mut("zi", Ex(0.0));
+            Mut steps = fn.mut("steps", Ex(0.0));
+            fn.seqLoop(
+                Ex(24),
+                [&](Body &body, Ex) {
+                    Ex nzr = body.let(
+                        "nzr", zr.ex() * zr.ex() - zi.ex() * zi.ex() + cr);
+                    Ex nzi = body.let("nzi", zr.ex() * zi.ex() * 2.0 + ci);
+                    body.assign(zr, nzr);
+                    body.assign(zi, nzi);
+                    body.assign(steps, steps.ex() + 1.0);
+                },
+                zr.ex() * zr.ex() + zi.ex() * zi.ex() > 4.0);
+            fn.store(im, y * wp + x, steps.ex());
+        });
+    });
+    Demo d;
+    d.prog = std::make_shared<Program>(b.build());
+    const int64_t H = 256, W = 1024;
+    d.params = {{h.ref()->varId, static_cast<double>(H)},
+                {w.ref()->varId, static_cast<double>(W)}};
+    d.bind = [=](Bindings &args) {
+        static std::vector<double> imgD;
+        imgD.assign(H * W, 0.0);
+        args.scalar(h, static_cast<double>(H));
+        args.scalar(w, static_cast<double>(W));
+        args.array(img, imgD);
+    };
+    return d;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: nppc <program> [options]\n"
+        "  programs: sumrows sumcols weightedrows weightedcols pagerank "
+        "mandelbrot\n"
+        "  options:  --strategy=multidim|1d|tbt|warp\n"
+        "            --ir --constraints --mapping --cuda --run --all\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    const std::string name = argv[1];
+    Demo demo;
+    if (name == "sumrows")
+        demo = sumDemo(false, false);
+    else if (name == "sumcols")
+        demo = sumDemo(true, false);
+    else if (name == "weightedrows")
+        demo = sumDemo(false, true);
+    else if (name == "weightedcols")
+        demo = sumDemo(true, true);
+    else if (name == "pagerank")
+        demo = pagerankDemo();
+    else if (name == "mandelbrot")
+        demo = mandelDemo();
+    else
+        return usage();
+
+    bool showIr = false, showConstraints = false, showMapping = false,
+         showCuda = false, doRun = false;
+    Strategy strategy = Strategy::MultiDim;
+    for (int i = 2; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--ir")
+            showIr = true;
+        else if (arg == "--constraints")
+            showConstraints = true;
+        else if (arg == "--mapping")
+            showMapping = true;
+        else if (arg == "--cuda")
+            showCuda = true;
+        else if (arg == "--run")
+            doRun = true;
+        else if (arg == "--all")
+            showIr = showConstraints = showMapping = showCuda = doRun =
+                true;
+        else if (arg == "--strategy=multidim")
+            strategy = Strategy::MultiDim;
+        else if (arg == "--strategy=1d")
+            strategy = Strategy::OneD;
+        else if (arg == "--strategy=tbt")
+            strategy = Strategy::ThreadBlockThread;
+        else if (arg == "--strategy=warp")
+            strategy = Strategy::WarpBased;
+        else
+            return usage();
+    }
+    if (!showIr && !showConstraints && !showMapping && !showCuda && !doRun)
+        showMapping = showCuda = true; // sensible default
+
+    Gpu gpu;
+    CompileOptions copts;
+    copts.strategy = strategy;
+    copts.paramValues = demo.params;
+    copts.fuseMapReduce = demo.fuse;
+    CompileResult compiled =
+        compileProgram(*demo.prog, gpu.config(), copts);
+
+    if (showIr)
+        std::printf("== IR ==\n%s\n", printProgram(*demo.prog).c_str());
+    if (showConstraints) {
+        AnalysisEnv env;
+        env.prog = compiled.spec.prog;
+        env.paramValues = demo.params;
+        ConstraintSet cs =
+            buildConstraints(*compiled.spec.prog, env, gpu.config());
+        std::printf("== Constraints ==\n");
+        for (const auto &c : cs.all)
+            std::printf("  %s\n", c.toString().c_str());
+        std::printf("\n");
+    }
+    if (showMapping) {
+        std::printf("== Mapping (%s) ==\n%s   score=%.0f dop=%.0f",
+                    strategyName(strategy),
+                    compiled.spec.mapping.toString().c_str(),
+                    compiled.spec.score, compiled.spec.dop);
+        if (compiled.fusedPatterns)
+            std::printf("   (fused %d map-reduce pairs)",
+                        compiled.fusedPatterns);
+        std::printf("\n\n");
+    }
+    if (showCuda)
+        std::printf("== CUDA ==\n%s\n", compiled.spec.cudaSource.c_str());
+    if (doRun) {
+        Bindings args(*demo.prog);
+        demo.bind(args);
+        SimReport report = gpu.run(compiled.spec, args);
+        std::printf("== Simulated run (%s) ==\n%s\n",
+                    gpu.config().name.c_str(), report.toString().c_str());
+    }
+    return 0;
+}
