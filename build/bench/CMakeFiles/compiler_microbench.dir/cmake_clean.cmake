@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_microbench.dir/compiler_microbench.cc.o"
+  "CMakeFiles/compiler_microbench.dir/compiler_microbench.cc.o.d"
+  "compiler_microbench"
+  "compiler_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fixed_strategies.dir/fig03_fixed_strategies.cc.o"
+  "CMakeFiles/fig03_fixed_strategies.dir/fig03_fixed_strategies.cc.o.d"
+  "fig03_fixed_strategies"
+  "fig03_fixed_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fixed_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rodinia.dir/fig12_rodinia.cc.o"
+  "CMakeFiles/fig12_rodinia.dir/fig12_rodinia.cc.o.d"
+  "fig12_rodinia"
+  "fig12_rodinia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fixed2d.dir/fig13_fixed2d.cc.o"
+  "CMakeFiles/fig13_fixed2d.dir/fig13_fixed2d.cc.o.d"
+  "fig13_fixed2d"
+  "fig13_fixed2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fixed2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

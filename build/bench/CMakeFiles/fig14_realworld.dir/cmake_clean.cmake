@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_realworld.dir/fig14_realworld.cc.o"
+  "CMakeFiles/fig14_realworld.dir/fig14_realworld.cc.o.d"
+  "fig14_realworld"
+  "fig14_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

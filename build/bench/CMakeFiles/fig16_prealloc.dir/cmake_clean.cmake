@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_prealloc.dir/fig16_prealloc.cc.o"
+  "CMakeFiles/fig16_prealloc.dir/fig16_prealloc.cc.o.d"
+  "fig16_prealloc"
+  "fig16_prealloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_prealloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

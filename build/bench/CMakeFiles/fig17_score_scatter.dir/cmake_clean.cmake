@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_score_scatter.dir/fig17_score_scatter.cc.o"
+  "CMakeFiles/fig17_score_scatter.dir/fig17_score_scatter.cc.o.d"
+  "fig17_score_scatter"
+  "fig17_score_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_score_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_explorer.dir/mandelbrot_explorer.cpp.o"
+  "CMakeFiles/mandelbrot_explorer.dir/mandelbrot_explorer.cpp.o.d"
+  "mandelbrot_explorer"
+  "mandelbrot_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

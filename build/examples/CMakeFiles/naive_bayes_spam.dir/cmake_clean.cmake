@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_bayes_spam.dir/naive_bayes_spam.cpp.o"
+  "CMakeFiles/naive_bayes_spam.dir/naive_bayes_spam.cpp.o.d"
+  "naive_bayes_spam"
+  "naive_bayes_spam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_bayes_spam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/constraint.cc" "src/analysis/CMakeFiles/npp_analysis.dir/constraint.cc.o" "gcc" "src/analysis/CMakeFiles/npp_analysis.dir/constraint.cc.o.d"
+  "/root/repo/src/analysis/mapping.cc" "src/analysis/CMakeFiles/npp_analysis.dir/mapping.cc.o" "gcc" "src/analysis/CMakeFiles/npp_analysis.dir/mapping.cc.o.d"
+  "/root/repo/src/analysis/model.cc" "src/analysis/CMakeFiles/npp_analysis.dir/model.cc.o" "gcc" "src/analysis/CMakeFiles/npp_analysis.dir/model.cc.o.d"
+  "/root/repo/src/analysis/presets.cc" "src/analysis/CMakeFiles/npp_analysis.dir/presets.cc.o" "gcc" "src/analysis/CMakeFiles/npp_analysis.dir/presets.cc.o.d"
+  "/root/repo/src/analysis/search.cc" "src/analysis/CMakeFiles/npp_analysis.dir/search.cc.o" "gcc" "src/analysis/CMakeFiles/npp_analysis.dir/search.cc.o.d"
+  "/root/repo/src/analysis/target.cc" "src/analysis/CMakeFiles/npp_analysis.dir/target.cc.o" "gcc" "src/analysis/CMakeFiles/npp_analysis.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_analysis.dir/constraint.cc.o"
+  "CMakeFiles/npp_analysis.dir/constraint.cc.o.d"
+  "CMakeFiles/npp_analysis.dir/mapping.cc.o"
+  "CMakeFiles/npp_analysis.dir/mapping.cc.o.d"
+  "CMakeFiles/npp_analysis.dir/model.cc.o"
+  "CMakeFiles/npp_analysis.dir/model.cc.o.d"
+  "CMakeFiles/npp_analysis.dir/presets.cc.o"
+  "CMakeFiles/npp_analysis.dir/presets.cc.o.d"
+  "CMakeFiles/npp_analysis.dir/search.cc.o"
+  "CMakeFiles/npp_analysis.dir/search.cc.o.d"
+  "CMakeFiles/npp_analysis.dir/target.cc.o"
+  "CMakeFiles/npp_analysis.dir/target.cc.o.d"
+  "libnpp_analysis.a"
+  "libnpp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

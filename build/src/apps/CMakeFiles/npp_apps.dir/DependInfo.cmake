@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/npp_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/bfs.cc" "src/apps/CMakeFiles/npp_apps.dir/bfs.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/bfs.cc.o.d"
+  "/root/repo/src/apps/gaussian.cc" "src/apps/CMakeFiles/npp_apps.dir/gaussian.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/gaussian.cc.o.d"
+  "/root/repo/src/apps/hotspot.cc" "src/apps/CMakeFiles/npp_apps.dir/hotspot.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/hotspot.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/npp_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/lud.cc" "src/apps/CMakeFiles/npp_apps.dir/lud.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/lud.cc.o.d"
+  "/root/repo/src/apps/mandelbrot.cc" "src/apps/CMakeFiles/npp_apps.dir/mandelbrot.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/mandelbrot.cc.o.d"
+  "/root/repo/src/apps/msmbuilder.cc" "src/apps/CMakeFiles/npp_apps.dir/msmbuilder.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/msmbuilder.cc.o.d"
+  "/root/repo/src/apps/naive_bayes.cc" "src/apps/CMakeFiles/npp_apps.dir/naive_bayes.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/apps/nearest_neighbor.cc" "src/apps/CMakeFiles/npp_apps.dir/nearest_neighbor.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/nearest_neighbor.cc.o.d"
+  "/root/repo/src/apps/pagerank.cc" "src/apps/CMakeFiles/npp_apps.dir/pagerank.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/pagerank.cc.o.d"
+  "/root/repo/src/apps/pathfinder.cc" "src/apps/CMakeFiles/npp_apps.dir/pathfinder.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/pathfinder.cc.o.d"
+  "/root/repo/src/apps/qpscd.cc" "src/apps/CMakeFiles/npp_apps.dir/qpscd.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/qpscd.cc.o.d"
+  "/root/repo/src/apps/srad.cc" "src/apps/CMakeFiles/npp_apps.dir/srad.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/srad.cc.o.d"
+  "/root/repo/src/apps/sums.cc" "src/apps/CMakeFiles/npp_apps.dir/sums.cc.o" "gcc" "src/apps/CMakeFiles/npp_apps.dir/sums.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/npp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/npp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/npp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/npp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/npp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

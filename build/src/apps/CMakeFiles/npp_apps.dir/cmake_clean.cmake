@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_apps.dir/app.cc.o"
+  "CMakeFiles/npp_apps.dir/app.cc.o.d"
+  "CMakeFiles/npp_apps.dir/bfs.cc.o"
+  "CMakeFiles/npp_apps.dir/bfs.cc.o.d"
+  "CMakeFiles/npp_apps.dir/gaussian.cc.o"
+  "CMakeFiles/npp_apps.dir/gaussian.cc.o.d"
+  "CMakeFiles/npp_apps.dir/hotspot.cc.o"
+  "CMakeFiles/npp_apps.dir/hotspot.cc.o.d"
+  "CMakeFiles/npp_apps.dir/kmeans.cc.o"
+  "CMakeFiles/npp_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/npp_apps.dir/lud.cc.o"
+  "CMakeFiles/npp_apps.dir/lud.cc.o.d"
+  "CMakeFiles/npp_apps.dir/mandelbrot.cc.o"
+  "CMakeFiles/npp_apps.dir/mandelbrot.cc.o.d"
+  "CMakeFiles/npp_apps.dir/msmbuilder.cc.o"
+  "CMakeFiles/npp_apps.dir/msmbuilder.cc.o.d"
+  "CMakeFiles/npp_apps.dir/naive_bayes.cc.o"
+  "CMakeFiles/npp_apps.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/npp_apps.dir/nearest_neighbor.cc.o"
+  "CMakeFiles/npp_apps.dir/nearest_neighbor.cc.o.d"
+  "CMakeFiles/npp_apps.dir/pagerank.cc.o"
+  "CMakeFiles/npp_apps.dir/pagerank.cc.o.d"
+  "CMakeFiles/npp_apps.dir/pathfinder.cc.o"
+  "CMakeFiles/npp_apps.dir/pathfinder.cc.o.d"
+  "CMakeFiles/npp_apps.dir/qpscd.cc.o"
+  "CMakeFiles/npp_apps.dir/qpscd.cc.o.d"
+  "CMakeFiles/npp_apps.dir/srad.cc.o"
+  "CMakeFiles/npp_apps.dir/srad.cc.o.d"
+  "CMakeFiles/npp_apps.dir/sums.cc.o"
+  "CMakeFiles/npp_apps.dir/sums.cc.o.d"
+  "libnpp_apps.a"
+  "libnpp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

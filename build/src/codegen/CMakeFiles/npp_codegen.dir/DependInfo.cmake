@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/autotune.cc" "src/codegen/CMakeFiles/npp_codegen.dir/autotune.cc.o" "gcc" "src/codegen/CMakeFiles/npp_codegen.dir/autotune.cc.o.d"
+  "/root/repo/src/codegen/compile.cc" "src/codegen/CMakeFiles/npp_codegen.dir/compile.cc.o" "gcc" "src/codegen/CMakeFiles/npp_codegen.dir/compile.cc.o.d"
+  "/root/repo/src/codegen/cuda_emit.cc" "src/codegen/CMakeFiles/npp_codegen.dir/cuda_emit.cc.o" "gcc" "src/codegen/CMakeFiles/npp_codegen.dir/cuda_emit.cc.o.d"
+  "/root/repo/src/codegen/plan.cc" "src/codegen/CMakeFiles/npp_codegen.dir/plan.cc.o" "gcc" "src/codegen/CMakeFiles/npp_codegen.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/npp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/npp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

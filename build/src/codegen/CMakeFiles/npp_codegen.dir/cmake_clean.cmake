@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_codegen.dir/autotune.cc.o"
+  "CMakeFiles/npp_codegen.dir/autotune.cc.o.d"
+  "CMakeFiles/npp_codegen.dir/compile.cc.o"
+  "CMakeFiles/npp_codegen.dir/compile.cc.o.d"
+  "CMakeFiles/npp_codegen.dir/cuda_emit.cc.o"
+  "CMakeFiles/npp_codegen.dir/cuda_emit.cc.o.d"
+  "CMakeFiles/npp_codegen.dir/plan.cc.o"
+  "CMakeFiles/npp_codegen.dir/plan.cc.o.d"
+  "libnpp_codegen.a"
+  "libnpp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cc" "src/ir/CMakeFiles/npp_ir.dir/affine.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/affine.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/npp_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/npp_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/pattern.cc" "src/ir/CMakeFiles/npp_ir.dir/pattern.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/pattern.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/npp_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/npp_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/program.cc.o.d"
+  "/root/repo/src/ir/traverse.cc" "src/ir/CMakeFiles/npp_ir.dir/traverse.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/traverse.cc.o.d"
+  "/root/repo/src/ir/type.cc" "src/ir/CMakeFiles/npp_ir.dir/type.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/type.cc.o.d"
+  "/root/repo/src/ir/var.cc" "src/ir/CMakeFiles/npp_ir.dir/var.cc.o" "gcc" "src/ir/CMakeFiles/npp_ir.dir/var.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

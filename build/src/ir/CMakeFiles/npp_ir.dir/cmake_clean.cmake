@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_ir.dir/affine.cc.o"
+  "CMakeFiles/npp_ir.dir/affine.cc.o.d"
+  "CMakeFiles/npp_ir.dir/builder.cc.o"
+  "CMakeFiles/npp_ir.dir/builder.cc.o.d"
+  "CMakeFiles/npp_ir.dir/expr.cc.o"
+  "CMakeFiles/npp_ir.dir/expr.cc.o.d"
+  "CMakeFiles/npp_ir.dir/pattern.cc.o"
+  "CMakeFiles/npp_ir.dir/pattern.cc.o.d"
+  "CMakeFiles/npp_ir.dir/printer.cc.o"
+  "CMakeFiles/npp_ir.dir/printer.cc.o.d"
+  "CMakeFiles/npp_ir.dir/program.cc.o"
+  "CMakeFiles/npp_ir.dir/program.cc.o.d"
+  "CMakeFiles/npp_ir.dir/traverse.cc.o"
+  "CMakeFiles/npp_ir.dir/traverse.cc.o.d"
+  "CMakeFiles/npp_ir.dir/type.cc.o"
+  "CMakeFiles/npp_ir.dir/type.cc.o.d"
+  "CMakeFiles/npp_ir.dir/var.cc.o"
+  "CMakeFiles/npp_ir.dir/var.cc.o.d"
+  "libnpp_ir.a"
+  "libnpp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

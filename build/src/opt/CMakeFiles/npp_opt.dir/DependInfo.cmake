@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/fusion.cc" "src/opt/CMakeFiles/npp_opt.dir/fusion.cc.o" "gcc" "src/opt/CMakeFiles/npp_opt.dir/fusion.cc.o.d"
+  "/root/repo/src/opt/prealloc.cc" "src/opt/CMakeFiles/npp_opt.dir/prealloc.cc.o" "gcc" "src/opt/CMakeFiles/npp_opt.dir/prealloc.cc.o.d"
+  "/root/repo/src/opt/smem.cc" "src/opt/CMakeFiles/npp_opt.dir/smem.cc.o" "gcc" "src/opt/CMakeFiles/npp_opt.dir/smem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/npp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

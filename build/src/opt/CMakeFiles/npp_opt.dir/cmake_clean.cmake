@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_opt.dir/fusion.cc.o"
+  "CMakeFiles/npp_opt.dir/fusion.cc.o.d"
+  "CMakeFiles/npp_opt.dir/prealloc.cc.o"
+  "CMakeFiles/npp_opt.dir/prealloc.cc.o.d"
+  "CMakeFiles/npp_opt.dir/smem.cc.o"
+  "CMakeFiles/npp_opt.dir/smem.cc.o.d"
+  "libnpp_opt.a"
+  "libnpp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

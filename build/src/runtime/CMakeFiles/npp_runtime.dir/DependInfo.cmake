@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/binding.cc" "src/runtime/CMakeFiles/npp_runtime.dir/binding.cc.o" "gcc" "src/runtime/CMakeFiles/npp_runtime.dir/binding.cc.o.d"
+  "/root/repo/src/runtime/eval.cc" "src/runtime/CMakeFiles/npp_runtime.dir/eval.cc.o" "gcc" "src/runtime/CMakeFiles/npp_runtime.dir/eval.cc.o.d"
+  "/root/repo/src/runtime/reference.cc" "src/runtime/CMakeFiles/npp_runtime.dir/reference.cc.o" "gcc" "src/runtime/CMakeFiles/npp_runtime.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

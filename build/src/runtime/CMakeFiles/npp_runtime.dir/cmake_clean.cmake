@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_runtime.dir/binding.cc.o"
+  "CMakeFiles/npp_runtime.dir/binding.cc.o.d"
+  "CMakeFiles/npp_runtime.dir/eval.cc.o"
+  "CMakeFiles/npp_runtime.dir/eval.cc.o.d"
+  "CMakeFiles/npp_runtime.dir/reference.cc.o"
+  "CMakeFiles/npp_runtime.dir/reference.cc.o.d"
+  "libnpp_runtime.a"
+  "libnpp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnpp_runtime.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coalesce.cc" "src/sim/CMakeFiles/npp_sim.dir/coalesce.cc.o" "gcc" "src/sim/CMakeFiles/npp_sim.dir/coalesce.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/npp_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/npp_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/npp_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/npp_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/npp_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/npp_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/npp_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/npp_sim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/npp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/npp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/npp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/npp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_sim.dir/coalesce.cc.o"
+  "CMakeFiles/npp_sim.dir/coalesce.cc.o.d"
+  "CMakeFiles/npp_sim.dir/executor.cc.o"
+  "CMakeFiles/npp_sim.dir/executor.cc.o.d"
+  "CMakeFiles/npp_sim.dir/gpu.cc.o"
+  "CMakeFiles/npp_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/npp_sim.dir/metrics.cc.o"
+  "CMakeFiles/npp_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/npp_sim.dir/timing.cc.o"
+  "CMakeFiles/npp_sim.dir/timing.cc.o.d"
+  "libnpp_sim.a"
+  "libnpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npp_support.dir/logging.cc.o"
+  "CMakeFiles/npp_support.dir/logging.cc.o.d"
+  "CMakeFiles/npp_support.dir/rng.cc.o"
+  "CMakeFiles/npp_support.dir/rng.cc.o.d"
+  "CMakeFiles/npp_support.dir/stats.cc.o"
+  "CMakeFiles/npp_support.dir/stats.cc.o.d"
+  "CMakeFiles/npp_support.dir/strings.cc.o"
+  "CMakeFiles/npp_support.dir/strings.cc.o.d"
+  "libnpp_support.a"
+  "libnpp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

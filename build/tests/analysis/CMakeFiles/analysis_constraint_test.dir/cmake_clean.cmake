@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_constraint_test.dir/constraint_test.cc.o"
+  "CMakeFiles/analysis_constraint_test.dir/constraint_test.cc.o.d"
+  "analysis_constraint_test"
+  "analysis_constraint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

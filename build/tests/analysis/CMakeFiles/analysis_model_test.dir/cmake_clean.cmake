@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_model_test.dir/model_test.cc.o"
+  "CMakeFiles/analysis_model_test.dir/model_test.cc.o.d"
+  "analysis_model_test"
+  "analysis_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

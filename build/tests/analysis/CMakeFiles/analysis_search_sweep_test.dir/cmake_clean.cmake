@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_search_sweep_test.dir/search_sweep_test.cc.o"
+  "CMakeFiles/analysis_search_sweep_test.dir/search_sweep_test.cc.o.d"
+  "analysis_search_sweep_test"
+  "analysis_search_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_search_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

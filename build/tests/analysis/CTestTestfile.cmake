@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/analysis
+# Build directory: /root/repo/build/tests/analysis
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(analysis_constraint_test "/root/repo/build/tests/analysis/analysis_constraint_test")
+set_tests_properties(analysis_constraint_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/analysis/CMakeLists.txt;1;npp_test;/root/repo/tests/analysis/CMakeLists.txt;0;")
+add_test(analysis_search_test "/root/repo/build/tests/analysis/analysis_search_test")
+set_tests_properties(analysis_search_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/analysis/CMakeLists.txt;2;npp_test;/root/repo/tests/analysis/CMakeLists.txt;0;")
+add_test(analysis_model_test "/root/repo/build/tests/analysis/analysis_model_test")
+set_tests_properties(analysis_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/analysis/CMakeLists.txt;3;npp_test;/root/repo/tests/analysis/CMakeLists.txt;0;")
+add_test(analysis_search_sweep_test "/root/repo/build/tests/analysis/analysis_search_sweep_test")
+set_tests_properties(analysis_search_sweep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/analysis/CMakeLists.txt;4;npp_test;/root/repo/tests/analysis/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_cuda_emit_test.dir/cuda_emit_test.cc.o"
+  "CMakeFiles/codegen_cuda_emit_test.dir/cuda_emit_test.cc.o.d"
+  "codegen_cuda_emit_test"
+  "codegen_cuda_emit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_cuda_emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_pipeline_test.dir/pipeline_test.cc.o"
+  "CMakeFiles/codegen_pipeline_test.dir/pipeline_test.cc.o.d"
+  "codegen_pipeline_test"
+  "codegen_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codegen
+# Build directory: /root/repo/build/tests/codegen
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(codegen_cuda_emit_test "/root/repo/build/tests/codegen/codegen_cuda_emit_test")
+set_tests_properties(codegen_cuda_emit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/codegen/CMakeLists.txt;1;npp_test;/root/repo/tests/codegen/CMakeLists.txt;0;")
+add_test(codegen_pipeline_test "/root/repo/build/tests/codegen/codegen_pipeline_test")
+set_tests_properties(codegen_pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/codegen/CMakeLists.txt;2;npp_test;/root/repo/tests/codegen/CMakeLists.txt;0;")

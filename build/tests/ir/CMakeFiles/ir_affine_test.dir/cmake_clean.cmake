@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_affine_test.dir/affine_test.cc.o"
+  "CMakeFiles/ir_affine_test.dir/affine_test.cc.o.d"
+  "ir_affine_test"
+  "ir_affine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_affine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_builder_test.dir/builder_test.cc.o"
+  "CMakeFiles/ir_builder_test.dir/builder_test.cc.o.d"
+  "ir_builder_test"
+  "ir_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_printer_test.dir/printer_test.cc.o"
+  "CMakeFiles/ir_printer_test.dir/printer_test.cc.o.d"
+  "ir_printer_test"
+  "ir_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ir
+# Build directory: /root/repo/build/tests/ir
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ir_expr_test "/root/repo/build/tests/ir/ir_expr_test")
+set_tests_properties(ir_expr_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/ir/CMakeLists.txt;1;npp_test;/root/repo/tests/ir/CMakeLists.txt;0;")
+add_test(ir_builder_test "/root/repo/build/tests/ir/ir_builder_test")
+set_tests_properties(ir_builder_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/ir/CMakeLists.txt;2;npp_test;/root/repo/tests/ir/CMakeLists.txt;0;")
+add_test(ir_affine_test "/root/repo/build/tests/ir/ir_affine_test")
+set_tests_properties(ir_affine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/ir/CMakeLists.txt;3;npp_test;/root/repo/tests/ir/CMakeLists.txt;0;")
+add_test(ir_printer_test "/root/repo/build/tests/ir/ir_printer_test")
+set_tests_properties(ir_printer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/ir/CMakeLists.txt;4;npp_test;/root/repo/tests/ir/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_fusion_test.dir/fusion_test.cc.o"
+  "CMakeFiles/opt_fusion_test.dir/fusion_test.cc.o.d"
+  "opt_fusion_test"
+  "opt_fusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/opt
+# Build directory: /root/repo/build/tests/opt
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(opt_test "/root/repo/build/tests/opt/opt_test")
+set_tests_properties(opt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/opt/CMakeLists.txt;1;npp_test;/root/repo/tests/opt/CMakeLists.txt;0;")
+add_test(opt_fusion_test "/root/repo/build/tests/opt/opt_fusion_test")
+set_tests_properties(opt_fusion_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/opt/CMakeLists.txt;2;npp_test;/root/repo/tests/opt/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_eval_test.dir/eval_test.cc.o"
+  "CMakeFiles/runtime_eval_test.dir/eval_test.cc.o.d"
+  "runtime_eval_test"
+  "runtime_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_reference_test.dir/reference_test.cc.o"
+  "CMakeFiles/runtime_reference_test.dir/reference_test.cc.o.d"
+  "runtime_reference_test"
+  "runtime_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/runtime
+# Build directory: /root/repo/build/tests/runtime
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(runtime_reference_test "/root/repo/build/tests/runtime/runtime_reference_test")
+set_tests_properties(runtime_reference_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/runtime/CMakeLists.txt;1;npp_test;/root/repo/tests/runtime/CMakeLists.txt;0;")
+add_test(runtime_eval_test "/root/repo/build/tests/runtime/runtime_eval_test")
+set_tests_properties(runtime_eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/runtime/CMakeLists.txt;2;npp_test;/root/repo/tests/runtime/CMakeLists.txt;0;")

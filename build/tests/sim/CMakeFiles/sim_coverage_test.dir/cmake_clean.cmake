@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_coverage_test.dir/coverage_test.cc.o"
+  "CMakeFiles/sim_coverage_test.dir/coverage_test.cc.o.d"
+  "sim_coverage_test"
+  "sim_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_edge_cases_test.dir/edge_cases_test.cc.o"
+  "CMakeFiles/sim_edge_cases_test.dir/edge_cases_test.cc.o.d"
+  "sim_edge_cases_test"
+  "sim_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

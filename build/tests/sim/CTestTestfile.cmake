@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sim_executor_test "/root/repo/build/tests/sim/sim_executor_test")
+set_tests_properties(sim_executor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;1;npp_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_timing_test "/root/repo/build/tests/sim/sim_timing_test")
+set_tests_properties(sim_timing_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;2;npp_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_coverage_test "/root/repo/build/tests/sim/sim_coverage_test")
+set_tests_properties(sim_coverage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;3;npp_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_edge_cases_test "/root/repo/build/tests/sim/sim_edge_cases_test")
+set_tests_properties(sim_edge_cases_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;4;npp_test;/root/repo/tests/sim/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/support_test.cc" "tests/support/CMakeFiles/support_test.dir/support_test.cc.o" "gcc" "tests/support/CMakeFiles/support_test.dir/support_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/npp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/npp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/npp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/npp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/npp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

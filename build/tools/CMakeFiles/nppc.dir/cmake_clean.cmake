@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nppc.dir/nppc.cc.o"
+  "CMakeFiles/nppc.dir/nppc.cc.o.d"
+  "nppc"
+  "nppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

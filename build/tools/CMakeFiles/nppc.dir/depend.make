@@ -1,0 +1,2 @@
+# Empty dependencies file for nppc.
+# This may be replaced when dependencies are built.
