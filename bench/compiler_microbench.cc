@@ -4,12 +4,21 @@
  * generation, the Algorithm 1 search ("for typical loops it takes less
  * than a few seconds", Section IV-D — here it is microseconds to
  * milliseconds), CUDA emission, and simulator throughput.
+ *
+ * `--pipeline [out.json]` instead times the Fig 12/13/14 sweeps
+ * end-to-end in four configurations (serial/parallel x cold/warm
+ * EvalCache) and writes BENCH_pipeline.json; see runPipelineBench below.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
 #include "apps/sums.h"
 #include "ir/builder.h"
+#include "pipeline.h"
+#include "sim/evalcache.h"
 #include "sim/gpu.h"
 
 namespace npp {
@@ -104,7 +113,164 @@ BM_SimulatorThroughput(benchmark::State &state)
 BENCHMARK(BM_SimulatorThroughput)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+/** @name Pipeline benchmark (--pipeline)
+ *
+ * Times the three figure sweeps end-to-end, wall-clock, in four
+ * configurations:
+ *   - serial_cold:    per-app loop, EvalCache disabled — the seed
+ *                     pipeline's behavior;
+ *   - parallel_cold:  task-pool sweep, empty cache (misses populate it);
+ *   - serial_cached:  per-app loop against the warm cache;
+ *   - parallel_warm:  task-pool sweep against the warm cache.
+ * Every configuration recomputes the same rows (checked bitwise at the
+ * end), so the timings compare equal work.
+ * @{
+ */
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool
+rowsEqual(const std::vector<Row> &a, const std::vector<Row> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].label != b[i].label || a[i].values != b[i].values)
+            return false;
+    }
+    return true;
+}
+
+struct FigSpec
+{
+    const char *name;
+    std::vector<Row> (*sweep)(const Gpu &, bool parallel);
+};
+
+struct ConfigResult
+{
+    double ms[3] = {0, 0, 0};       // per figure
+    double hitRate[3] = {0, 0, 0};  // per figure
+    std::vector<Row> rows[3];
+};
+
+int
+runPipelineBench(const char *outPath)
+{
+    const FigSpec figs[3] = {{"fig12_rodinia", fig12Sweep},
+                             {"fig13_fixed2d", fig13Sweep},
+                             {"fig14_realworld", fig14Sweep}};
+    struct Config
+    {
+        const char *name;
+        bool parallel;
+        bool cache;
+        bool clearFirst;
+    };
+    const Config configs[4] = {{"serial_cold", false, false, true},
+                               {"parallel_cold", true, true, true},
+                               {"serial_cached", false, true, false},
+                               {"parallel_warm", true, true, false}};
+
+    Gpu gpu;
+    EvalCache &cache = EvalCache::instance();
+    ConfigResult results[4];
+    for (int c = 0; c < 4; c++) {
+        const Config &cfg = configs[c];
+        cache.setCapacityBytes(cfg.cache ? 4096ll * 1024 * 1024 : 0);
+        if (cfg.clearFirst)
+            cache.clear();
+        std::printf("== %s (threads=%d)\n", cfg.name,
+                    cfg.parallel ? parallelThreadCount() : 1);
+        for (int f = 0; f < 3; f++) {
+            cache.resetCounters();
+            results[c].ms[f] = wallMs([&] {
+                results[c].rows[f] = figs[f].sweep(gpu, cfg.parallel);
+            });
+            results[c].hitRate[f] = cache.stats().hitRate();
+            std::printf("   %-16s %9.1f ms  (cache hit rate %.2f)\n",
+                        figs[f].name, results[c].ms[f],
+                        results[c].hitRate[f]);
+        }
+    }
+
+    bool identical = true;
+    for (int c = 1; c < 4; c++)
+        for (int f = 0; f < 3; f++)
+            identical =
+                identical && rowsEqual(results[0].rows[f], results[c].rows[f]);
+    std::printf("rows identical across configs: %s\n",
+                identical ? "yes" : "NO");
+
+    FILE *out = std::fopen(outPath, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", outPath);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"evaluation pipeline (fig12/13/14 "
+                      "sweeps, wall-clock)\",\n");
+    std::fprintf(out, "  \"threads\": %d,\n", parallelThreadCount());
+    std::fprintf(out, "  \"rows_identical_across_configs\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"figures\": {\n");
+    for (int f = 0; f < 3; f++) {
+        std::fprintf(out, "    \"%s\": {\n", figs[f].name);
+        for (int c = 0; c < 4; c++) {
+            std::fprintf(out,
+                         "      \"%s\": {\"wall_ms\": %.1f, "
+                         "\"cache_hit_rate\": %.4f},\n",
+                         configs[c].name, results[c].ms[f],
+                         results[c].hitRate[f]);
+        }
+        std::fprintf(out,
+                     "      \"speedup_parallel_warm_vs_serial_cold\": "
+                     "%.2f\n    }%s\n",
+                     results[0].ms[f] / results[3].ms[f],
+                     f + 1 < 3 ? "," : "");
+    }
+    std::fprintf(out, "  },\n");
+    double serialTotal = 0, warmTotal = 0;
+    for (int f = 0; f < 3; f++) {
+        serialTotal += results[0].ms[f];
+        warmTotal += results[3].ms[f];
+    }
+    std::fprintf(out,
+                 "  \"total\": {\"serial_cold_ms\": %.1f, "
+                 "\"parallel_warm_ms\": %.1f, \"speedup\": %.2f}\n",
+                 serialTotal, warmTotal, serialTotal / warmTotal);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", outPath);
+    return identical ? 0 : 2;
+}
+
+/** @} */
+
 } // namespace
 } // namespace npp
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--pipeline") == 0) {
+            const char *out =
+                i + 1 < argc ? argv[i + 1] : "BENCH_pipeline.json";
+            return npp::runPipelineBench(out);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

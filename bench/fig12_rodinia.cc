@@ -3,10 +3,11 @@
  * Figure 12: Rodinia applications — execution time of the
  * analysis-selected mapping (MultiDim) and the 1D mapping, normalized to
  * the hand-optimized implementation (Manual = 1.0, lower is better).
+ * The per-application sweep runs on the task pool (identical rows to a
+ * serial sweep; see bench/pipeline.h).
  */
 
-#include "apps/rodinia.h"
-#include "common.h"
+#include "pipeline.h"
 
 namespace npp {
 namespace {
@@ -18,30 +19,8 @@ runFigure()
     banner("Figure 12: Rodinia benchmarks vs manual and 1D",
            "Bars: execution time normalized to Manual (= 1.0).");
 
-    std::vector<std::unique_ptr<App>> apps;
-    apps.push_back(makeNearestNeighbor());
-    apps.push_back(makeGaussian());
-    apps.push_back(makeHotspot());
-    apps.push_back(makeMandelbrot());
-    apps.push_back(makeSrad());
-    apps.push_back(makePathfinder());
-    apps.push_back(makeLud());
-    apps.push_back(makeBfs());
-
-    std::vector<Row> rows;
-    for (auto &app : apps) {
-        const double manual = app->runManualMs(gpu);
-        AppResult multi = app->run(gpu, Strategy::MultiDim,
-                                   /*validate=*/true);
-        AppResult oneD = app->run(gpu, Strategy::OneD);
-        if (multi.maxError > 1e-6) {
-            std::fprintf(stderr, "%s: validation error %g\n",
-                         app->name().c_str(), multi.maxError);
-        }
-        rows.push_back({app->name(),
-                        {1.0, multi.gpuMs / manual, oneD.gpuMs / manual}});
-    }
-    table({"Manual", "MultiDim", "1D"}, rows);
+    table({"Manual", "MultiDim", "1D"},
+          fig12Sweep(gpu, /*parallel=*/true));
 
     std::printf(
         "\nPaper shapes to check:\n"

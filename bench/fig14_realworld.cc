@@ -3,11 +3,12 @@
  * Figure 14: real-world applications — execution time of the 1D GPU
  * mapping and MultiDim, normalized to the multi-core CPU baseline
  * (CPU = 1.0, lower is better). Naive Bayes additionally reports the
- * input-transfer time, which its one-shot nature cannot amortize.
+ * input-transfer time, which its one-shot nature cannot amortize. The
+ * sweep runs on the task pool (identical rows to a serial sweep; see
+ * bench/pipeline.h).
  */
 
-#include "apps/realworld.h"
-#include "common.h"
+#include "pipeline.h"
 
 namespace npp {
 namespace {
@@ -20,26 +21,8 @@ runFigure()
            "Bars: execution time normalized to the CPU baseline "
            "(= 1.0). '+xfer' adds the input transfer.");
 
-    std::vector<std::unique_ptr<App>> apps;
-    apps.push_back(makeQpscd());
-    apps.push_back(makeMsmBuilder());
-    apps.push_back(makeNaiveBayes());
-
-    std::vector<Row> rows;
-    for (auto &app : apps) {
-        AppResult multi = app->run(gpu, Strategy::MultiDim,
-                                   /*validate=*/true);
-        AppResult oneD = app->run(gpu, Strategy::OneD);
-        if (multi.maxError > 1e-6) {
-            std::fprintf(stderr, "%s: validation error %g\n",
-                         app->name().c_str(), multi.maxError);
-        }
-        const double cpu = multi.cpuMs;
-        rows.push_back({app->name(),
-                        {1.0, oneD.gpuMs / cpu, multi.gpuMs / cpu,
-                         (multi.gpuMs + multi.transferMs) / cpu}});
-    }
-    table({"CPU", "1D GPU", "MultiDim", "MultiDim+xfer"}, rows);
+    table({"CPU", "1D GPU", "MultiDim", "MultiDim+xfer"},
+          fig14Sweep(gpu, /*parallel=*/true));
 
     std::printf(
         "\nPaper shapes to check:\n"

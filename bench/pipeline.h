@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The figure sweeps (Fig 12/13/14) factored into reusable functions so
+ * that (a) the per-figure binaries and (b) the pipeline benchmark in
+ * compiler_microbench drive the exact same work. Each sweep can run its
+ * per-application work serially or on the task pool (support/parallel.h);
+ * applications are independent (each App instance owns its inputs and
+ * buffers, the EvalCache and the output tables are the only shared
+ * structures and both are synchronized), so the two modes produce
+ * identical rows.
+ */
+
+#ifndef NPP_BENCH_PIPELINE_H
+#define NPP_BENCH_PIPELINE_H
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/realworld.h"
+#include "apps/rodinia.h"
+#include "common.h"
+#include "support/parallel.h"
+
+namespace npp {
+
+/** Run one Row-producing job per App, serially or on the task pool.
+ *  Row order always matches `apps` order. */
+template <typename EvalFn>
+inline std::vector<Row>
+sweepApps(std::vector<std::unique_ptr<App>> &apps, bool parallel,
+          EvalFn eval)
+{
+    if (!parallel) {
+        std::vector<Row> rows;
+        rows.reserve(apps.size());
+        for (auto &app : apps)
+            rows.push_back(eval(*app));
+        return rows;
+    }
+    return parallelMap<Row>(
+        static_cast<int64_t>(apps.size()),
+        [&](int64_t i) { return eval(*apps[static_cast<size_t>(i)]); });
+}
+
+/** Figure 12 sweep: Rodinia apps, Manual / MultiDim / 1D, normalized to
+ *  Manual. */
+inline std::vector<Row>
+fig12Sweep(const Gpu &gpu, bool parallel)
+{
+    std::vector<std::unique_ptr<App>> apps;
+    apps.push_back(makeNearestNeighbor());
+    apps.push_back(makeGaussian());
+    apps.push_back(makeHotspot());
+    apps.push_back(makeMandelbrot());
+    apps.push_back(makeSrad());
+    apps.push_back(makePathfinder());
+    apps.push_back(makeLud());
+    apps.push_back(makeBfs());
+
+    return sweepApps(apps, parallel, [&](App &app) {
+        const double manual = app.runManualMs(gpu);
+        AppResult multi = app.run(gpu, Strategy::MultiDim,
+                                  /*validate=*/true);
+        AppResult oneD = app.run(gpu, Strategy::OneD);
+        if (multi.maxError > 1e-6) {
+            std::fprintf(stderr, "%s: validation error %g\n",
+                         app.name().c_str(), multi.maxError);
+        }
+        return Row{app.name(),
+                   {1.0, multi.gpuMs / manual, oneD.gpuMs / manual}};
+    });
+}
+
+/** Figure 13 sweep: fixed 2D strategies on the (R)/(C) Rodinia subset,
+ *  normalized to MultiDim. */
+inline std::vector<Row>
+fig13Sweep(const Gpu &gpu, bool parallel)
+{
+    std::vector<std::unique_ptr<App>> apps;
+    for (bool colMajor : {false, true}) {
+        apps.push_back(makeGaussian(192, colMajor));
+        apps.push_back(makeHotspot(256, 4, colMajor));
+        apps.push_back(makeMandelbrot(256, 1024, 24, colMajor));
+        apps.push_back(makeSrad(224, 2, colMajor));
+    }
+
+    return sweepApps(apps, parallel, [&](App &app) {
+        const double multi = app.run(gpu, Strategy::MultiDim).gpuMs;
+        const double tbt =
+            app.run(gpu, Strategy::ThreadBlockThread).gpuMs;
+        const double warp = app.run(gpu, Strategy::WarpBased).gpuMs;
+        return Row{app.name(), {1.0, tbt / multi, warp / multi}};
+    });
+}
+
+/** Figure 14 sweep: real-world apps vs the CPU baseline. */
+inline std::vector<Row>
+fig14Sweep(const Gpu &gpu, bool parallel)
+{
+    std::vector<std::unique_ptr<App>> apps;
+    apps.push_back(makeQpscd());
+    apps.push_back(makeMsmBuilder());
+    apps.push_back(makeNaiveBayes());
+
+    return sweepApps(apps, parallel, [&](App &app) {
+        AppResult multi = app.run(gpu, Strategy::MultiDim,
+                                  /*validate=*/true);
+        AppResult oneD = app.run(gpu, Strategy::OneD);
+        if (multi.maxError > 1e-6) {
+            std::fprintf(stderr, "%s: validation error %g\n",
+                         app.name().c_str(), multi.maxError);
+        }
+        const double cpu = multi.cpuMs;
+        return Row{app.name(),
+                   {1.0, oneD.gpuMs / cpu, multi.gpuMs / cpu,
+                    (multi.gpuMs + multi.transferMs) / cpu}};
+    });
+}
+
+} // namespace npp
+
+#endif // NPP_BENCH_PIPELINE_H

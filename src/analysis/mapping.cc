@@ -1,5 +1,8 @@
 #include "analysis/mapping.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "support/logging.h"
 #include "support/stats.h"
 #include "support/strings.h"
@@ -76,6 +79,41 @@ MappingDecision::dop(const std::vector<double> &levelSizes) const
         }
     }
     return dop;
+}
+
+bool
+MappingDecision::operator<(const MappingDecision &o) const
+{
+    auto key = [](const LevelMapping &l) {
+        return std::tuple<int, int64_t, int, int64_t>(
+            l.dim, l.blockSize, static_cast<int>(l.span.kind),
+            l.span.factor);
+    };
+    return std::lexicographical_compare(
+        levels.begin(), levels.end(), o.levels.begin(), o.levels.end(),
+        [&](const LevelMapping &a, const LevelMapping &b) {
+            return key(a) < key(b);
+        });
+}
+
+uint64_t
+MappingDecision::hashValue() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    auto mix = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(levels.size());
+    for (const auto &l : levels) {
+        mix(static_cast<uint64_t>(l.dim));
+        mix(static_cast<uint64_t>(l.blockSize));
+        mix(static_cast<uint64_t>(l.span.kind));
+        mix(static_cast<uint64_t>(l.span.factor));
+    }
+    return h;
 }
 
 std::string

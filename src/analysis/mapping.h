@@ -11,6 +11,7 @@
 #define NPP_ANALYSIS_MAPPING_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,14 @@ struct MappingDecision
         return levels == o.levels;
     }
 
+    /** Lexicographic order over (dim, blockSize, span) per level; gives
+     *  candidate sets a canonical tie-break order and std::map keys. */
+    bool operator<(const MappingDecision &o) const;
+
+    /** Stable structural hash (FNV-1a over the level fields); used for
+     *  duplicate-candidate sets and as part of the evaluation-cache key. */
+    uint64_t hashValue() const;
+
     std::string toString() const;
 };
 
@@ -119,5 +128,13 @@ LaunchGeometry makeGeometry(const MappingDecision &decision,
                             const std::vector<int64_t> &levelSizes);
 
 } // namespace npp
+
+template <> struct std::hash<npp::MappingDecision>
+{
+    size_t operator()(const npp::MappingDecision &d) const noexcept
+    {
+        return static_cast<size_t>(d.hashValue());
+    }
+};
 
 #endif // NPP_ANALYSIS_MAPPING_H

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "support/parallel.h"
 #include "support/stats.h"
 
 namespace npp {
@@ -19,20 +20,7 @@ namespace {
 bool
 lexLess(const MappingDecision &a, const MappingDecision &b)
 {
-    for (size_t i = 0; i < a.levels.size() && i < b.levels.size(); i++) {
-        const LevelMapping &la = a.levels[i];
-        const LevelMapping &lb = b.levels[i];
-        if (la.dim != lb.dim)
-            return la.dim < lb.dim;
-        if (la.blockSize != lb.blockSize)
-            return la.blockSize < lb.blockSize;
-        if (la.span.kind != lb.span.kind)
-            return static_cast<int>(la.span.kind) <
-                   static_cast<int>(lb.span.kind);
-        if (la.span.factor != lb.span.factor)
-            return la.span.factor < lb.span.factor;
-    }
-    return a.levels.size() < b.levels.size();
+    return a < b;
 }
 
 } // namespace
@@ -215,18 +203,16 @@ MappingSearch::search(const ConstraintSet &cset) const
     double bestCapped = 0.0;
     int64_t bestBlocks = 0;
     double bestModelMs = 0.0;
-    const auto consider = [&](const MappingDecision &decision) {
+    const bool wantModel =
+        options_.objective == SearchObjective::StaticModel ||
+        options_.keepCandidates;
+    const auto consider = [&](const MappingDecision &decision,
+                              double modelMs) {
         result.candidatesConsidered++;
         if (!feasible(decision, cset))
             return;
         const double s = score(decision, cset);
         const double dop = decision.dop(cset.levelSizes);
-        const bool wantModel =
-            options_.objective == SearchObjective::StaticModel ||
-            options_.keepCandidates;
-        const double modelMs =
-            wantModel ? staticEstimate(decision, cset, device_).totalMs
-                      : 0.0;
         if (options_.keepCandidates)
             result.candidates.push_back({decision, s, dop, modelMs});
 
@@ -274,7 +260,12 @@ MappingSearch::search(const ConstraintSet &cset) const
         }
     };
 
-    // Recursive enumeration over levels.
+    // Recursive enumeration over levels, collecting the whole candidate
+    // space first. The expensive part (the static timing model) is then
+    // evaluated in parallel; the best-candidate fold below stays serial
+    // and in enumeration order so tie-breaks are bit-identical to the
+    // historical single-threaded search.
+    std::vector<MappingDecision> space;
     std::function<void(int)> enumerate = [&](int lv) {
         if (lv == levels) {
             MappingDecision d;
@@ -286,7 +277,7 @@ MappingSearch::search(const ConstraintSet &cset) const
                     spans[i] == SpanKind::One ? SpanType::one()
                                               : SpanType::all();
             }
-            consider(d);
+            space.push_back(std::move(d));
             return;
         }
         for (int dim = 0; dim < device_.maxLogicalDims; dim++) {
@@ -320,6 +311,20 @@ MappingSearch::search(const ConstraintSet &cset) const
         }
     };
     enumerate(0);
+
+    // Parallel model evaluation (pure per candidate), serial fold.
+    std::vector<double> modelMs(space.size(), 0.0);
+    if (wantModel) {
+        parallelFor(0, static_cast<int64_t>(space.size()), [&](int64_t i) {
+            const MappingDecision &d = space[static_cast<size_t>(i)];
+            if (feasible(d, cset)) {
+                modelMs[static_cast<size_t>(i)] =
+                    staticEstimate(d, cset, device_).totalMs;
+            }
+        });
+    }
+    for (size_t i = 0; i < space.size(); i++)
+        consider(space[i], modelMs[i]);
 
     NPP_ASSERT(haveBest, "no feasible mapping found");
     // The 1D directive pins the inner levels; ControlDOP must not undo

@@ -98,10 +98,17 @@ class Runner
     WorkCounts work;
 
   private:
+    struct Compiled
+    {
+        std::shared_ptr<CompileResult> result;
+        /** Identifies how the spec was produced; combined with the
+         *  binding fingerprint to key the process-wide EvalCache. */
+        uint64_t specSeed = 0;
+    };
+
     const Gpu *gpu_ = nullptr;
     CompileOptions copts_;
-    std::unordered_map<const Program *, std::shared_ptr<CompileResult>>
-        cache_;
+    std::unordered_map<const Program *, Compiled> cache_;
 };
 
 } // namespace npp

@@ -1,9 +1,12 @@
 #include "codegen/autotune.h"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "sim/evalcache.h"
 #include "sim/gpu.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 
 namespace npp {
 
@@ -26,51 +29,85 @@ autotune(const Program &prog, const Gpu &gpu, const Bindings &args,
                   return a.score > b.score;
               });
     std::vector<ScoredMapping> picks;
+    std::unordered_set<MappingDecision> seen;
     picks.push_back({compiled.spec.mapping, compiled.spec.score,
                      compiled.spec.dop, 0.0});
+    seen.insert(compiled.spec.mapping);
     for (const auto &c : cands) {
-        if (static_cast<int>(picks.size()) >
-            options.topCandidates) {
+        if (static_cast<int>(picks.size()) > options.topCandidates)
             break;
-        }
-        bool dup = false;
-        for (const auto &p : picks)
-            dup = dup || p.decision == c.decision;
-        if (!dup)
+        if (seen.insert(c.decision).second)
             picks.push_back(c);
     }
 
-    double bestMs = 0.0;
-    bool haveBest = false;
     CompileOptions fixed = base;
     fixed.keepCandidates = false;
     fixed.strategy = Strategy::Fixed;
-    for (const auto &pick : picks) {
-        if (options.reset)
-            options.reset();
-        fixed.fixedMapping = pick.decision;
-        CompileResult trial = compileProgram(prog, gpu.config(), fixed);
-        SimReport report = gpu.run(trial.spec, args);
 
+    std::vector<double> measuredMs(picks.size(), 0.0);
+    if (options.reset) {
+        // Trials mutate caller state between reset() calls (in-place
+        // programs), so they must run functionally and one at a time.
+        for (size_t i = 0; i < picks.size(); i++) {
+            options.reset();
+            CompileOptions copts = fixed;
+            copts.fixedMapping = picks[i].decision;
+            CompileResult trial =
+                compileProgram(prog, gpu.config(), copts);
+            measuredMs[i] = gpu.run(trial.spec, args).totalMs;
+        }
+        options.reset();
+    } else {
+        // Metrics-only trials never write the caller's buffers, so they
+        // are independent: evaluate concurrently (and through the cache,
+        // which repeated tuning of the same program hits).
+        const auto evalPick = [&](int64_t i) {
+            CompileOptions copts = fixed;
+            copts.fixedMapping = picks[static_cast<size_t>(i)].decision;
+            ExecOptions eopts;
+            if (options.useCache)
+                return cachedCompileAndRun(gpu, prog, args, copts, eopts,
+                                           /*wantOutputs=*/false)
+                    .totalMs;
+            eopts.metricsOnly = true;
+            return gpu.compileAndRun(prog, args, copts, eopts).totalMs;
+        };
+        if (options.parallel) {
+            measuredMs = parallelMap<double>(
+                static_cast<int64_t>(picks.size()), evalPick);
+        } else {
+            for (size_t i = 0; i < picks.size(); i++)
+                measuredMs[i] = evalPick(static_cast<int64_t>(i));
+        }
+    }
+
+    // Serial fold in pick order: identical tie-breaking no matter how
+    // the measurements were produced.
+    double bestMs = 0.0;
+    bool haveBest = false;
+    size_t bestIdx = 0;
+    for (size_t i = 0; i < picks.size(); i++) {
         AutotuneTrial record;
-        record.decision = pick.decision;
-        record.score = pick.score;
-        record.measuredMs = report.totalMs;
+        record.decision = picks[i].decision;
+        record.score = picks[i].score;
+        record.measuredMs = measuredMs[i];
         result.trials.push_back(record);
 
-        if (pick.decision == result.scoreChoice)
-            result.scoreChoiceMs = report.totalMs;
-        if (!haveBest || report.totalMs < bestMs) {
-            bestMs = report.totalMs;
-            result.best = trial.spec;
-            result.ownedProgram = trial.ownedProgram;
+        if (picks[i].decision == result.scoreChoice)
+            result.scoreChoiceMs = measuredMs[i];
+        if (!haveBest || measuredMs[i] < bestMs) {
+            bestMs = measuredMs[i];
+            bestIdx = i;
             haveBest = true;
         }
     }
     NPP_ASSERT(haveBest, "autotune executed no candidates");
     result.bestMs = bestMs;
-    if (options.reset)
-        options.reset();
+
+    fixed.fixedMapping = picks[bestIdx].decision;
+    CompileResult winner = compileProgram(prog, gpu.config(), fixed);
+    result.best = winner.spec;
+    result.ownedProgram = winner.ownedProgram;
     return result;
 }
 

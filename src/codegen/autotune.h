@@ -31,8 +31,21 @@ struct AutotuneOptions
     int topCandidates = 8;
 
     /** Called before every trial to restore input/output state (needed
-     *  for programs that update arrays in place). */
+     *  for programs that update arrays in place). Setting it forces the
+     *  legacy serial functional trial loop: resets order trials, so
+     *  they cannot run concurrently or metrics-only. */
     std::function<void()> reset;
+
+    /** Evaluate trials concurrently (metrics-only, so the caller's
+     *  buffers are untouched). Ignored when `reset` is set. Trial
+     *  reports and the winning mapping are bit-identical to the serial
+     *  path (tests/sim/determinism_test). */
+    bool parallel = true;
+
+    /** Route trials through the process-wide EvalCache so re-tuning the
+     *  same (program, bindings) skips compile + simulation. Ignored
+     *  when `reset` is set. */
+    bool useCache = true;
 };
 
 /** One executed trial. */

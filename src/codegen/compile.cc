@@ -45,6 +45,10 @@ compileProgram(const Program &sourceProg, const DeviceConfig &device,
     if (options.fuseMapReduce) {
         FusionResult fusion = fuseMapReduce(sourceProg);
         if (fusion.fused > 0) {
+            // Re-validate: the rewrite produced fresh Stmt/Pattern nodes
+            // (and some fresh Exprs) that still need trace-site ids; nodes
+            // shared with sourceProg keep theirs.
+            fusion.program->validate();
             result.ownedProgram = fusion.program;
             result.fusedPatterns = fusion.fused;
             progPtr = result.ownedProgram.get();

@@ -66,9 +66,10 @@ struct KernelSpec
     /** Plans for every ArrayLocal in the program. */
     std::vector<LocalArrayPlan> locals;
 
-    /** Read sites (Expr node addresses) served via shared-memory
-     *  prefetching (Section V-B). */
-    std::unordered_set<const void *> prefetchedSites;
+    /** Read expressions served via shared-memory prefetching
+     *  (Section V-B). The simulator keys its probe by the exprs'
+     *  stable readSite ids, not by these addresses. */
+    std::unordered_set<const Expr *> prefetchedSites;
 
     /** Shared memory bytes per block this spec requires (reduction
      *  scratch + prefetch staging). */

@@ -1,6 +1,5 @@
 #include "ir/expr.h"
 
-#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -9,8 +8,6 @@
 namespace npp {
 
 namespace {
-
-std::atomic<int> nextReadSite{0};
 
 ExprRef
 make(Expr e)
@@ -204,7 +201,6 @@ read(int arrayVarId, ExprRef index, ScalarKind kind)
     e.varId = arrayVarId;
     e.a = std::move(index);
     e.type = kind;
-    e.readSite = nextReadSite.fetch_add(1, std::memory_order_relaxed);
     return make(std::move(e));
 }
 

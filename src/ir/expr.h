@@ -68,8 +68,12 @@ struct Expr
     ExprRef a, b, c;          //!< operands (Read: a = index, Select: c)
     ScalarKind type = ScalarKind::F64;
 
-    /** Each static Read site gets a unique id for memory-trace grouping. */
-    int readSite = -1;
+    /** Memory-trace grouping id of this static Read site. Assigned by
+     *  Program::validate() as the node's pre-order position, so it is
+     *  identical across rebuilds of the same program — the simulator's
+     *  grouping keys must not depend on process state such as node
+     *  addresses (mutable: ids are bookkeeping, not IR semantics). */
+    mutable int readSite = -1;
 };
 
 /** @name Expression factories

@@ -88,6 +88,12 @@ struct Stmt
     /** Nested: the nested pattern. */
     PatternPtr pattern;
 
+    /** Memory-trace grouping id (see Expr::readSite). Assigned by
+     *  Program::validate() from the program's pre-order walk; shares one
+     *  counter with Pattern::site and Expr::readSite so ids are unique
+     *  across all probe key spaces. */
+    mutable int site = -1;
+
     Stmt();
     ~Stmt();
     Stmt(Stmt &&) noexcept;
@@ -131,6 +137,9 @@ struct Pattern
 
     /** Reduce/GroupBy: associative combiner. */
     Op combiner = Op::Add;
+
+    /** Memory-trace grouping id (see Expr::readSite). */
+    mutable int site = -1;
 
     Pattern();
     ~Pattern();

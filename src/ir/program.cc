@@ -1,5 +1,8 @@
 #include "ir/program.h"
 
+#include <algorithm>
+
+#include "ir/traverse.h"
 #include "support/logging.h"
 
 namespace npp {
@@ -143,6 +146,54 @@ validateStmts(const Program &prog, const std::vector<StmtPtr> &stmts,
     }
 }
 
+/**
+ * Assign stable trace-site ids to every Pattern, Stmt, and Read expression
+ * that does not have one yet. Ids are pre-order positions of the program's
+ * structural walk, so rebuilding an identical program yields identical ids
+ * — the simulator's access-grouping keys must not depend on node addresses
+ * (which vary run to run and made simulated metrics nondeterministic).
+ *
+ * Assignment is write-once: nodes that already carry an id keep it. This
+ * matters for rewritten programs (opt/fusion.cc) which share immutable
+ * Expr subtrees with their source — the source's ids stay untouched (so
+ * concurrent compiles of the source only ever *read* them) and only the
+ * rewrite's fresh, thread-private nodes are numbered, continuing after the
+ * largest id already present in the tree.
+ */
+void
+assignTraceSites(const Pattern &root)
+{
+    int maxSite = -1;
+    Walker scan;
+    scan.onPattern = [&](const Pattern &p, const WalkCtx &) {
+        maxSite = std::max(maxSite, p.site);
+    };
+    scan.onStmt = [&](const Stmt &s, const WalkCtx &) {
+        maxSite = std::max(maxSite, s.site);
+    };
+    scan.onExpr = [&](const Expr &e, const WalkCtx &) {
+        if (e.kind == ExprKind::Read)
+            maxSite = std::max(maxSite, e.readSite);
+    };
+    walkPattern(root, scan);
+
+    int next = maxSite + 1;
+    Walker assign;
+    assign.onPattern = [&](const Pattern &p, const WalkCtx &) {
+        if (p.site < 0)
+            p.site = next++;
+    };
+    assign.onStmt = [&](const Stmt &s, const WalkCtx &) {
+        if (s.site < 0)
+            s.site = next++;
+    };
+    assign.onExpr = [&](const Expr &e, const WalkCtx &) {
+        if (e.kind == ExprKind::Read && e.readSite < 0)
+            e.readSite = next++;
+    };
+    walkPattern(root, assign);
+}
+
 } // namespace
 
 void
@@ -151,6 +202,7 @@ Program::validate() const
     if (!root_)
         NPP_FATAL("{}: no root pattern", name_);
     validatePattern(*this, *root_, true);
+    assignTraceSites(*root_);
 
     const Pattern &r = *root_;
     const bool yields = r.kind != PatternKind::Foreach;

@@ -20,8 +20,8 @@ namespace npp {
 /** Result of the prefetch analysis. */
 struct PrefetchPlan
 {
-    /** Read sites (Expr node addresses) staged through shared memory. */
-    std::unordered_set<const void *> sites;
+    /** Read expressions staged through shared memory. */
+    std::unordered_set<const Expr *> sites;
     /** Shared memory bytes per block needed for the staging buffers. */
     int64_t sharedBytes = 0;
 };

@@ -1,5 +1,7 @@
 #include "runtime/binding.h"
 
+#include <cstring>
+
 #include "support/logging.h"
 
 namespace npp {
@@ -56,6 +58,52 @@ Bindings::seed(EvalCtx &ctx) const
             ctx.arrays[v.id] = arrays_[v.id];
         }
     }
+}
+
+namespace {
+
+/** One word-at-a-time hash step (order-dependent, ~4 ops/word — the
+ *  fingerprint walks every bound array element, so this is hot). */
+inline uint64_t
+mixWord(uint64_t h, uint64_t v)
+{
+    h += v * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    h *= 0xff51afd7ed558ccdULL;
+    return h;
+}
+
+inline uint64_t
+mixDouble(uint64_t h, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mixWord(h, bits);
+}
+
+} // namespace
+
+uint64_t
+Bindings::fingerprint() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &v : prog_->vars()) {
+        if (v.role == VarRole::ScalarParam) {
+            h = mixWord(h, static_cast<uint64_t>(v.id));
+            h = mixWord(h, scalarBound_[v.id] ? 1 : 0);
+            h = mixDouble(h, scalars_[v.id]);
+        } else if (v.role == VarRole::ArrayParam) {
+            const ArraySlot &slot = arrays_[v.id];
+            h = mixWord(h, static_cast<uint64_t>(v.id));
+            h = mixWord(h, static_cast<uint64_t>(slot.size));
+            if (slot.data) {
+                for (int64_t i = 0; i < slot.physSize; i++)
+                    h = mixDouble(h, slot.data[i]);
+            }
+        }
+    }
+    return h;
 }
 
 double

@@ -37,6 +37,16 @@ class Bindings
     /** Value of a bound scalar param (fatal if unbound). */
     double scalarValue(int varId) const;
 
+    /** Stable fingerprint of everything bound: scalar values, array
+     *  sizes and full contents. Two bindings with equal fingerprints
+     *  drive a program identically, which is what the evaluation cache
+     *  keys on. O(total array elements). */
+    uint64_t fingerprint() const;
+
+    /** Slot of an array param (null data when unbound); used by the
+     *  evaluation cache to capture and replay output contents. */
+    const ArraySlot &arraySlot(int varId) const { return arrays_[varId]; }
+
     const Program &program() const { return *prog_; }
 
   private:

@@ -7,7 +7,7 @@
 namespace npp {
 
 double
-loadArray(const void *site, int arrayVar, int64_t logical, EvalCtx &ctx)
+loadArray(int64_t site, int arrayVar, int64_t logical, EvalCtx &ctx)
 {
     const ArraySlot &slot = ctx.arrays[arrayVar];
     NPP_ASSERT(slot.data != nullptr, "read of unbound array {}",
@@ -24,7 +24,7 @@ loadArray(const void *site, int arrayVar, int64_t logical, EvalCtx &ctx)
 }
 
 void
-storeArray(const void *site, int arrayVar, int64_t logical, double value,
+storeArray(int64_t site, int arrayVar, int64_t logical, double value,
            EvalCtx &ctx)
 {
     const ArraySlot &slot = ctx.arrays[arrayVar];
@@ -73,7 +73,7 @@ evalExpr(const Expr *expr, EvalCtx &ctx)
       case ExprKind::Read: {
         ctx.opCount += ctx.accessOpCost;
         const double idx = evalExpr(expr->a.get(), ctx);
-        return loadArray(expr, expr->varId,
+        return loadArray(expr->readSite, expr->varId,
                          static_cast<int64_t>(std::llround(idx)), ctx);
       }
     }

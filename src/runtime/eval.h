@@ -51,14 +51,17 @@ struct ArraySlot
 
 /**
  * Observer for array traffic. `site` identifies the static access site
- * (the Expr/Stmt node address), which the coalescing model uses to group
- * the accesses that the 32 lanes of a warp issue together.
+ * (the Expr/Stmt/Pattern trace-site id assigned by Program::validate()),
+ * which the coalescing model uses to group the accesses that the 32 lanes
+ * of a warp issue together. Ids are stable across rebuilds of the same
+ * program, so simulated metrics are bit-reproducible; node addresses are
+ * not and must never leak into probe keys.
  */
 class MemProbe
 {
   public:
     virtual ~MemProbe() = default;
-    virtual void onAccess(const void *site, int arrayVar, int64_t physIndex,
+    virtual void onAccess(int64_t site, int arrayVar, int64_t physIndex,
                           bool isWrite, int bytes) = 0;
 };
 
@@ -99,12 +102,11 @@ evalExpr(const ExprRef &expr, EvalCtx &ctx)
 }
 
 /** Bounds-checked array read through a slot, reporting to the probe. */
-double loadArray(const void *site, int arrayVar, int64_t logical,
-                 EvalCtx &ctx);
+double loadArray(int64_t site, int arrayVar, int64_t logical, EvalCtx &ctx);
 
 /** Bounds-checked array write through a slot, reporting to the probe. */
-void storeArray(const void *site, int arrayVar, int64_t logical,
-                double value, EvalCtx &ctx);
+void storeArray(int64_t site, int arrayVar, int64_t logical, double value,
+                EvalCtx &ctx);
 
 } // namespace npp
 

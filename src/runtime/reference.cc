@@ -19,7 +19,7 @@ class CountingProbe : public MemProbe
 {
   public:
     void
-    onAccess(const void *, int, int64_t, bool isWrite, int bytes) override
+    onAccess(int64_t, int, int64_t, bool isWrite, int bytes) override
     {
         if (isWrite)
             bytesWritten += bytes;
@@ -57,7 +57,7 @@ class SeqExec
                 counts.iterations++;
                 ctx.scalars[p.indexVar] = static_cast<double>(i);
                 runStmts(p.body);
-                storeArray(&p, out, i, evalExpr(p.yield, ctx), ctx);
+                storeArray(p.site, out, i, evalExpr(p.yield, ctx), ctx);
             }
             break;
           case PatternKind::Foreach:
@@ -75,7 +75,7 @@ class SeqExec
                 runStmts(p.body);
                 acc = applyOp(p.combiner, acc, evalExpr(p.yield, ctx));
             }
-            storeArray(&p, out, 0, acc, ctx);
+            storeArray(p.site, out, 0, acc, ctx);
             break;
           }
           case PatternKind::Filter: {
@@ -85,11 +85,11 @@ class SeqExec
                 ctx.scalars[p.indexVar] = static_cast<double>(i);
                 runStmts(p.body);
                 if (evalExpr(p.filterPred, ctx) != 0.0) {
-                    storeArray(&p, out, kept, evalExpr(p.yield, ctx), ctx);
+                    storeArray(p.site, out, kept, evalExpr(p.yield, ctx), ctx);
                     kept++;
                 }
             }
-            storeArray(&p, prog.countOutput(), 0,
+            storeArray(p.site, prog.countOutput(), 0,
                        static_cast<double>(kept), ctx);
             break;
           }
@@ -97,7 +97,7 @@ class SeqExec
             // Initialize the key domain to the combiner identity.
             const ArraySlot &slot = ctx.arrays[out];
             for (int64_t k = 0; k < slot.size; k++)
-                storeArray(&p, out, k, combinerIdentity(p.combiner), ctx);
+                storeArray(p.site, out, k, combinerIdentity(p.combiner), ctx);
             for (int64_t i = 0; i < n; i++) {
                 counts.iterations++;
                 ctx.scalars[p.indexVar] = static_cast<double>(i);
@@ -106,8 +106,8 @@ class SeqExec
                 NPP_ASSERT(key >= 0 && key < slot.size,
                            "groupBy key {} outside key domain {}", key,
                            slot.size);
-                const double prev = loadArray(&p, out, key, ctx);
-                storeArray(&p, out, key,
+                const double prev = loadArray(p.site, out, key, ctx);
+                storeArray(p.site, out, key,
                            applyOp(p.combiner, prev, evalExpr(p.yield, ctx)),
                            ctx);
             }
@@ -142,7 +142,7 @@ class SeqExec
                 counts.iterations++;
                 ctx.scalars[p.indexVar] = static_cast<double>(i);
                 runStmts(p.body);
-                storeArray(&p, stmt.var, i, evalExpr(p.yield, ctx), ctx);
+                storeArray(p.site, stmt.var, i, evalExpr(p.yield, ctx), ctx);
             }
             break;
           }
@@ -180,7 +180,7 @@ class SeqExec
                 ctx.scalars[s->var] = evalExpr(s->value, ctx);
                 break;
               case StmtKind::Store:
-                storeArray(s.get(), s->array,
+                storeArray(s->site, s->array,
                            asIndex(evalExpr(s->index, ctx)),
                            evalExpr(s->value, ctx), ctx);
                 break;

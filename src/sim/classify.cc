@@ -1,0 +1,364 @@
+#include "sim/classify.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/affine.h"
+#include "ir/traverse.h"
+#include "support/logging.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace npp {
+
+namespace {
+
+class Analyzer
+{
+  public:
+    Analyzer(const KernelSpec &spec, const LaunchGeometry &geom,
+             const std::vector<int64_t> &levelSizes, const EvalCtx &ctx,
+             const DeviceConfig &device)
+        : spec(spec),
+          prog(*spec.prog),
+          geom(geom),
+          levelSizes(levelSizes),
+          device(device)
+    {
+        env.prog = &prog;
+        for (const auto &v : prog.vars()) {
+            if (v.role == VarRole::ScalarParam)
+                env.paramValues[v.id] = ctx.scalars[v.id];
+        }
+        chainVars.assign(geom.levels.size(), -1);
+    }
+
+    BlockClassPlan
+    analyze()
+    {
+        for (const auto &g : geom.levels) {
+            if (g.span.kind == SpanKind::Split)
+                fail("split span carries cross-block partials");
+        }
+        if (ok)
+            walkPatternNode(prog.root(), 0, /*resultVar=*/-1,
+                            /*isRoot=*/true);
+
+        BlockClassPlan plan;
+        plan.classable = ok;
+        plan.reason = reason;
+        return plan;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok) {
+            ok = false;
+            reason = why;
+        }
+    }
+
+    int64_t
+    blockStepElems(int lv) const
+    {
+        const auto &g = geom.levels[lv];
+        switch (g.span.kind) {
+          case SpanKind::One:
+            return g.blockSize;
+          case SpanKind::N:
+            return g.blockSize * g.span.factor;
+          case SpanKind::All:
+          case SpanKind::Split:
+            return 0; // single block / gated earlier
+        }
+        return 0;
+    }
+
+    /** Value identical for corresponding lanes of any two blocks: free of
+     *  parallel indices, reads, and mutable locals after let expansion. */
+    bool
+    blockUniform(const ExprRef &expr)
+    {
+        if (!expr)
+            return true;
+        bool uniform = true;
+        walkExpr(resolveLocals(expr, env), [&](const Expr &x) {
+            if (x.kind == ExprKind::Read)
+                uniform = false;
+            if (x.kind == ExprKind::Var) {
+                const VarInfo &v = prog.var(x.varId);
+                if (v.role == VarRole::Index || v.isMutable ||
+                    dynamicVars.count(x.varId)) {
+                    uniform = false;
+                }
+            }
+        });
+        return uniform;
+    }
+
+    /** Check control sites in an expression tree: Select conditions and
+     *  And/Or short-circuit operands decide branch choice and op count,
+     *  so they must be block-uniform. Array reads inside feed the address
+     *  check. */
+    void
+    checkExpr(const ExprRef &expr)
+    {
+        if (!expr || !ok)
+            return;
+        walkExpr(expr, [&](const Expr &x) {
+            if (!ok)
+                return;
+            if (x.kind == ExprKind::Select && !blockUniform(x.a))
+                fail("select condition varies across blocks");
+            if (x.kind == ExprKind::Binary &&
+                (x.op == Op::And || x.op == Op::Or) && !blockUniform(x.a)) {
+                fail("short-circuit operand varies across blocks");
+            }
+            if (x.kind == ExprKind::Read)
+                checkAddress(x.varId, x.a);
+        });
+    }
+
+    /** Affine + alignment check for one array access. */
+    void
+    checkAddress(int arrayVar, const ExprRef &indexExpr)
+    {
+        if (!ok)
+            return;
+        const VarInfo &av = prog.var(arrayVar);
+        const ExprRef resolved = resolveLocals(indexExpr, env);
+
+        bool clean = true;
+        walkExpr(resolved, [&](const Expr &x) {
+            if (x.kind == ExprKind::Read)
+                clean = false;
+            if (x.kind == ExprKind::Var && (prog.var(x.varId).isMutable ||
+                                            dynamicVars.count(x.varId))) {
+                clean = false;
+            }
+        });
+        if (!clean) {
+            fail(fmt("data-dependent address into {}", av.name));
+            return;
+        }
+
+        std::vector<double> coeffs(geom.levels.size(), 0.0);
+        for (size_t lv = 0; lv < chainVars.size(); lv++) {
+            if (chainVars[lv] < 0)
+                continue;
+            const auto c = coeffOf(resolved, chainVars[lv], env);
+            if (!c) {
+                fail(fmt("non-affine index into {}", av.name));
+                return;
+            }
+            coeffs[lv] = *c;
+        }
+        checkCoeffs(arrayVar, coeffs);
+    }
+
+    /** Fold the slot address transform into the logical coefficients and
+     *  require transaction-aligned per-block shifts. */
+    void
+    checkCoeffs(int arrayVar, const std::vector<double> &logical)
+    {
+        const VarInfo &av = prog.var(arrayVar);
+        std::vector<double> eff(geom.levels.size(), 0.0);
+
+        if (av.role == VarRole::ArrayLocal) {
+            const LocalArrayPlan *plan = nullptr;
+            for (const auto &p : spec.locals) {
+                if (p.varId == arrayVar)
+                    plan = &p;
+            }
+            if (!plan) {
+                fail(fmt("array local {} without plan", av.name));
+                return;
+            }
+            const auto sizeIt = localInnerSize.find(arrayVar);
+            if (sizeIt == localInnerSize.end()) {
+                fail(fmt("local {} size not launch-known", av.name));
+                return;
+            }
+            const int64_t innerSize = sizeIt->second;
+            // Mirror bindLocalArray: the device address of logical index
+            // l under enclosing tuple `outer` is base + outer*K + l*S.
+            int64_t K = 0;
+            int64_t S = 1;
+            if (plan->mode == LocalArrayPlan::Mode::ThreadMalloc) {
+                K = roundUp(innerSize + device.transactionBytes / 8, 16);
+            } else if (plan->layout == LocalArrayPlan::Layout::Contiguous) {
+                K = innerSize;
+            } else {
+                K = 1;
+                S = 1;
+                for (int lv = 0; lv < plan->definingLevel; lv++)
+                    S *= std::max<int64_t>(levelSizes[lv], 1);
+            }
+            // outer = sum_lv idx_lv * prod_{m in (lv, def)} levelSizes[m]
+            for (int lv = 0; lv < plan->definingLevel &&
+                             lv < static_cast<int>(eff.size());
+                 lv++) {
+                int64_t prod = 1;
+                for (int m = lv + 1; m < plan->definingLevel; m++)
+                    prod *= std::max<int64_t>(levelSizes[m], 1);
+                eff[lv] = static_cast<double>(prod * K);
+            }
+            for (size_t lv = 0; lv < eff.size(); lv++)
+                eff[lv] += logical[lv] * static_cast<double>(S);
+        } else {
+            // Array params: addrBase separates arrays, addrStride is 1.
+            eff = logical;
+        }
+
+        const int elemBytes = scalarBytes(av.kind);
+        for (size_t lv = 0; lv < eff.size(); lv++) {
+            if (geom.levels[lv].blocks <= 1)
+                continue;
+            const double coeff = eff[lv];
+            if (coeff != std::floor(coeff)) {
+                fail(fmt("fractional address coefficient into {}", av.name));
+                return;
+            }
+            const double shiftBytes =
+                coeff * static_cast<double>(blockStepElems(lv)) * elemBytes;
+            if (std::fmod(shiftBytes,
+                          static_cast<double>(device.transactionBytes)) !=
+                0.0) {
+                fail(fmt("{}: level {} block shift {}B not transaction-"
+                         "aligned",
+                         av.name, lv, shiftBytes));
+                return;
+            }
+        }
+    }
+
+    void
+    walkStmts(const std::vector<StmtPtr> &stmts, int lv)
+    {
+        for (const auto &s : stmts) {
+            if (!ok)
+                return;
+            switch (s->kind) {
+              case StmtKind::Let:
+                checkExpr(s->value);
+                if (!prog.var(s->var).isMutable) {
+                    env.localDefs[s->var] = resolveLocals(s->value, env);
+                }
+                break;
+              case StmtKind::Assign:
+                checkExpr(s->value);
+                break;
+              case StmtKind::Store:
+                checkExpr(s->index);
+                checkExpr(s->value);
+                checkAddress(s->array, s->index);
+                break;
+              case StmtKind::If:
+                if (!blockUniform(s->cond))
+                    fail("if condition varies across blocks");
+                checkExpr(s->cond);
+                walkStmts(s->body, lv);
+                walkStmts(s->elseBody, lv);
+                break;
+              case StmtKind::SeqLoop:
+                if (!blockUniform(s->trip))
+                    fail("loop trip varies across blocks");
+                if (s->cond && !blockUniform(s->cond))
+                    fail("loop break varies across blocks");
+                checkExpr(s->trip);
+                checkExpr(s->cond);
+                walkStmts(s->body, lv);
+                break;
+              case StmtKind::Nested:
+                // A nested pattern's result (reduce scalar, map array) is
+                // data, not geometry: it must never steer control flow or
+                // addressing in a classed launch.
+                if (s->var >= 0)
+                    dynamicVars.insert(s->var);
+                walkPatternNode(*s->pattern, lv + 1, s->var,
+                                /*isRoot=*/false);
+                break;
+            }
+        }
+    }
+
+    void
+    walkPatternNode(const Pattern &p, int lv, int resultVar, bool isRoot)
+    {
+        if (!ok)
+            return;
+        if (p.kind == PatternKind::Filter || p.kind == PatternKind::GroupBy) {
+            fail(fmt("{} pattern carries cross-block state",
+                     patternKindName(p.kind)));
+            return;
+        }
+        if (lv >= static_cast<int>(geom.levels.size())) {
+            fail("pattern deeper than mapped levels");
+            return;
+        }
+        const auto size = constEval(p.size, env);
+        if (!size) {
+            fail("pattern size not launch-known");
+            return;
+        }
+
+        chainVars[lv] = p.indexVar;
+
+        // Register the defining size of a nested array-local result so
+        // local accesses can fold the layout coefficients.
+        if (resultVar >= 0 &&
+            prog.var(resultVar).role == VarRole::ArrayLocal) {
+            localInnerSize[resultVar] = static_cast<int64_t>(*size);
+        }
+
+        walkStmts(p.body, lv);
+        checkExpr(p.yield);
+
+        // Where do the yields land? Root maps store to the root output
+        // at the pattern index (coefficient 1 at this level); nested
+        // maps store into the local array the same way. Root reduces
+        // store only from block 0, which the executor salts into its own
+        // class.
+        if (p.kind == PatternKind::Map || p.kind == PatternKind::ZipWith) {
+            std::vector<double> coeffs(geom.levels.size(), 0.0);
+            coeffs[lv] = 1.0;
+            if (isRoot) {
+                checkCoeffs(prog.rootOutput(), coeffs);
+            } else if (resultVar >= 0) {
+                checkCoeffs(resultVar, coeffs);
+            }
+        }
+
+        chainVars[lv] = -1;
+    }
+
+    const KernelSpec &spec;
+    const Program &prog;
+    const LaunchGeometry &geom;
+    const std::vector<int64_t> &levelSizes;
+    const DeviceConfig &device;
+
+    AnalysisEnv env;
+    std::vector<int> chainVars;
+    std::unordered_map<int, int64_t> localInnerSize;
+    std::unordered_set<int> dynamicVars;
+
+    bool ok = true;
+    std::string reason;
+};
+
+} // namespace
+
+BlockClassPlan
+analyzeBlockClasses(const KernelSpec &spec, const LaunchGeometry &geom,
+                    const std::vector<int64_t> &levelSizes,
+                    const EvalCtx &ctx, const DeviceConfig &device)
+{
+    Analyzer analyzer(spec, geom, levelSizes, ctx, device);
+    return analyzer.analyze();
+}
+
+} // namespace npp

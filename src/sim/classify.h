@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Legality analysis for block-equivalence-class simulation. Two thread
+ * blocks of a launch are equivalent when their interpreted behavior —
+ * instruction counts, shared-memory traffic, and coalesced-transaction
+ * counts — is identical up to the affine contribution of the block index
+ * to every memory address. The executor then simulates one representative
+ * per class and replicates its per-block metric deltas across the class.
+ *
+ * The analysis is conservative. A launch is classable when:
+ *
+ *  1. Control flow is block-uniform: every pattern size and SeqLoop trip
+ *     is launch-known, and every If/Select condition and And/Or
+ *     short-circuit operand is free of parallel indices, array reads, and
+ *     mutable locals (its value, and hence branch choice and op count, is
+ *     identical for corresponding lanes of any two blocks).
+ *  2. Every array address is affine in the enclosing parallel indices
+ *     with launch-known integral coefficients, and for every level with
+ *     more than one block the per-block address shift
+ *     (coefficient x block step x element bytes) is a multiple of the
+ *     transaction size, so the segment-count of every warp access group
+ *     is translation invariant.
+ *  3. No Filter/GroupBy patterns and no Split spans (they carry
+ *     cross-block state: output cursors, key combines, split partials).
+ *
+ * Local arrays (prealloc or thread-malloc) participate: their simulated
+ * device addresses are themselves affine in the enclosing indices, so the
+ * layout contribution is folded into the per-level coefficients before
+ * the alignment check.
+ */
+
+#ifndef NPP_SIM_CLASSIFY_H
+#define NPP_SIM_CLASSIFY_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/target.h"
+#include "codegen/plan.h"
+#include "runtime/eval.h"
+
+namespace npp {
+
+/** Result of the classability analysis for one launch. */
+struct BlockClassPlan
+{
+    bool classable = false;
+    /** First disqualifying reason when !classable (diagnostics). */
+    std::string reason;
+};
+
+/**
+ * Analyze one launch. `geom` and `levelSizes` are the resolved launch
+ * geometry; `ctx` supplies the actual scalar-param values (the analysis
+ * folds coefficients against them, not against hints).
+ */
+BlockClassPlan analyzeBlockClasses(const KernelSpec &spec,
+                                   const LaunchGeometry &geom,
+                                   const std::vector<int64_t> &levelSizes,
+                                   const EvalCtx &ctx,
+                                   const DeviceConfig &device);
+
+} // namespace npp
+
+#endif // NPP_SIM_CLASSIFY_H

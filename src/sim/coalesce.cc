@@ -14,7 +14,7 @@ mix(uint64_t h, uint64_t v)
 } // namespace
 
 void
-CoalesceProbe::onAccess(const void *site, int arrayVar, int64_t physIndex,
+CoalesceProbe::onAccess(int64_t site, int arrayVar, int64_t physIndex,
                         bool isWrite, int bytes)
 {
     (void)arrayVar;
@@ -34,7 +34,7 @@ CoalesceProbe::onAccess(const void *site, int arrayVar, int64_t physIndex,
     }
 
     if (lineReuse) {
-        uint64_t tkey = mix(reinterpret_cast<uint64_t>(site),
+        uint64_t tkey = mix(static_cast<uint64_t>(site),
                             static_cast<uint64_t>(warpTile) * 37 +
                                 static_cast<uint64_t>(laneInWarp));
         auto [it, fresh] = lastLine.try_emplace(tkey, segment);
@@ -45,7 +45,7 @@ CoalesceProbe::onAccess(const void *site, int arrayVar, int64_t physIndex,
         }
     }
 
-    uint64_t key = mix(reinterpret_cast<uint64_t>(site), sig);
+    uint64_t key = mix(static_cast<uint64_t>(site), sig);
     key = mix(key, static_cast<uint64_t>(warpTile));
 
     Pending &p = pending[key];

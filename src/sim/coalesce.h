@@ -66,14 +66,15 @@ class CoalesceProbe : public MemProbe
     bool lineReuse = false;
     /** @} */
 
-    /** Sites served via shared-memory prefetch (from the KernelSpec). */
-    const std::unordered_set<const void *> *prefetchedSites = nullptr;
+    /** Trace-site ids served via shared-memory prefetch (derived from the
+     *  KernelSpec's prefetched read expressions by the executor). */
+    const std::unordered_set<int64_t> *prefetchedSites = nullptr;
 
     /** When false, accesses only count useful bytes (functional pass on
      *  unsampled blocks). */
     bool countTraffic = true;
 
-    void onAccess(const void *site, int arrayVar, int64_t physIndex,
+    void onAccess(int64_t site, int arrayVar, int64_t physIndex,
                   bool isWrite, int bytes) override;
 
     /** Flush all incomplete warp accesses (end of block). */

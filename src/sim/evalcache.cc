@@ -1,0 +1,364 @@
+#include "sim/evalcache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/printer.h"
+
+namespace npp {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t
+fnvBytes(const void *data, size_t n, uint64_t h = kFnvBasis)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    return fnvBytes(&v, sizeof(v), h);
+}
+
+uint64_t
+mixDouble(uint64_t h, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(h, bits);
+}
+
+/** Order-independent digest of an unordered int->double map. */
+uint64_t
+mixMap(uint64_t h, const std::unordered_map<int, double> &m)
+{
+    uint64_t acc = 0;
+    for (const auto &[k, v] : m) {
+        uint64_t one = mix(kFnvBasis, static_cast<uint64_t>(k));
+        one = mixDouble(one, v);
+        acc += one; // commutative fold: iteration order must not matter
+    }
+    h = mix(h, static_cast<uint64_t>(m.size()));
+    return mix(h, acc);
+}
+
+int64_t
+readCapacityBytes()
+{
+    if (const char *off = std::getenv("NPP_EVAL_CACHE"))
+        if (std::strcmp(off, "0") == 0)
+            return 0;
+    int64_t mb = 4096;
+    if (const char *env = std::getenv("NPP_EVAL_CACHE_MB"))
+        mb = std::strtoll(env, nullptr, 10);
+    return mb * 1024 * 1024;
+}
+
+} // namespace
+
+struct EvalCache::Impl
+{
+    struct Entry
+    {
+        uint64_t key = 0;
+        SimReport report;
+        bool hasOutputs = false;
+        /** (varId, contents) per output array, captured from a
+         *  functional run so wantOutputs hits can replay them. */
+        std::vector<std::pair<int, std::vector<double>>> outputs;
+        uint64_t bytes = 0;
+    };
+
+    mutable std::mutex mu;
+    std::list<Entry> lru; // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    void
+    evictTo(uint64_t capacity)
+    {
+        while (bytes > capacity && !lru.empty()) {
+            const Entry &victim = lru.back();
+            bytes -= victim.bytes;
+            index.erase(victim.key);
+            lru.pop_back();
+        }
+    }
+};
+
+EvalCache::EvalCache()
+    : impl_(new Impl),
+      capacityBytes_(readCapacityBytes())
+{}
+
+EvalCache &
+EvalCache::instance()
+{
+    // Intentionally leaked: outlives every static destructor that might
+    // still evaluate programs.
+    static EvalCache *cache = new EvalCache();
+    return *cache;
+}
+
+uint64_t
+EvalCache::hashProgram(const Program &prog)
+{
+    const std::string text = printProgram(prog);
+    uint64_t h = fnvBytes(text.data(), text.size());
+    return mixMap(h, prog.sizeHints());
+}
+
+uint64_t
+EvalCache::hashCompileOptions(const CompileOptions &copts)
+{
+    uint64_t h = kFnvBasis;
+    h = mix(h, static_cast<uint64_t>(copts.strategy));
+    h = mix(h, copts.fixedMapping.hashValue());
+    h = mix(h, copts.prealloc.enable ? 1 : 0);
+    h = mix(h, copts.prealloc.layoutFromMapping ? 1 : 0);
+    h = mix(h, copts.smemPrefetch ? 1 : 0);
+    h = mixMap(h, copts.paramValues);
+    h = mix(h, static_cast<uint64_t>(copts.objective));
+    h = mix(h, copts.rawPointers ? 1 : 0);
+    h = mix(h, copts.fuseMapReduce ? 1 : 0);
+    // keepCandidates only adds diagnostics; it cannot change the spec,
+    // so it is deliberately excluded from the key.
+    return h;
+}
+
+uint64_t
+EvalCache::hashDevice(const DeviceConfig &d)
+{
+    uint64_t h = fnvBytes(d.name.data(), d.name.size());
+    h = mix(h, static_cast<uint64_t>(d.numSMs));
+    h = mix(h, static_cast<uint64_t>(d.warpSize));
+    h = mix(h, static_cast<uint64_t>(d.maxThreadsPerBlock));
+    h = mix(h, static_cast<uint64_t>(d.maxThreadsPerSM));
+    h = mix(h, static_cast<uint64_t>(d.maxBlocksPerSM));
+    for (int dim : d.maxBlockDim)
+        h = mix(h, static_cast<uint64_t>(dim));
+    h = mix(h, static_cast<uint64_t>(d.dpLanesPerSM));
+    h = mixDouble(h, d.clockGHz);
+    h = mix(h, static_cast<uint64_t>(d.sharedMemPerSM));
+    h = mix(h, static_cast<uint64_t>(d.sharedMemPerBlockLimit));
+    h = mixDouble(h, d.dramBandwidthGBs);
+    h = mixDouble(h, d.memLatencyCycles);
+    h = mix(h, static_cast<uint64_t>(d.transactionBytes));
+    h = mix(h, static_cast<uint64_t>(d.sharedMemBanks));
+    h = mix(h, static_cast<uint64_t>(d.l1CacheBytes));
+    h = mixDouble(h, d.pcieBandwidthGBs);
+    h = mixDouble(h, d.kernelLaunchOverheadUs);
+    h = mixDouble(h, d.blockScheduleCycles);
+    h = mixDouble(h, d.deviceMallocCycles);
+    h = mixDouble(h, d.mallocParallelism);
+    h = mixDouble(h, d.syncthreadsCycles);
+    h = mixDouble(h, d.wrapperTrafficFactor);
+    h = mix(h, static_cast<uint64_t>(d.minBlockSize));
+    h = mix(h, static_cast<uint64_t>(d.maxLogicalDims));
+    return h;
+}
+
+uint64_t
+EvalCache::hashBindings(const Bindings &args)
+{
+    return args.fingerprint();
+}
+
+uint64_t
+EvalCache::hashExec(const ExecOptions &eopts)
+{
+    // metricsOnly and blockClasses are excluded on purpose: they are
+    // report-identical execution modes (determinism test), so trials in
+    // any mode can share entries.
+    return mix(kFnvBasis, static_cast<uint64_t>(eopts.maxSampledBlocks));
+}
+
+uint64_t
+EvalCache::combine(uint64_t a, uint64_t b)
+{
+    return mix(mix(kFnvBasis, a), b);
+}
+
+std::optional<SimReport>
+EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args)
+{
+    if (!enabled())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->index.find(key);
+    if (it == impl_->index.end()) {
+        impl_->misses++;
+        return std::nullopt;
+    }
+    Impl::Entry &entry = *it->second;
+    if (wantOutputs) {
+        // A report-only entry cannot satisfy a functional request.
+        if (!entry.hasOutputs) {
+            impl_->misses++;
+            return std::nullopt;
+        }
+        for (const auto &[varId, contents] : entry.outputs) {
+            const ArraySlot &slot = args->arraySlot(varId);
+            if (!slot.data ||
+                slot.physSize != static_cast<int64_t>(contents.size())) {
+                impl_->misses++;
+                return std::nullopt;
+            }
+        }
+        for (const auto &[varId, contents] : entry.outputs) {
+            const ArraySlot &slot = args->arraySlot(varId);
+            std::memcpy(const_cast<double *>(slot.data), contents.data(),
+                        contents.size() * sizeof(double));
+        }
+    }
+    impl_->hits++;
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    return entry.report;
+}
+
+void
+EvalCache::store(uint64_t key, const SimReport &report,
+                 const Bindings *outputsOf)
+{
+    if (!enabled())
+        return;
+    Impl::Entry entry;
+    entry.key = key;
+    entry.report = report;
+    entry.bytes = sizeof(Impl::Entry) + 64; // index/list overhead estimate
+    if (outputsOf) {
+        entry.hasOutputs = true;
+        const Program &prog = outputsOf->program();
+        for (const auto &v : prog.vars()) {
+            if (v.role != VarRole::ArrayParam || !v.isOutput)
+                continue;
+            const ArraySlot &slot = outputsOf->arraySlot(v.id);
+            if (!slot.data)
+                continue;
+            entry.outputs.emplace_back(
+                v.id,
+                std::vector<double>(slot.data, slot.data + slot.physSize));
+            entry.bytes += slot.physSize * sizeof(double);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->index.find(key);
+    if (it != impl_->index.end()) {
+        // Concurrent misses can race to store the same evaluation; keep
+        // whichever entry carries outputs (they are otherwise equal).
+        if (it->second->hasOutputs && !entry.hasOutputs) {
+            impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+            return;
+        }
+        impl_->bytes -= it->second->bytes;
+        impl_->lru.erase(it->second);
+        impl_->index.erase(it);
+    }
+    impl_->bytes += entry.bytes;
+    impl_->lru.push_front(std::move(entry));
+    impl_->index[key] = impl_->lru.begin();
+    impl_->evictTo(static_cast<uint64_t>(capacityBytes_));
+}
+
+EvalCacheStats
+EvalCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    EvalCacheStats s;
+    s.hits = impl_->hits;
+    s.misses = impl_->misses;
+    s.entries = impl_->lru.size();
+    s.bytes = impl_->bytes;
+    return s;
+}
+
+void
+EvalCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->lru.clear();
+    impl_->index.clear();
+    impl_->bytes = 0;
+    impl_->hits = 0;
+    impl_->misses = 0;
+}
+
+void
+EvalCache::setCapacityBytes(int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    capacityBytes_ = bytes;
+    impl_->evictTo(static_cast<uint64_t>(bytes > 0 ? bytes : 0));
+}
+
+void
+EvalCache::resetCounters()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->hits = 0;
+    impl_->misses = 0;
+}
+
+SimReport
+cachedCompileAndRun(const Gpu &gpu, const Program &prog,
+                    const Bindings &args, const CompileOptions &copts,
+                    const ExecOptions &eopts, bool wantOutputs)
+{
+    EvalCache &cache = EvalCache::instance();
+    ExecOptions eo = eopts;
+    eo.metricsOnly = !wantOutputs;
+    if (!cache.enabled())
+        return gpu.compileAndRun(prog, args, copts, eo);
+
+    const uint64_t specSeed = EvalCache::combine(
+        EvalCache::combine(EvalCache::hashProgram(prog),
+                           EvalCache::hashCompileOptions(copts)),
+        EvalCache::hashDevice(gpu.config()));
+    const uint64_t key = EvalCache::combine(
+        EvalCache::combine(specSeed, EvalCache::hashBindings(args)),
+        EvalCache::hashExec(eo));
+    if (auto hit = cache.find(key, wantOutputs, &args))
+        return *hit;
+    SimReport report = gpu.compileAndRun(prog, args, copts, eo);
+    cache.store(key, report, wantOutputs ? &args : nullptr);
+    return report;
+}
+
+SimReport
+cachedRun(const Gpu &gpu, const KernelSpec &spec, const Bindings &args,
+          const ExecOptions &eopts, uint64_t specSeed, bool wantOutputs)
+{
+    EvalCache &cache = EvalCache::instance();
+    ExecOptions eo = eopts;
+    eo.metricsOnly = !wantOutputs;
+    if (!cache.enabled())
+        return gpu.run(spec, args, eo);
+
+    const uint64_t key = EvalCache::combine(
+        EvalCache::combine(specSeed, EvalCache::hashBindings(args)),
+        EvalCache::hashExec(eo));
+    if (auto hit = cache.find(key, wantOutputs, &args))
+        return *hit;
+    SimReport report = gpu.run(spec, args, eo);
+    cache.store(key, report, wantOutputs ? &args : nullptr);
+    return report;
+}
+
+} // namespace npp

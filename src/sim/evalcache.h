@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Memoization cache for compile-and-simulate evaluations. Autotune picks,
+ * figure sweeps, and repeated Runner launches frequently re-evaluate the
+ * exact same (program, mapping/options, bindings) triple; the cache keys
+ * evaluations by structural program hash, compile-option hash (including
+ * the MappingDecision), binding fingerprint (scalar values, array sizes
+ * and contents), and execution-option hash, and returns the memoized
+ * SimReport — skipping both compileProgram and the simulated run.
+ *
+ * Invalidation rules (see DESIGN.md "Performance architecture"):
+ *  - any change to the program text, size hints, compile options, device
+ *    parameters, bound scalars, or bound array contents changes the key
+ *    (there is no in-place invalidation — stale entries age out via LRU);
+ *  - metricsOnly/blockClasses execution modes are excluded from the key
+ *    because they are report-identical by construction (enforced by the
+ *    determinism test), so metrics-only autotune trials warm the cache
+ *    for later functional runs;
+ *  - entries carry output-array contents only when stored from a
+ *    functional run; a wantOutputs lookup ignores report-only entries.
+ *
+ * The cache is process-global, mutex-guarded, and LRU-bounded by bytes
+ * (default 4 GB — one full figure sweep stores ~0.7 GB of memoized
+ * outputs; NPP_EVAL_CACHE_MB overrides, NPP_EVAL_CACHE=0 disables).
+ */
+
+#ifndef NPP_SIM_EVALCACHE_H
+#define NPP_SIM_EVALCACHE_H
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/gpu.h"
+
+namespace npp {
+
+/** Cache occupancy and effectiveness counters. */
+struct EvalCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+class EvalCache
+{
+  public:
+    static EvalCache &instance();
+
+    /** @name Key components
+     *  @{
+     */
+    static uint64_t hashProgram(const Program &prog);
+    static uint64_t hashCompileOptions(const CompileOptions &copts);
+    static uint64_t hashDevice(const DeviceConfig &device);
+    static uint64_t hashBindings(const Bindings &args);
+    static uint64_t hashExec(const ExecOptions &eopts);
+    static uint64_t combine(uint64_t a, uint64_t b);
+    /** @} */
+
+    bool enabled() const { return capacityBytes_ > 0; }
+
+    /** Probe the cache. On a hit with wantOutputs, the memoized output
+     *  arrays are copied into `args`'s bound storage (a report-only
+     *  entry is treated as a miss). */
+    std::optional<SimReport> find(uint64_t key, bool wantOutputs,
+                                  const Bindings *args);
+
+    /** Insert an evaluation. When `outputsOf` is non-null the current
+     *  contents of its output arrays are captured so later wantOutputs
+     *  lookups can replay them. */
+    void store(uint64_t key, const SimReport &report,
+               const Bindings *outputsOf);
+
+    EvalCacheStats stats() const;
+    void clear();
+    /** Reset the hit/miss counters without dropping entries. */
+    void resetCounters();
+
+    /** Override the byte budget (0 disables). Used by benches/tests to
+     *  compare cached vs uncached pipelines in one process; evicts down
+     *  to the new budget immediately. */
+    void setCapacityBytes(int64_t bytes);
+    int64_t capacityBytes() const { return capacityBytes_; }
+
+  private:
+    EvalCache();
+
+    struct Impl;
+    Impl *impl_;
+    int64_t capacityBytes_ = 0;
+};
+
+/**
+ * Memoized Gpu::compileAndRun. `wantOutputs` selects functional fidelity:
+ * true runs (and stores) full outputs; false runs metrics-only, which is
+ * cheaper (block classing) and race-free under concurrency.
+ */
+SimReport cachedCompileAndRun(const Gpu &gpu, const Program &prog,
+                              const Bindings &args,
+                              const CompileOptions &copts,
+                              const ExecOptions &eopts, bool wantOutputs);
+
+/**
+ * Memoized Gpu::run for an already-compiled spec. `specSeed` must
+ * identify how the spec was produced (combine of program/options/device
+ * hashes); the caller computes it once per compile.
+ */
+SimReport cachedRun(const Gpu &gpu, const KernelSpec &spec,
+                    const Bindings &args, const ExecOptions &eopts,
+                    uint64_t specSeed, bool wantOutputs);
+
+} // namespace npp
+
+#endif // NPP_SIM_EVALCACHE_H

@@ -1,9 +1,13 @@
 #include "sim/executor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "ir/traverse.h"
+#include "sim/classify.h"
 #include "sim/coalesce.h"
 #include "support/logging.h"
 #include "support/stats.h"
@@ -45,9 +49,31 @@ class DeviceExecutor
           probe(device, stats)
     {
         args.seed(ctx);
-        probe.prefetchedSites = &spec.prefetchedSites;
+        for (const Expr *e : spec.prefetchedSites)
+            prefetchSiteIds.insert(e->readSite);
+        probe.prefetchedSites = &prefetchSiteIds;
         ctx.probe = &probe;
         ctx.accessOpCost = spec.rawPointers ? 1 : 2;
+
+        // Metrics-only runs privatize the output buffers: stores still
+        // execute (in-place programs read what they wrote), but the
+        // caller's arrays are untouched, so concurrent trials over one
+        // Bindings are race-free. traceAddr is unaffected, so metrics
+        // are bit-identical to a functional run.
+        if (options.metricsOnly) {
+            for (const auto &v : prog.vars()) {
+                if (v.role != VarRole::ArrayParam || !v.isOutput)
+                    continue;
+                ArraySlot &slot = ctx.arrays[v.id];
+                if (!slot.data)
+                    continue;
+                PrivateCopy pc;
+                pc.src = slot.data;
+                pc.copy.assign(slot.data, slot.data + slot.physSize);
+                privateCopies.push_back(std::move(pc));
+                slot.data = privateCopies.back().copy.data();
+            }
+        }
     }
 
     KernelStats
@@ -85,7 +111,7 @@ class DeviceExecutor
             const int out = prog.rootOutput();
             ctx.probe = nullptr;
             for (int64_t k = 0; k < ctx.arrays[out].size; k++) {
-                storeArray(&prog.root(), out, k,
+                storeArray(prog.root().site, out, k,
                            combinerIdentity(prog.root().combiner), ctx);
             }
             ctx.probe = &probe;
@@ -96,19 +122,34 @@ class DeviceExecutor
                                          options.maxSampledBlocks));
         int64_t measured = 0;
 
-        for (int64_t block = 0; block < geom.totalBlocks; block++) {
-            decodeBlock(block);
-            const bool measure = block % sampleStride == 0;
-            probe.countTraffic = measure;
-            if (measure)
-                measured++;
-            lastOpCount = ctx.opCount;
-            setSig(static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ULL);
-            execPattern(prog.root(), 0, /*isRoot=*/true);
-            flushOps(measure);
-            probe.finishBlock();
-            settleDivergence();
+        // Block-equivalence classing: only legal when outputs need not
+        // be materialized (skipped blocks never run their stores), and
+        // only profitable with blocks to merge.
+        bool classed = options.blockClasses && options.metricsOnly &&
+                       geom.totalBlocks > 2;
+        if (classed) {
+            classed = analyzeBlockClasses(spec, geom, levelSizes, ctx,
+                                          device)
+                          .classable;
         }
+
+        if (classed) {
+            const KernelStats preLoop = stats;
+            if (!runBlocksClassed(sampleStride, measured)) {
+                // Dynamic verification failed: the static analysis was
+                // wrong somewhere. Rewind stats and array state, then
+                // simulate every block.
+                stats = preLoop;
+                for (PrivateCopy &pc : privateCopies) {
+                    std::copy(pc.src, pc.src + pc.copy.size(),
+                              pc.copy.data());
+                }
+                measured = 0;
+                classed = false;
+            }
+        }
+        if (!classed)
+            runBlocksExact(sampleStride, measured);
 
         finishSplit();
         finishFilterCount();
@@ -130,6 +171,177 @@ class DeviceExecutor
     }
 
   private:
+    //
+    // Block loops
+    //
+
+    /** Simulate one block (the body of the historical serial loop). */
+    void
+    simulateBlock(int64_t block, bool countTraffic)
+    {
+        decodeBlock(block);
+        probe.countTraffic = countTraffic;
+        lastOpCount = ctx.opCount;
+        setSig(static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ULL);
+        execPattern(prog.root(), 0, /*isRoot=*/true);
+        flushOps(countTraffic);
+        probe.finishBlock();
+        settleDivergence();
+    }
+
+    void
+    runBlocksExact(int64_t sampleStride, int64_t &measured)
+    {
+        for (int64_t block = 0; block < geom.totalBlocks; block++) {
+            const bool measure = block % sampleStride == 0;
+            if (measure)
+                measured++;
+            simulateBlock(block, measure);
+        }
+    }
+
+    /** The accumulating per-block stats fields. All of them are sums of
+     *  dyadic rationals with bounded precision (pow2 block sizes make
+     *  every per-warp weight a power-of-two fraction), so FP accumulation
+     *  is exact and per-block deltas replicate bit-identically. */
+    static KernelStats
+    statsDelta(const KernelStats &after, const KernelStats &before)
+    {
+        KernelStats d;
+        d.warpInstructions = after.warpInstructions - before.warpInstructions;
+        d.transactions = after.transactions - before.transactions;
+        d.usefulBytes = after.usefulBytes - before.usefulBytes;
+        d.smemAccesses = after.smemAccesses - before.smemAccesses;
+        d.syncs = after.syncs - before.syncs;
+        d.mallocs = after.mallocs - before.mallocs;
+        return d;
+    }
+
+    static bool
+    sameDelta(const KernelStats &a, const KernelStats &b)
+    {
+        return a.warpInstructions == b.warpInstructions &&
+               a.transactions == b.transactions &&
+               a.usefulBytes == b.usefulBytes &&
+               a.smemAccesses == b.smemAccesses && a.syncs == b.syncs &&
+               a.mallocs == b.mallocs;
+    }
+
+    /** Replicate a representative's delta for one skipped block. Serial
+     *  execution counts traffic only on sampled blocks but useful bytes
+     *  on every block; replication honors the same split. */
+    void
+    applyDelta(const KernelStats &d, bool measure)
+    {
+        stats.usefulBytes += d.usefulBytes;
+        if (!measure)
+            return;
+        stats.warpInstructions += d.warpInstructions;
+        stats.transactions += d.transactions;
+        stats.smemAccesses += d.smemAccesses;
+        stats.syncs += d.syncs;
+        stats.mallocs += d.mallocs;
+    }
+
+    /** Per-level pattern sizes (launch-known in classed mode), cached for
+     *  the class key. */
+    void
+    prepareClassSizes()
+    {
+        levelPatSizes.assign(geom.levels.size(), {});
+        for (const auto &[pattern, level] : collectPatterns(prog.root()))
+            levelPatSizes[level].push_back(
+                asIndex(evalExpr(pattern->size, ctx)));
+    }
+
+    /** Equivalence-class key of a block: the per-pattern index extents it
+     *  covers at every level. Two blocks with equal extents run the same
+     *  lane structure; the classability analysis guarantees equal metrics
+     *  too. Block 0 is salted out because root reduces store their result
+     *  from it. */
+    uint64_t
+    classKey(int64_t block) const
+    {
+        uint64_t h = 0xcbf29ce484222325ull;
+        const auto mix = [&h](uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        if (block == 0)
+            mix(0x5a17);
+        int64_t rem = block;
+        for (size_t lv = 0; lv < geom.levels.size(); lv++) {
+            const auto &g = geom.levels[lv];
+            const int64_t b = rem % g.blocks;
+            rem /= g.blocks;
+            for (int64_t size : levelPatSizes[lv]) {
+                int64_t lo = 0;
+                int64_t hi = size;
+                switch (g.span.kind) {
+                  case SpanKind::One:
+                    lo = b * g.blockSize;
+                    hi = std::min(size, lo + g.blockSize);
+                    break;
+                  case SpanKind::N:
+                    lo = b * g.blockSize * g.span.factor;
+                    hi = std::min(size,
+                                  lo + g.blockSize * g.span.factor);
+                    break;
+                  case SpanKind::All:
+                  case SpanKind::Split:
+                    break; // single block / gated
+                }
+                mix(static_cast<uint64_t>(std::max<int64_t>(hi - lo, 0)));
+            }
+        }
+        return h;
+    }
+
+    /** Classed block loop: simulate the first two members of each class
+     *  (the second verifies the first bitwise), replicate the delta for
+     *  the rest. Returns false when verification fails. */
+    bool
+    runBlocksClassed(int64_t sampleStride, int64_t &measured)
+    {
+        prepareClassSizes();
+        struct ClassInfo
+        {
+            KernelStats delta;
+            int sims = 0;
+        };
+        std::unordered_map<uint64_t, ClassInfo> classes;
+
+        for (int64_t block = 0; block < geom.totalBlocks; block++) {
+            const bool measure = block % sampleStride == 0;
+            ClassInfo &cls = classes[classKey(block)];
+            if (cls.sims < 2) {
+                const KernelStats before = stats;
+                simulateBlock(block, /*countTraffic=*/true);
+                const KernelStats delta = statsDelta(stats, before);
+                if (cls.sims == 1 && !sameDelta(cls.delta, delta)) {
+                    NPP_WARN("{}: block {} diverged from its equivalence "
+                             "class; exact re-simulation",
+                             prog.name(), block);
+                    return false;
+                }
+                if (cls.sims == 0)
+                    cls.delta = delta;
+                cls.sims++;
+                if (!measure) {
+                    // Serial would not have counted this block's traffic;
+                    // keep only the unconditional useful bytes.
+                    stats = before;
+                    stats.usefulBytes += delta.usefulBytes;
+                }
+            } else {
+                applyDelta(cls.delta, measure);
+                stats.classedBlocks++;
+            }
+            if (measure)
+                measured++;
+        }
+        return true;
+    }
+
     //
     // Launch-time resolution
     //
@@ -369,7 +581,7 @@ class DeviceExecutor
                   case PatternKind::Map:
                   case PatternKind::ZipWith:
                     if (isRoot) {
-                        storeArray(&p, prog.rootOutput(), idx,
+                        storeArray(p.site, prog.rootOutput(), idx,
                                    evalExpr(p.yield, ctx), ctx);
                     } else {
                         emitLocalElement(resultVar, p, idx);
@@ -383,7 +595,7 @@ class DeviceExecutor
                     break;
                   case PatternKind::Filter:
                     if (evalExpr(p.filterPred, ctx) != 0.0) {
-                        storeArray(&p, prog.rootOutput(), filterCursor++,
+                        storeArray(p.site, prog.rootOutput(), filterCursor++,
                                    evalExpr(p.yield, ctx), ctx);
                     }
                     break;
@@ -393,8 +605,8 @@ class DeviceExecutor
                     const int out = prog.rootOutput();
                     NPP_ASSERT(key >= 0 && key < ctx.arrays[out].size,
                                "groupBy key {} out of range", key);
-                    const double prev = loadArray(&p, out, key, ctx);
-                    storeArray(&p, out, key,
+                    const double prev = loadArray(p.site, out, key, ctx);
+                    storeArray(p.site, out, key,
                                applyOp(p.combiner, prev,
                                        evalExpr(p.yield, ctx)),
                                ctx);
@@ -415,7 +627,7 @@ class DeviceExecutor
     emitLocalElement(int resultVar, const Pattern &p, int64_t idx)
     {
         NPP_ASSERT(resultVar >= 0, "nested map without result var");
-        storeArray(&p, resultVar, idx, evalExpr(p.yield, ctx), ctx);
+        storeArray(p.site, resultVar, idx, evalExpr(p.yield, ctx), ctx);
     }
 
     void
@@ -463,7 +675,7 @@ class DeviceExecutor
 
         if (isRoot) {
             if (blockLinear == 0)
-                storeArray(&p, prog.rootOutput(), 0, acc, ctx);
+                storeArray(p.site, prog.rootOutput(), 0, acc, ctx);
         } else {
             ctx.scalars[resultVar] = acc;
         }
@@ -517,7 +729,7 @@ class DeviceExecutor
                 ctx.scalars[s->var] = evalExpr(s->value, ctx);
                 break;
               case StmtKind::Store:
-                storeArray(s.get(), s->array,
+                storeArray(s->site, s->array,
                            asIndex(evalExpr(s->index, ctx)),
                            evalExpr(s->value, ctx), ctx);
                 break;
@@ -540,7 +752,7 @@ class DeviceExecutor
                     runStmts(s->body, lv);
                 }
                 setSig(sigSave);
-                recordDivergence(s.get(), ctx.opCount - ops0);
+                recordDivergence(s->site, ctx.opCount - ops0);
                 break;
               }
               case StmtKind::Nested:
@@ -564,7 +776,7 @@ class DeviceExecutor
         const uint64_t ops0 = ctx.opCount;
         execPattern(p, lv, /*isRoot=*/false, s.var);
         if (sequentialInThread)
-            recordDivergence(&s, ctx.opCount - ops0);
+            recordDivergence(s.site, ctx.opCount - ops0);
 
         // Inner parallel map results are consumed block-wide; the
         // generated code synchronizes after producing them.
@@ -619,14 +831,14 @@ class DeviceExecutor
     /** Record one lane's sequential-loop work for divergence accounting
      *  (keyed by site and warp; settled per block). */
     void
-    recordDivergence(const void *site, uint64_t ops)
+    recordDivergence(int64_t site, uint64_t ops)
     {
         if (!probe.countTraffic)
             return;
         // Group by iteration signature too: only lanes executing the
         // same iteration pad each other out; a thread's own sequential
         // iterations do not.
-        uint64_t key = reinterpret_cast<uint64_t>(site) * 31 +
+        uint64_t key = static_cast<uint64_t>(site) * 31 +
                        static_cast<uint64_t>(probe.warpTile);
         key = key * 0x9e3779b97f4a7c15ULL + probe.sig;
         DivAcc &acc = divergence[key];
@@ -672,7 +884,7 @@ class DeviceExecutor
                 k = std::max<int64_t>(k, slot.count);
             }
             ctx.probe = nullptr;
-            storeArray(&p, prog.rootOutput(), 0, total, ctx);
+            storeArray(p.site, prog.rootOutput(), 0, total, ctx);
             ctx.probe = &probe;
             stats.combinerTransactions += parts.size() + 1;
             stats.combinerOps += parts.size();
@@ -699,7 +911,7 @@ class DeviceExecutor
             ctx.scalars[root.indexVar] = static_cast<double>(i);
             curLevelIndex[0] = i;
             replayStmts(root.body, 1);
-            storeArray(&root, prog.rootOutput(), i,
+            storeArray(root.site, prog.rootOutput(), i,
                        evalExpr(root.yield, ctx), ctx);
         }
         ctx.probe = &probe;
@@ -783,7 +995,7 @@ class DeviceExecutor
             if (p.kind == PatternKind::Reduce)
                 acc = applyOp(p.combiner, acc, evalExpr(p.yield, ctx));
             else if (s.var >= 0 && p.kind != PatternKind::Foreach)
-                storeArray(&p, s.var, i, evalExpr(p.yield, ctx), ctx);
+                storeArray(p.site, s.var, i, evalExpr(p.yield, ctx), ctx);
         }
         if (p.kind == PatternKind::Reduce)
             ctx.scalars[s.var] = acc;
@@ -794,7 +1006,7 @@ class DeviceExecutor
     {
         if (prog.root().kind == PatternKind::Filter) {
             ctx.probe = nullptr;
-            storeArray(&prog.root(), prog.countOutput(), 0,
+            storeArray(prog.root().site, prog.countOutput(), 0,
                        static_cast<double>(filterCursor), ctx);
             ctx.probe = &probe;
         }
@@ -817,6 +1029,13 @@ class DeviceExecutor
         int64_t count = 0;
     };
 
+    /** One privatized output buffer (metricsOnly mode). */
+    struct PrivateCopy
+    {
+        const double *src = nullptr;
+        std::vector<double> copy;
+    };
+
     const KernelSpec &spec;
     const Program &prog;
     const DeviceConfig &device;
@@ -825,10 +1044,15 @@ class DeviceExecutor
     EvalCtx ctx;
     KernelStats stats;
     CoalesceProbe probe;
+    /** spec.prefetchedSites translated to stable readSite ids for the
+     *  probe's key space. */
+    std::unordered_set<int64_t> prefetchSiteIds;
     LaunchGeometry geom;
 
     std::vector<int64_t> levelSizes;
     std::vector<bool> levelDynamic;
+    std::vector<std::vector<int64_t>> levelPatSizes;
+    std::deque<PrivateCopy> privateCopies;
 
     int64_t dimBlock[4] = {1, 1, 1, 1};
     int64_t warpShape[4] = {1, 1, 1, 1};

@@ -22,6 +22,22 @@ struct ExecOptions
     /** Traffic is measured on at most this many blocks (evenly sampled)
      *  and extrapolated; outputs are always computed for every block. */
     int64_t maxSampledBlocks = 256;
+
+    /** Report-only execution: output arrays are privatized (the caller's
+     *  buffers are never written), which makes concurrent runs over
+     *  shared Bindings race-free and enables block-equivalence classing.
+     *  The returned stats and derived SimReport are bit-identical to a
+     *  functional run. */
+    bool metricsOnly = false;
+
+    /** Merge thread blocks whose interpreted behavior is provably
+     *  identical up to the block index's affine address contribution:
+     *  simulate one representative per equivalence class and replicate
+     *  its per-block metric deltas (see sim/classify.h for the legality
+     *  analysis). Only active together with metricsOnly; set to false
+     *  for exact (every-block) simulation. Bit-identical stats either
+     *  way — enforced by tests/sim/determinism_test. */
+    bool blockClasses = true;
 };
 
 /** Execute the spec with the given bindings; returns the stats needed by

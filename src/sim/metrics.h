@@ -52,6 +52,11 @@ struct KernelStats
     /** Fraction of blocks whose traffic was measured (rest extrapolated). */
     double sampledFraction = 1.0;
 
+    /** Blocks whose metrics were replicated from an equivalence-class
+     *  representative instead of being simulated (diagnostics; 0 when
+     *  classing is off or the launch is not classable). */
+    int64_t classedBlocks = 0;
+
     void
     scaleTraffic(double factor)
     {

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "ir/builder.h"
 #include "ir/printer.h"
 #include "ir/traverse.h"
@@ -228,6 +231,53 @@ TEST(BuilderDeath, NonAssociativeReduceRejected)
             });
         },
         "non-associative");
+}
+
+TEST(Builder, TraceSitesAreStableAcrossRebuilds)
+{
+    // Program::validate() numbers patterns, statements, and read exprs in
+    // structural pre-order; an identical rebuild must reproduce the exact
+    // same ids (simulator probe keys depend on them).
+    auto build = [] {
+        ProgramBuilder b("sites");
+        Arr in = b.inF64("in");
+        Ex n = b.paramI64("n");
+        Arr out = b.outF64("out");
+        b.map(n, out, [&](Body &fn, Ex i) {
+            Ex base = fn.let("base", in(i) * 2.0);
+            return base + fn.reduce(n, Op::Add, [&](Body &, Ex j) {
+                return in(i * n + j);
+            });
+        });
+        return b.build();
+    };
+    auto collect = [](const Program &p) {
+        std::vector<int> sites;
+        Walker w;
+        w.onPattern = [&](const Pattern &pat, const WalkCtx &) {
+            sites.push_back(pat.site);
+        };
+        w.onStmt = [&](const Stmt &s, const WalkCtx &) {
+            sites.push_back(s.site);
+        };
+        w.onExpr = [&](const Expr &e, const WalkCtx &) {
+            if (e.kind == ExprKind::Read)
+                sites.push_back(e.readSite);
+        };
+        walkPattern(p.root(), w);
+        return sites;
+    };
+
+    Program first = build();
+    Program second = build();
+    const std::vector<int> a = collect(first);
+    const std::vector<int> b = collect(second);
+    EXPECT_EQ(a, b);
+
+    // Every node numbered, and distinct nodes got distinct ids.
+    std::set<int> uniq(a.begin(), a.end());
+    EXPECT_EQ(uniq.count(-1), 0u) << "unassigned site survived validate()";
+    EXPECT_EQ(uniq.size(), a.size()) << "duplicate site ids";
 }
 
 } // namespace

@@ -117,11 +117,14 @@ TEST(ExprFactories, TreeStructure)
     EXPECT_DOUBLE_EQ(e->b->lit, 8.0);
 }
 
-TEST(ExprFactories, ReadSitesAreUnique)
+TEST(ExprFactories, ReadSitesStartUnassigned)
 {
+    // Trace-site ids are structural (assigned by Program::validate() in
+    // pre-order), not process-global: a fresh node has none.
     auto r1 = read(0, lit(0.0), ScalarKind::F64);
     auto r2 = read(0, lit(0.0), ScalarKind::F64);
-    EXPECT_NE(r1->readSite, r2->readSite);
+    EXPECT_EQ(r1->readSite, -1);
+    EXPECT_EQ(r2->readSite, -1);
 }
 
 TEST(ExprFactories, OperatorSugarBuildsExpectedTrees)

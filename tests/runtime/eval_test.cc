@@ -115,7 +115,7 @@ class RecordingProbe : public MemProbe
 {
   public:
     void
-    onAccess(const void *, int, int64_t addr, bool isWrite, int) override
+    onAccess(int64_t, int, int64_t addr, bool isWrite, int) override
     {
         (isWrite ? writes : reads).push_back(addr);
     }
@@ -146,7 +146,7 @@ TEST(Eval, TraceAddressDecoupledFromStorage)
     ASSERT_EQ(probe.reads.size(), 1u);
     EXPECT_EQ(probe.reads[0], 1000 + 2 * 64) << "probe uses traceAddr";
 
-    storeArray(nullptr, f.arr.id(), 1, 9.0, ctx);
+    storeArray(-1, f.arr.id(), 1, 9.0, ctx);
     EXPECT_DOUBLE_EQ(data[1], 9.0);
     ASSERT_EQ(probe.writes.size(), 1u);
     EXPECT_EQ(probe.writes[0], 1000 + 64);

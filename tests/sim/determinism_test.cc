@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Determinism regression tests for the parallel evaluation pipeline.
+ * The optimizations that make evaluation fast — metrics-only trials,
+ * block-equivalence-class simulation, the EvalCache, parallel autotune —
+ * are only legal because they are report-*identical* to the plain serial
+ * functional simulation. These tests enforce that bit-for-bit:
+ *
+ *  - functional, metrics-only exact, and metrics-only classed execution
+ *    produce the same SimReport (modulo the classedBlocks diagnostic);
+ *  - metrics-only runs never touch the caller's output buffers;
+ *  - rebuilding an identical program/app yields identical reports
+ *    (trace-site ids are structural, not node addresses);
+ *  - serial and parallel autotune pick the same winner with the same
+ *    trial measurements, with the cache disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/rodinia.h"
+#include "apps/sums.h"
+#include "codegen/autotune.h"
+#include "ir/builder.h"
+#include "sim/evalcache.h"
+#include "sim/gpu.h"
+#include "support/parallel.h"
+
+namespace npp {
+namespace {
+
+/** Bitwise SimReport comparison; classedBlocks is the one field allowed
+ *  to differ between exact and classed execution (it is a diagnostic,
+ *  not a metric). */
+void
+expectSameReport(const SimReport &a, const SimReport &b, const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.totalMs, b.totalMs);
+    EXPECT_EQ(a.computeMs, b.computeMs);
+    EXPECT_EQ(a.memoryMs, b.memoryMs);
+    EXPECT_EQ(a.launchMs, b.launchMs);
+    EXPECT_EQ(a.blockOverheadMs, b.blockOverheadMs);
+    EXPECT_EQ(a.mallocMs, b.mallocMs);
+    EXPECT_EQ(a.combinerMs, b.combinerMs);
+    EXPECT_EQ(a.achievedBandwidth, b.achievedBandwidth);
+    EXPECT_EQ(a.residentWarps, b.residentWarps);
+    EXPECT_EQ(a.blocksPerSM, b.blocksPerSM);
+
+    const KernelStats &s = a.stats;
+    const KernelStats &t = b.stats;
+    EXPECT_EQ(s.warpInstructions, t.warpInstructions);
+    EXPECT_EQ(s.transactions, t.transactions);
+    EXPECT_EQ(s.usefulBytes, t.usefulBytes);
+    EXPECT_EQ(s.smemAccesses, t.smemAccesses);
+    EXPECT_EQ(s.syncs, t.syncs);
+    EXPECT_EQ(s.mallocs, t.mallocs);
+    EXPECT_EQ(s.totalBlocks, t.totalBlocks);
+    EXPECT_EQ(s.threadsPerBlock, t.threadsPerBlock);
+    EXPECT_EQ(s.sharedMemPerBlock, t.sharedMemPerBlock);
+    EXPECT_EQ(s.hasCombiner, t.hasCombiner);
+    EXPECT_EQ(s.combinerTransactions, t.combinerTransactions);
+    EXPECT_EQ(s.combinerOps, t.combinerOps);
+    EXPECT_EQ(s.combinerThreads, t.combinerThreads);
+    EXPECT_EQ(s.sampledFraction, t.sampledFraction);
+}
+
+/** One mini-app: a program plus bound synthetic inputs. */
+struct Workload
+{
+    std::shared_ptr<Program> prog;
+    std::unique_ptr<Bindings> args;
+    std::vector<std::vector<double>> storage; //!< owns bound arrays
+};
+
+/** sumRows-style map+reduce nest (dense, classable). */
+Workload
+makeRowSums(int64_t r, int64_t c)
+{
+    Workload w;
+    ProgramBuilder b("det_rowsums");
+    Arr in = b.inF64("in");
+    Ex rows = b.paramI64("R");
+    Ex cols = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(rows, out, [&](Body &fn, Ex i) {
+        return fn.reduce(cols, Op::Add, [&](Body &, Ex j) {
+            return in(i * cols + j);
+        });
+    });
+    w.prog = std::make_shared<Program>(b.build());
+
+    w.storage.emplace_back(r * c);
+    for (int64_t i = 0; i < r * c; i++)
+        w.storage.back()[i] = 0.25 * static_cast<double>(i % 97) + 1.0;
+    w.storage.emplace_back(r, 0.0);
+
+    w.args = std::make_unique<Bindings>(*w.prog);
+    w.args->scalar(rows, static_cast<double>(r));
+    w.args->scalar(cols, static_cast<double>(c));
+    w.args->array(in, w.storage[0]);
+    w.args->array(out, w.storage[1]);
+    return w;
+}
+
+/** Escape-time loop (data-dependent trip count: divergence accounting). */
+Workload
+makeEscape(int64_t n)
+{
+    Workload w;
+    ProgramBuilder b("det_escape");
+    Ex size = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.foreach(size, [&](Body &fn, Ex i) {
+        Mut v = fn.mut("v", i * 0.013);
+        Mut steps = fn.mut("steps", Ex(0.0));
+        fn.seqLoop(
+            Ex(24),
+            [&](Body &body, Ex) {
+                body.assign(v, v.ex() * v.ex() * 0.5 + 0.3);
+                body.assign(steps, steps.ex() + 1.0);
+            },
+            v.ex() > 2.0);
+        fn.store(out, i, steps.ex());
+    });
+    w.prog = std::make_shared<Program>(b.build());
+
+    w.storage.emplace_back(n, 0.0);
+    w.args = std::make_unique<Bindings>(*w.prog);
+    w.args->scalar(size, static_cast<double>(n));
+    w.args->array(out, w.storage[0]);
+    return w;
+}
+
+/** Indirect gather (BFS-flavored: index arithmetic through an array). */
+Workload
+makeGather(int64_t n)
+{
+    Workload w;
+    ProgramBuilder b("det_gather");
+    Arr idx = b.inF64("idx");
+    Arr val = b.inF64("val");
+    Ex size = b.paramI64("n");
+    Arr out = b.outF64("out");
+    b.map(size, out, [&](Body &, Ex i) {
+        return val(idx(i)) + val(i);
+    });
+    w.prog = std::make_shared<Program>(b.build());
+
+    w.storage.emplace_back(n);
+    for (int64_t i = 0; i < n; i++)
+        w.storage.back()[i] =
+            static_cast<double>((i * 7919 + 13) % n);
+    w.storage.emplace_back(n);
+    for (int64_t i = 0; i < n; i++)
+        w.storage[1][i] = 0.5 * static_cast<double>(i % 31);
+    w.storage.emplace_back(n, 0.0);
+
+    w.args = std::make_unique<Bindings>(*w.prog);
+    w.args->scalar(size, static_cast<double>(n));
+    w.args->array(idx, w.storage[0]);
+    w.args->array(val, w.storage[1]);
+    w.args->array(out, w.storage[2]);
+    return w;
+}
+
+struct Mode
+{
+    const char *name;
+    bool metricsOnly;
+    bool blockClasses;
+};
+
+constexpr Mode kModes[] = {
+    {"functional", false, false},
+    {"metrics-exact", true, false},
+    {"metrics-classed", true, true},
+};
+
+TEST(Determinism, ExecutionModesAreReportIdentical)
+{
+    Gpu gpu;
+    Workload loads[] = {makeRowSums(96, 64), makeEscape(4096),
+                        makeGather(2048)};
+    for (Workload &w : loads) {
+        SCOPED_TRACE(w.prog->name());
+        SimReport base;
+        for (const Mode &mode : kModes) {
+            ExecOptions eo;
+            eo.metricsOnly = mode.metricsOnly;
+            eo.blockClasses = mode.blockClasses;
+            SimReport rep = gpu.compileAndRun(*w.prog, *w.args, {}, eo);
+            rep.stats.classedBlocks = 0;
+            if (&mode == &kModes[0])
+                base = rep;
+            else
+                expectSameReport(base, rep, mode.name);
+        }
+    }
+}
+
+TEST(Determinism, MetricsOnlyNeverWritesCallerBuffers)
+{
+    Gpu gpu;
+    Workload w = makeRowSums(64, 64);
+    const std::vector<double> outBefore = w.storage[1];
+    ExecOptions eo;
+    eo.metricsOnly = true;
+    gpu.compileAndRun(*w.prog, *w.args, {}, eo);
+    EXPECT_EQ(w.storage[1], outBefore) << "metricsOnly leaked stores";
+
+    gpu.compileAndRun(*w.prog, *w.args, {}, {});
+    EXPECT_NE(w.storage[1], outBefore) << "functional run must store";
+}
+
+TEST(Determinism, ClassedModeActuallyMergesBlocks)
+{
+    // A dense uniform nest must be classable: with many more blocks than
+    // classes, most blocks are replicated rather than simulated.
+    Gpu gpu;
+    Workload w = makeRowSums(512, 64);
+    ExecOptions eo;
+    eo.metricsOnly = true;
+    eo.blockClasses = true;
+    SimReport rep = gpu.compileAndRun(*w.prog, *w.args, {}, eo);
+    EXPECT_GT(rep.stats.classedBlocks, 0)
+        << "equivalence classing never engaged";
+}
+
+TEST(Determinism, RebuiltProgramsSimulateIdentically)
+{
+    // Trace-site ids are structural, so destroying and rebuilding the
+    // same program must not move any simulated metric by even one ULP
+    // (this regressed when probe keys hashed node addresses).
+    Gpu gpu;
+    SimReport first;
+    for (int round = 0; round < 2; round++) {
+        Workload w = makeGather(2048);
+        SimReport rep = gpu.compileAndRun(*w.prog, *w.args, {}, {});
+        if (round == 0)
+            first = rep;
+        else
+            expectSameReport(first, rep, "rebuild");
+    }
+}
+
+TEST(Determinism, RebuiltAppsRunIdentically)
+{
+    // End-to-end: fresh instances of real multi-kernel apps (BFS's
+    // level-synchronous loop was the original nondeterministic case).
+    // Cache off so the second run re-simulates instead of replaying.
+    EvalCache &cache = EvalCache::instance();
+    const int64_t savedCapacity = cache.capacityBytes();
+    cache.setCapacityBytes(0);
+
+    Gpu gpu;
+    const auto factories = {
+        +[]() { return makeBfs(4096, 8); },
+        +[]() { return makeHotspot(64, 2); },
+        +[]() { return makeMandelbrot(32, 128, 12); },
+    };
+    for (auto factory : factories) {
+        AppResult a = factory()->run(gpu, Strategy::MultiDim, true);
+        AppResult b = factory()->run(gpu, Strategy::MultiDim, true);
+        SCOPED_TRACE(factory()->name());
+        EXPECT_EQ(a.gpuMs, b.gpuMs);
+        EXPECT_EQ(a.maxError, b.maxError);
+        EXPECT_EQ(a.cpuMs, b.cpuMs);
+    }
+
+    cache.setCapacityBytes(savedCapacity);
+}
+
+TEST(Determinism, AutotuneSerialAndParallelAgree)
+{
+    Gpu gpu;
+    Workload w = makeRowSums(128, 96);
+
+    AutotuneOptions serial;
+    serial.parallel = false;
+    serial.useCache = false;
+    AutotuneOptions parallel;
+    parallel.parallel = true;
+    parallel.useCache = false;
+
+    setParallelThreadCount(4);
+    AutotuneResult p = autotune(*w.prog, gpu, *w.args, {}, parallel);
+    setParallelThreadCount(0);
+    AutotuneResult s = autotune(*w.prog, gpu, *w.args, {}, serial);
+
+    EXPECT_EQ(s.best.mapping.hashValue(), p.best.mapping.hashValue());
+    EXPECT_EQ(s.bestMs, p.bestMs);
+    EXPECT_EQ(s.scoreChoiceMs, p.scoreChoiceMs);
+    ASSERT_EQ(s.trials.size(), p.trials.size());
+    for (size_t i = 0; i < s.trials.size(); i++) {
+        EXPECT_EQ(s.trials[i].decision.hashValue(),
+                  p.trials[i].decision.hashValue());
+        EXPECT_EQ(s.trials[i].measuredMs, p.trials[i].measuredMs);
+    }
+}
+
+} // namespace
+} // namespace npp
