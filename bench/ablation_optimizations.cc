@@ -182,8 +182,10 @@ runAblation()
 } // namespace npp
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = npp::benchInit(argc, argv))
+        return rc;
     npp::runAblation();
-    return 0;
+    return npp::benchFinish();
 }

@@ -37,8 +37,10 @@ runFigure()
 } // namespace npp
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = npp::benchInit(argc, argv))
+        return rc;
     npp::runFigure();
-    return 0;
+    return npp::benchFinish();
 }

@@ -21,6 +21,7 @@
 #include "apps/rodinia.h"
 #include "common.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -31,16 +32,21 @@ inline std::vector<Row>
 sweepApps(std::vector<std::unique_ptr<App>> &apps, bool parallel,
           EvalFn eval)
 {
+    const auto traced = [&](App &app) {
+        NPP_TRACE_SCOPE("bench.app");
+        NPP_TRACE_COUNT("bench.apps", 1);
+        return eval(app);
+    };
     if (!parallel) {
         std::vector<Row> rows;
         rows.reserve(apps.size());
         for (auto &app : apps)
-            rows.push_back(eval(*app));
+            rows.push_back(traced(*app));
         return rows;
     }
     return parallelMap<Row>(
         static_cast<int64_t>(apps.size()),
-        [&](int64_t i) { return eval(*apps[static_cast<size_t>(i)]); });
+        [&](int64_t i) { return traced(*apps[static_cast<size_t>(i)]); });
 }
 
 /** Figure 12 sweep: Rodinia apps, Manual / MultiDim / 1D, normalized to

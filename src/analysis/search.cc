@@ -9,6 +9,7 @@
 #include "support/logging.h"
 #include "support/parallel.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -159,9 +160,43 @@ MappingSearch::controlDop(MappingDecision &decision,
     }
 }
 
+void
+MappingSearch::classifyRejection(const MappingDecision &decision,
+                                 const ConstraintSet &cset,
+                                 SearchExplanation &ex) const
+{
+    // Same rule order as feasible(); the first violated family wins.
+    if (decision.numLevels() != cset.numLevels) {
+        ex.rejectedDims++;
+        return;
+    }
+    int64_t threads = 1;
+    uint32_t dimsUsed = 0;
+    for (const LevelMapping &l : decision.levels) {
+        if (l.dim < 0 || l.dim >= device_.maxLogicalDims ||
+            (dimsUsed & (1u << l.dim))) {
+            ex.rejectedDims++;
+            return;
+        }
+        dimsUsed |= 1u << l.dim;
+        if (l.blockSize < 1 || l.blockSize > device_.maxBlockDim[l.dim] ||
+            !isPow2(l.blockSize)) {
+            ex.rejectedBlockShape++;
+            return;
+        }
+        threads *= l.blockSize;
+    }
+    if (threads > device_.maxThreadsPerBlock) {
+        ex.rejectedBlockShape++;
+        return;
+    }
+    ex.rejectedHardSpan++;
+}
+
 SearchResult
 MappingSearch::search(const ConstraintSet &cset) const
 {
+    NPP_TRACE_SCOPE("analysis.search");
     const int levels = cset.numLevels;
     NPP_ASSERT(levels >= 1 && levels <= device_.maxLogicalDims,
                "search supports 1..{} levels, got {}",
@@ -327,12 +362,65 @@ MappingSearch::search(const ConstraintSet &cset) const
         consider(space[i], modelMs[i]);
 
     NPP_ASSERT(haveBest, "no feasible mapping found");
+    NPP_TRACE_COUNT("search.candidates", result.candidatesConsidered);
     // The 1D directive pins the inner levels; ControlDOP must not undo
     // that by splitting them (underutilization is exactly the 1D
     // mapping's documented weakness).
-    if (options_.controlDop && !options_.outerOnly)
+    std::string controlDopNote;
+    if (options_.controlDop && !options_.outerOnly) {
+        const MappingDecision before = result.best;
+        const double dopBefore = before.dop(cset.levelSizes);
         controlDop(result.best, cset);
+        if (!(before == result.best)) {
+            for (int lv = 0; lv < result.best.numLevels(); lv++) {
+                if (before.levels[lv].span ==
+                    result.best.levels[lv].span) {
+                    continue;
+                }
+                controlDopNote = fmt(
+                    "L{}: span {} -> {} (dop {} outside [{}, {}], "
+                    "now {})",
+                    lv, before.levels[lv].span.toString(),
+                    result.best.levels[lv].span.toString(), dopBefore,
+                    device_.minDop(), device_.maxDop(),
+                    result.best.dop(cset.levelSizes));
+            }
+        }
+    }
     result.bestDop = result.best.dop(cset.levelSizes);
+
+    if (options_.explain) {
+        SearchExplanation &ex = result.explanation;
+        ex.valid = true;
+        ex.enumerated = static_cast<int64_t>(space.size());
+        ex.controlDopNote = std::move(controlDopNote);
+        for (const MappingDecision &d : space) {
+            if (!feasible(d, cset)) {
+                classifyRejection(d, cset, ex);
+                continue;
+            }
+            ex.feasibleCount++;
+            if (options_.objective != SearchObjective::SoftScore)
+                continue;
+            if (score(d, cset) != result.bestScore)
+                continue;
+            ex.atBestScore++;
+            if (cappedDop(d.dop(cset.levelSizes)) != bestCapped)
+                continue;
+            ex.atBestCappedDop++;
+            if (blockCount(d) == bestBlocks)
+                ex.atBestBlocks++;
+        }
+        if (options_.objective != SearchObjective::SoftScore) {
+            // Model-ranked search: ties are broken lexicographically on
+            // equal model time, not by the DOP chain.
+            ex.atBestScore = ex.atBestCappedDop = ex.atBestBlocks = 1;
+        }
+        // ControlDOP rewrites spans only, which no hard or soft rule
+        // keys on once feasibility holds, so the post-adjustment
+        // explanation sums to the search's best score.
+        ex.selected = explain(result.best, cset);
+    }
     return result;
 }
 

@@ -44,6 +44,12 @@ struct SearchOptions
      *  threads; every inner level is pinned to a sequential
      *  (block size 1, span(all)) execution inside the thread. */
     bool outerOnly = false;
+
+    /** Produce the decision-explanation report (SearchResult::explanation):
+     *  per-candidate hard-filter tallies, the selected mapping's
+     *  per-constraint score contributions, and the tie-break chain. Adds
+     *  one extra pass over the candidate space; off in production runs. */
+    bool explain = false;
 };
 
 /** One scored candidate. */
@@ -57,6 +63,69 @@ struct ScoredMapping
     double modelMs = 0.0;
 };
 
+/** One hard-constraint check applied to a mapping (explanation report). */
+struct HardCheck
+{
+    std::string name;   //!< which rule ("dim range", "span(all) level 1", ...)
+    bool passed = false;
+    std::string detail; //!< what was checked, human-readable
+};
+
+/** One soft constraint's contribution to a mapping's score. */
+struct SoftContribution
+{
+    int constraintIndex = -1;   //!< position in ConstraintSet::all
+    int level = -1;             //!< level the constraint applies to (-1 global)
+    double weight = 0.0;        //!< derived weight (Table II, Fig 8)
+    bool satisfied = false;     //!< does the mapping satisfy it?
+    bool skippedFlexible = false; //!< ignored under preallocLayouts
+    /** weight when satisfied and not skipped, else 0; the contributions
+     *  sum exactly to the mapping's score. */
+    double contribution = 0.0;
+    std::string reason;         //!< constraint provenance (Table II row)
+};
+
+/** Why one mapping scored the way it did. */
+struct MappingExplanation
+{
+    MappingDecision decision;
+    bool feasible = false;
+    std::vector<HardCheck> hardChecks;
+    std::vector<SoftContribution> soft;
+    double totalScore = 0.0; //!< == sum of soft[i].contribution
+    double dop = 0.0;
+};
+
+/** Why the search selected its winner (SearchOptions::explain). */
+struct SearchExplanation
+{
+    bool valid = false;
+
+    /** @name Candidate-space tallies
+     *  @{
+     */
+    int64_t enumerated = 0;
+    int64_t feasibleCount = 0;
+    int64_t rejectedDims = 0;       //!< dim out of range / duplicated
+    int64_t rejectedBlockShape = 0; //!< block size range / pow2 / total threads
+    int64_t rejectedHardSpan = 0;   //!< HardSpanAll or Split-on-unsplittable
+    /** @} */
+
+    /** @name Tie-break chain at the winning score
+     *  @{
+     */
+    int64_t atBestScore = 0;     //!< feasible candidates sharing best score
+    int64_t atBestCappedDop = 0; //!< of those, sharing the best capped DOP
+    int64_t atBestBlocks = 0;    //!< of those, sharing the best block count
+    /** @} */
+
+    /** What ControlDOP did, empty when it left the decision alone. */
+    std::string controlDopNote;
+
+    /** The selected (post-ControlDOP) mapping, fully explained. */
+    MappingExplanation selected;
+};
+
 /** Search outcome. */
 struct SearchResult
 {
@@ -65,6 +134,7 @@ struct SearchResult
     double bestDop = 0.0;
     int candidatesConsidered = 0;
     std::vector<ScoredMapping> candidates; //!< if keepCandidates
+    SearchExplanation explanation;         //!< if options.explain
 };
 
 /**
@@ -93,11 +163,24 @@ class MappingSearch
     void controlDop(MappingDecision &decision,
                     const ConstraintSet &cset) const;
 
+    /** Explain one mapping: every hard check with its verdict and every
+     *  soft constraint with its contribution (contributions sum to
+     *  score(decision, cset) — enforced by tests). Usable on its own for
+     *  fixed-strategy mappings; search() uses it for the winner. */
+    MappingExplanation explain(const MappingDecision &decision,
+                               const ConstraintSet &cset) const;
+
     const DeviceConfig &device() const { return device_; }
 
   private:
     bool satisfies(const Constraint &c,
                    const MappingDecision &decision) const;
+
+    /** Tally which family of hard rule rejected an infeasible candidate
+     *  (explanation report). */
+    void classifyRejection(const MappingDecision &decision,
+                           const ConstraintSet &cset,
+                           SearchExplanation &ex) const;
 
     DeviceConfig device_;
     SearchOptions options_;
@@ -112,6 +195,12 @@ SearchResult
 findMapping(const Program &prog, const DeviceConfig &device,
             const std::unordered_map<int, double> &paramValues = {},
             SearchOptions options = {});
+
+/** Render an explanation report as human-readable text (nppc --explain). */
+std::string formatSearchExplanation(const SearchExplanation &ex);
+
+/** Render an explanation report as JSON (machine-readable diagnostics). */
+std::string searchExplanationJson(const SearchExplanation &ex);
 
 } // namespace npp
 

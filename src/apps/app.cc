@@ -2,6 +2,7 @@
 
 #include "sim/evalcache.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -20,6 +21,8 @@ addLaunch(AppResult &result, const SimReport &report)
 double
 Runner::launch(const Program &prog, const Bindings &args)
 {
+    NPP_TRACE_SCOPE("app.launch");
+    NPP_TRACE_COUNT("app.launches", 1);
     if (!gpu_) {
         WorkCounts wc = ReferenceInterp().run(prog, args);
         work.computeOps += wc.computeOps;

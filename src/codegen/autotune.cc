@@ -7,6 +7,7 @@
 #include "sim/gpu.h"
 #include "support/logging.h"
 #include "support/parallel.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -14,6 +15,7 @@ AutotuneResult
 autotune(const Program &prog, const Gpu &gpu, const Bindings &args,
          CompileOptions base, const AutotuneOptions &options)
 {
+    NPP_TRACE_SCOPE("codegen.autotune");
     AutotuneResult result;
 
     base.strategy = Strategy::MultiDim;
@@ -102,6 +104,7 @@ autotune(const Program &prog, const Gpu &gpu, const Bindings &args,
         }
     }
     NPP_ASSERT(haveBest, "autotune executed no candidates");
+    NPP_TRACE_COUNT("autotune.trials", static_cast<double>(picks.size()));
     result.bestMs = bestMs;
 
     fixed.fixedMapping = picks[bestIdx].decision;

@@ -7,6 +7,7 @@
 #include "opt/fusion.h"
 #include "opt/smem.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -38,6 +39,8 @@ CompileResult
 compileProgram(const Program &sourceProg, const DeviceConfig &device,
                const CompileOptions &options)
 {
+    NPP_TRACE_SCOPE("codegen.compile");
+    NPP_TRACE_COUNT("compile.calls", 1);
     sourceProg.validate();
 
     CompileResult result;
@@ -71,12 +74,14 @@ compileProgram(const Program &sourceProg, const DeviceConfig &device,
                                 options.prealloc.layoutFromMapping;
         sopts.keepCandidates = options.keepCandidates;
         sopts.objective = options.objective;
+        sopts.explain = options.explainSearch;
         MappingSearch search(device, sopts);
         SearchResult sres = search.search(result.constraints);
         mapping = sres.best;
         result.spec.score = sres.bestScore;
         result.spec.dop = sres.bestDop;
         result.candidates = std::move(sres.candidates);
+        result.explanation = std::move(sres.explanation);
         break;
       }
       case Strategy::OneD: {
@@ -87,11 +92,13 @@ compileProgram(const Program &sourceProg, const DeviceConfig &device,
         sopts.preallocLayouts = options.prealloc.enable &&
                                 options.prealloc.layoutFromMapping;
         sopts.outerOnly = true;
+        sopts.explain = options.explainSearch;
         MappingSearch search(device, sopts);
         SearchResult sres = search.search(result.constraints);
         mapping = sres.best;
         result.spec.score = sres.bestScore;
         result.spec.dop = sres.bestDop;
+        result.explanation = std::move(sres.explanation);
         break;
       }
       case Strategy::ThreadBlockThread:
@@ -134,6 +141,13 @@ compileProgram(const Program &sourceProg, const DeviceConfig &device,
         MappingSearch scorer(device);
         result.spec.score = scorer.score(mapping, result.constraints);
         result.spec.dop = mapping.dop(result.constraints.levelSizes);
+        if (options.explainSearch) {
+            // Fixed strategies skip the search, but the selected
+            // mapping's checks and contributions are still explainable.
+            result.explanation.valid = true;
+            result.explanation.selected =
+                scorer.explain(mapping, result.constraints);
+        }
     }
 
     KernelSpec &spec = result.spec;

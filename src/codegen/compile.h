@@ -46,6 +46,13 @@ struct CompileOptions
     /** Retain the full scored candidate list (Fig 17). */
     bool keepCandidates = false;
 
+    /** Produce the mapping-decision explanation (CompileResult::
+     *  explanation): why the selected mapping won, per-constraint score
+     *  contributions, tie-break tallies. Diagnostics only — cannot
+     *  change the spec (excluded from the EvalCache key, like
+     *  keepCandidates). */
+    bool explainSearch = false;
+
     /** Ranking objective for the MultiDim search (soft-constraint score
      *  or the analytical time model). */
     SearchObjective objective = SearchObjective::SoftScore;
@@ -67,6 +74,12 @@ struct CompileResult
     KernelSpec spec;
     std::vector<ScoredMapping> candidates; //!< if keepCandidates
     ConstraintSet constraints;
+
+    /** Why this mapping (if explainSearch). For the search strategies
+     *  this is the full search report; for fixed strategies the
+     *  candidate-space tallies are zero and only the selected mapping's
+     *  checks/contributions are filled. */
+    SearchExplanation explanation;
 
     /** When fusion rewrote the program, the spec points here instead of
      *  at the caller's program (same variable table, so bindings built

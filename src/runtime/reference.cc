@@ -164,8 +164,13 @@ class SeqExec
                 runStmts(p.body);
             }
             break;
-          default:
-            NPP_PANIC("nested {} not supported",
+          case PatternKind::Filter:
+          case PatternKind::GroupBy:
+            // Program::validate() rejects these as nested patterns (their
+            // outputs are variable-sized); run() validates first, so
+            // reaching this case means the validator has a hole.
+            NPP_PANIC("validate() admitted a nested {} the reference "
+                      "interpreter cannot execute",
                       patternKindName(p.kind));
         }
     }
@@ -218,6 +223,12 @@ class SeqExec
 WorkCounts
 ReferenceInterp::run(const Program &prog, const Bindings &args)
 {
+    // Fail structurally-invalid programs (e.g. nested Filter/GroupBy)
+    // with validate()'s diagnostic up front instead of a mid-run panic;
+    // programs from ProgramBuilder::build() are already validated and
+    // revalidation is cheap and idempotent.
+    prog.validate();
+
     WorkCounts counts;
     CountingProbe probe;
     EvalCtx ctx(prog);

@@ -21,6 +21,12 @@ CoalesceProbe::onAccess(int64_t site, int arrayVar, int64_t physIndex,
     stats.usefulBytes += bytes;
     if (!countTraffic)
         return;
+    if (siteTraffic) {
+        SiteTraffic &st = (*siteTraffic)[site];
+        st.site = site;
+        st.usefulBytes += bytes;
+        st.accesses += 1.0;
+    }
 
     const int64_t byteAddr = physIndex * bytes;
     const int64_t segment = byteAddr / device.transactionBytes;
@@ -54,13 +60,23 @@ CoalesceProbe::onAccess(int64_t site, int arrayVar, int64_t physIndex,
         // generated code (Fig 9 line 15), so broadcast writes are not
         // replicated across the unbound-dimension warps.
         p.multiplier = isWrite ? 1.0 : warpMultiplier;
+        p.site = site;
     }
     p.add(segment);
     p.visits++;
     if (p.visits >= laneVisitsPerGroup) {
-        stats.transactions += p.numSegments * p.multiplier;
+        charge(p);
         pending.erase(key);
     }
+}
+
+void
+CoalesceProbe::charge(const Pending &p)
+{
+    const double transactions = p.numSegments * p.multiplier;
+    stats.transactions += transactions;
+    if (siteTraffic)
+        (*siteTraffic)[p.site].transactions += transactions;
 }
 
 void
@@ -68,7 +84,7 @@ CoalesceProbe::flushAll()
 {
     for (auto &[key, p] : pending) {
         if (p.numSegments > 0)
-            stats.transactions += p.numSegments * p.multiplier;
+            charge(p);
     }
     pending.clear();
 }

@@ -74,6 +74,13 @@ class CoalesceProbe : public MemProbe
      *  unsampled blocks). */
     bool countTraffic = true;
 
+    /** Optional per-trace-site attribution (ExecOptions::siteStats): the
+     *  executor points this at its site->traffic map and the probe
+     *  mirrors every traffic-counted byte/transaction into the access
+     *  site's bucket. Null when site stats are off (the common case) so
+     *  the extra bookkeeping costs nothing. */
+    std::unordered_map<int64_t, SiteTraffic> *siteTraffic = nullptr;
+
     void onAccess(int64_t site, int arrayVar, int64_t physIndex,
                   bool isWrite, int bytes) override;
 
@@ -89,6 +96,7 @@ class CoalesceProbe : public MemProbe
     {
         double multiplier = 1.0;
         int visits = 0;
+        int64_t site = 0; //!< originating access site (site attribution)
         /** Distinct transaction segments touched by the warp's lanes
          *  (at most one per lane). */
         int64_t segments[32];
@@ -105,6 +113,10 @@ class CoalesceProbe : public MemProbe
                 segments[numSegments++] = segment;
         }
     };
+
+    /** Add a completed warp group's transactions to the kernel totals
+     *  and, when attribution is on, to its site's bucket. */
+    void charge(const Pending &p);
 
     const DeviceConfig &device;
     KernelStats &stats;

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "ir/printer.h"
+#include "support/env.h"
+#include "support/strings.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -62,9 +65,11 @@ readCapacityBytes()
     if (const char *off = std::getenv("NPP_EVAL_CACHE"))
         if (std::strcmp(off, "0") == 0)
             return 0;
-    int64_t mb = 4096;
-    if (const char *env = std::getenv("NPP_EVAL_CACHE_MB"))
-        mb = std::strtoll(env, nullptr, 10);
+    // Upper bound keeps mb * 2^20 comfortably inside int64 (8 EB would
+    // overflow); use NPP_EVAL_CACHE=0 — not a zero/negative size — to
+    // disable the cache.
+    const int64_t mb =
+        parseEnvInt("NPP_EVAL_CACHE_MB", 4096, 1, int64_t(1) << 32);
     return mb * 1024 * 1024;
 }
 
@@ -89,6 +94,7 @@ struct EvalCache::Impl
     uint64_t bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
 
     void
     evictTo(uint64_t capacity)
@@ -98,6 +104,8 @@ struct EvalCache::Impl
             bytes -= victim.bytes;
             index.erase(victim.key);
             lru.pop_back();
+            evictions++;
+            NPP_TRACE_COUNT("evalcache.evictions", 1);
         }
     }
 };
@@ -137,8 +145,8 @@ EvalCache::hashCompileOptions(const CompileOptions &copts)
     h = mix(h, static_cast<uint64_t>(copts.objective));
     h = mix(h, copts.rawPointers ? 1 : 0);
     h = mix(h, copts.fuseMapReduce ? 1 : 0);
-    // keepCandidates only adds diagnostics; it cannot change the spec,
-    // so it is deliberately excluded from the key.
+    // keepCandidates and explainSearch only add diagnostics; they cannot
+    // change the spec, so they are deliberately excluded from the key.
     return h;
 }
 
@@ -185,8 +193,10 @@ EvalCache::hashExec(const ExecOptions &eopts)
 {
     // metricsOnly and blockClasses are excluded on purpose: they are
     // report-identical execution modes (determinism test), so trials in
-    // any mode can share entries.
-    return mix(kFnvBasis, static_cast<uint64_t>(eopts.maxSampledBlocks));
+    // any mode can share entries. siteStats is NOT report-identical (it
+    // adds the per-site table and disables classing), so it is keyed.
+    uint64_t h = mix(kFnvBasis, static_cast<uint64_t>(eopts.maxSampledBlocks));
+    return mix(h, eopts.siteStats ? 1 : 0);
 }
 
 uint64_t
@@ -204,6 +214,7 @@ EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args)
     auto it = impl_->index.find(key);
     if (it == impl_->index.end()) {
         impl_->misses++;
+        NPP_TRACE_COUNT("evalcache.misses", 1);
         return std::nullopt;
     }
     Impl::Entry &entry = *it->second;
@@ -211,6 +222,7 @@ EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args)
         // A report-only entry cannot satisfy a functional request.
         if (!entry.hasOutputs) {
             impl_->misses++;
+            NPP_TRACE_COUNT("evalcache.misses", 1);
             return std::nullopt;
         }
         for (const auto &[varId, contents] : entry.outputs) {
@@ -218,6 +230,7 @@ EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args)
             if (!slot.data ||
                 slot.physSize != static_cast<int64_t>(contents.size())) {
                 impl_->misses++;
+                NPP_TRACE_COUNT("evalcache.misses", 1);
                 return std::nullopt;
             }
         }
@@ -228,6 +241,7 @@ EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args)
         }
     }
     impl_->hits++;
+    NPP_TRACE_COUNT("evalcache.hits", 1);
     impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
     return entry.report;
 }
@@ -284,9 +298,19 @@ EvalCache::stats() const
     EvalCacheStats s;
     s.hits = impl_->hits;
     s.misses = impl_->misses;
+    s.evictions = impl_->evictions;
     s.entries = impl_->lru.size();
     s.bytes = impl_->bytes;
     return s;
+}
+
+std::string
+EvalCacheStats::toJson() const
+{
+    return fmt("{\"hits\":{},\"misses\":{},\"evictions\":{},"
+               "\"entries\":{},\"bytes\":{},\"hit_rate\":{}}",
+               hits, misses, evictions, entries, bytes,
+               fixed(hitRate(), 6));
 }
 
 void
@@ -298,6 +322,7 @@ EvalCache::clear()
     impl_->bytes = 0;
     impl_->hits = 0;
     impl_->misses = 0;
+    impl_->evictions = 0;
 }
 
 void

@@ -39,6 +39,7 @@ struct EvalCacheStats
 {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
     uint64_t entries = 0;
     uint64_t bytes = 0;
 
@@ -48,6 +49,9 @@ struct EvalCacheStats
         const uint64_t total = hits + misses;
         return total ? static_cast<double>(hits) / total : 0.0;
     }
+
+    /** Machine-readable export for --stats. */
+    std::string toJson() const;
 };
 
 class EvalCache

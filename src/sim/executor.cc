@@ -11,6 +11,7 @@
 #include "sim/coalesce.h"
 #include "support/logging.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -122,11 +123,16 @@ class DeviceExecutor
                                          options.maxSampledBlocks));
         int64_t measured = 0;
 
+        if (options.siteStats)
+            probe.siteTraffic = &siteTrafficMap;
+
         // Block-equivalence classing: only legal when outputs need not
         // be materialized (skipped blocks never run their stores), and
-        // only profitable with blocks to merge.
+        // only profitable with blocks to merge. Site attribution forces
+        // exact simulation: class replication copies aggregate metric
+        // deltas and cannot assign them to access sites.
         bool classed = options.blockClasses && options.metricsOnly &&
-                       geom.totalBlocks > 2;
+                       !options.siteStats && geom.totalBlocks > 2;
         if (classed) {
             classed = analyzeBlockClasses(spec, geom, levelSizes, ctx,
                                           device)
@@ -154,9 +160,22 @@ class DeviceExecutor
         finishSplit();
         finishFilterCount();
 
+        if (options.siteStats) {
+            stats.siteTraffic.reserve(siteTrafficMap.size());
+            for (const auto &[site, st] : siteTrafficMap)
+                stats.siteTraffic.push_back(st);
+            std::sort(stats.siteTraffic.begin(), stats.siteTraffic.end(),
+                      [](const SiteTraffic &a, const SiteTraffic &b) {
+                          return a.site < b.site;
+                      });
+        }
+
         // Generated (non-raw-pointer) kernels pay the array-wrapper tax.
-        if (!spec.rawPointers)
+        if (!spec.rawPointers) {
             stats.transactions *= device.wrapperTrafficFactor;
+            for (SiteTraffic &st : stats.siteTraffic)
+                st.transactions *= device.wrapperTrafficFactor;
+        }
 
         // Extrapolate the sampled traffic to the whole grid.
         if (measured < geom.totalBlocks && measured > 0) {
@@ -1044,6 +1063,9 @@ class DeviceExecutor
     EvalCtx ctx;
     KernelStats stats;
     CoalesceProbe probe;
+    /** Per-site traffic buckets while running (siteStats mode); sorted
+     *  into stats.siteTraffic at the end of run(). */
+    std::unordered_map<int64_t, SiteTraffic> siteTrafficMap;
     /** spec.prefetchedSites translated to stable readSite ids for the
      *  probe's key space. */
     std::unordered_set<int64_t> prefetchSiteIds;
@@ -1095,8 +1117,13 @@ KernelStats
 executeOnDevice(const KernelSpec &spec, const Bindings &args,
                 const DeviceConfig &device, const ExecOptions &options)
 {
+    NPP_TRACE_SCOPE("sim.execute");
     DeviceExecutor exec(spec, args, device, options);
-    return exec.run();
+    KernelStats stats = exec.run();
+    NPP_TRACE_COUNT("sim.blocks", static_cast<double>(stats.totalBlocks));
+    NPP_TRACE_COUNT("sim.classed_blocks",
+                    static_cast<double>(stats.classedBlocks));
+    return stats;
 }
 
 } // namespace npp

@@ -38,6 +38,14 @@ struct ExecOptions
      *  for exact (every-block) simulation. Bit-identical stats either
      *  way — enforced by tests/sim/determinism_test. */
     bool blockClasses = true;
+
+    /** Collect per-trace-site traffic (KernelStats::siteTraffic) for the
+     *  --stats diagnostics. Disables block classing for the run — class
+     *  replication copies aggregate deltas and cannot attribute them to
+     *  sites — and changes the report payload, so it is part of the
+     *  EvalCache key (a site-less cached report must not satisfy a
+     *  siteStats request). */
+    bool siteStats = false;
 };
 
 /** Execute the spec with the given bindings; returns the stats needed by

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -10,6 +11,8 @@ SimReport
 Gpu::run(const KernelSpec &spec, const Bindings &args,
          const ExecOptions &options) const
 {
+    NPP_TRACE_SCOPE("sim.run");
+    NPP_TRACE_COUNT("sim.runs", 1);
     KernelStats stats = executeOnDevice(spec, args, config_, options);
     return computeTiming(stats, config_);
 }

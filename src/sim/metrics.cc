@@ -1,8 +1,24 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+#include <sstream>
+
 #include "support/strings.h"
 
 namespace npp {
+
+namespace {
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
 
 std::string
 SimReport::toString() const
@@ -16,6 +32,68 @@ SimReport::toString() const
                fixed(achievedBandwidth, 1), fixed(residentWarps, 0),
                fixed(stats.transactions, 0),
                fixed(stats.warpInstructions, 0));
+}
+
+std::string
+SimReport::toJson(int64_t transactionBytes) const
+{
+    const double total = std::max(totalMs, 1e-12);
+    std::ostringstream os;
+    os << "{";
+    os << "\"total_ms\":" << num(totalMs);
+    os << ",\"compute_ms\":" << num(computeMs);
+    os << ",\"memory_ms\":" << num(memoryMs);
+    os << ",\"launch_ms\":" << num(launchMs);
+    os << ",\"block_overhead_ms\":" << num(blockOverheadMs);
+    os << ",\"malloc_ms\":" << num(mallocMs);
+    os << ",\"combiner_ms\":" << num(combinerMs);
+    os << ",\"launch_share\":" << num(launchMs / total);
+    os << ",\"block_overhead_share\":" << num(blockOverheadMs / total);
+    os << ",\"achieved_bandwidth_gbs\":" << num(achievedBandwidth);
+    os << ",\"resident_warps\":" << num(residentWarps);
+    os << ",\"blocks_per_sm\":" << blocksPerSM;
+    os << ",\"occupancy\":" << num(occupancy);
+    os << ",\"coalescing_efficiency\":" << num(coalescingEfficiency);
+    os << ",\"stats\":{";
+    os << "\"warp_instructions\":" << num(stats.warpInstructions);
+    os << ",\"transactions\":" << num(stats.transactions);
+    os << ",\"useful_bytes\":" << num(stats.usefulBytes);
+    os << ",\"smem_accesses\":" << num(stats.smemAccesses);
+    os << ",\"syncs\":" << num(stats.syncs);
+    os << ",\"mallocs\":" << num(stats.mallocs);
+    os << ",\"total_blocks\":" << stats.totalBlocks;
+    os << ",\"threads_per_block\":" << stats.threadsPerBlock;
+    os << ",\"shared_mem_per_block\":" << stats.sharedMemPerBlock;
+    os << ",\"has_combiner\":" << (stats.hasCombiner ? "true" : "false");
+    os << ",\"combiner_transactions\":" << num(stats.combinerTransactions);
+    os << ",\"combiner_ops\":" << num(stats.combinerOps);
+    os << ",\"combiner_threads\":" << stats.combinerThreads;
+    os << ",\"sampled_fraction\":" << num(stats.sampledFraction);
+    os << ",\"classed_blocks\":" << stats.classedBlocks;
+    os << "}";
+    if (!stats.siteTraffic.empty()) {
+        os << ",\"sites\":[";
+        bool first = true;
+        for (const SiteTraffic &st : stats.siteTraffic) {
+            if (!first)
+                os << ",";
+            first = false;
+            const double moved =
+                st.transactions * static_cast<double>(transactionBytes);
+            os << "{\"site\":" << st.site
+               << ",\"transactions\":" << num(st.transactions)
+               << ",\"useful_bytes\":" << num(st.usefulBytes)
+               << ",\"accesses\":" << num(st.accesses)
+               << ",\"coalescing_efficiency\":"
+               << num(moved > 0.0
+                          ? std::min(st.usefulBytes / moved, 1.0)
+                          : 1.0)
+               << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
 }
 
 } // namespace npp

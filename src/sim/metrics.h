@@ -9,8 +9,30 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace npp {
+
+/**
+ * Global-memory traffic attributed to one static access site (trace-site
+ * id), collected when ExecOptions::siteStats is set. Per-site coalescing
+ * efficiency is usefulBytes / (transactions x transaction size) — 1.0
+ * for perfectly coalesced unit-stride access, ~1/16 for a fully strided
+ * 8-byte walk on a 128-byte-transaction device.
+ */
+struct SiteTraffic
+{
+    int64_t site = 0;
+    double transactions = 0.0;
+    double usefulBytes = 0.0;
+    double accesses = 0.0;
+
+    bool operator==(const SiteTraffic &o) const
+    {
+        return site == o.site && transactions == o.transactions &&
+               usefulBytes == o.usefulBytes && accesses == o.accesses;
+    }
+};
 
 /**
  * Work counters for one kernel launch. "Warp instructions" are weighted
@@ -57,6 +79,11 @@ struct KernelStats
      *  classing is off or the launch is not classable). */
     int64_t classedBlocks = 0;
 
+    /** Per-trace-site traffic, sorted by site id; populated only when
+     *  ExecOptions::siteStats is set (empty otherwise so the default
+     *  report payload is unchanged). */
+    std::vector<SiteTraffic> siteTraffic;
+
     void
     scaleTraffic(double factor)
     {
@@ -65,6 +92,11 @@ struct KernelStats
         usefulBytes *= factor;
         smemAccesses *= factor;
         syncs *= factor;
+        for (SiteTraffic &st : siteTraffic) {
+            st.transactions *= factor;
+            st.usefulBytes *= factor;
+            st.accesses *= factor;
+        }
     }
 };
 
@@ -96,9 +128,23 @@ struct SimReport
     /** Blocks resident per SM under occupancy limits. */
     int64_t blocksPerSM = 0;
 
+    /** Achieved occupancy: resident warps per active SM over the device's
+     *  warp capacity per SM (0..1). */
+    double occupancy = 0.0;
+
+    /** Whole-kernel coalescing efficiency: useful bytes over bytes moved
+     *  (transactions x transaction size), 0..1. */
+    double coalescingEfficiency = 0.0;
+
     KernelStats stats;
 
     std::string toString() const;
+
+    /** Machine-readable export (--stats): every field of the report and
+     *  its KernelStats, overhead shares of totalMs, and the per-site
+     *  traffic table when present. `transactionBytes` is the device's
+     *  transaction size, used for per-site efficiency. */
+    std::string toJson(int64_t transactionBytes = 128) const;
 };
 
 } // namespace npp

@@ -38,6 +38,17 @@ computeTiming(const KernelStats &stats, const DeviceConfig &device)
         static_cast<double>(blocksPerSM * warpsPerBlock * activeSMs));
     report.residentWarps = residentWarps;
 
+    const double warpCapacityPerSM = static_cast<double>(
+        std::max<int64_t>(device.maxThreadsPerSM / device.warpSize, 1));
+    report.occupancy = std::min(
+        1.0, residentWarps / std::max<double>(activeSMs, 1) /
+                 warpCapacityPerSM);
+    const double movedBytes =
+        stats.transactions * static_cast<double>(device.transactionBytes);
+    report.coalescingEfficiency =
+        movedBytes > 0.0 ? std::min(stats.usefulBytes / movedBytes, 1.0)
+                         : 1.0;
+
     // Compute: DP pipes need several resident warps per SM to saturate.
     const double warpsPerActiveSM =
         residentWarps / std::max<double>(activeSMs, 1);

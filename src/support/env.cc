@@ -1,0 +1,39 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace npp {
+
+int64_t
+parseEnvInt(const char *name, int64_t fallback, int64_t lo, int64_t hi)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+
+    const char *p = env;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        p++;
+    char *end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(p, &end, 10);
+    const bool overflowed = errno == ERANGE;
+    while (end && *end && std::isspace(static_cast<unsigned char>(*end)))
+        end++;
+    if (end == p || (end && *end) || overflowed) {
+        NPP_WARN("{}={} is not an integer; using {}", name, env, fallback);
+        return fallback;
+    }
+    if (parsed < lo || parsed > hi) {
+        NPP_WARN("{}={} outside [{}, {}]; using {}", name, env, lo, hi,
+                 fallback);
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace npp

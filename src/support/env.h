@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Hardened environment-variable parsing. Every numeric NPP_* knob goes
+ * through parseEnvInt so that garbage, zero/negative, and out-of-range
+ * values produce one logged warning and a sane fallback instead of a
+ * silent misconfiguration (NPP_THREADS=abc used to mean "1 thread",
+ * NPP_EVAL_CACHE_MB=-1 used to mean "cache disabled by overflow").
+ */
+
+#ifndef NPP_SUPPORT_ENV_H
+#define NPP_SUPPORT_ENV_H
+
+#include <cstdint>
+
+namespace npp {
+
+/**
+ * Read an integer environment variable with validation.
+ *
+ * Returns `fallback` (without a warning) when the variable is unset.
+ * Otherwise the value must parse completely as a decimal integer and lie
+ * inside [lo, hi]; non-numeric text, trailing junk, overflow, and
+ * out-of-range values log one NPP_WARN naming the variable and the
+ * accepted range, then return `fallback`.
+ */
+int64_t parseEnvInt(const char *name, int64_t fallback, int64_t lo,
+                    int64_t hi);
+
+} // namespace npp
+
+#endif // NPP_SUPPORT_ENV_H

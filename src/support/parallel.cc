@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "support/env.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace npp {
 
@@ -20,13 +21,12 @@ int overrideThreads = 0; // set via setParallelThreadCount
 int
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("NPP_THREADS")) {
-        int n = std::atoi(env);
-        if (n >= 1)
-            return n;
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw ? static_cast<int>(hw) : 1;
+    const int fallback = hw ? static_cast<int>(hw) : 1;
+    // 4096 threads is far beyond any machine this runs on; larger values
+    // are typos (or unit confusion) rather than intent.
+    return static_cast<int>(
+        parseEnvInt("NPP_THREADS", fallback, 1, 4096));
 }
 
 /**
@@ -210,6 +210,8 @@ parallelFor(int64_t begin, int64_t end,
         return;
     }
 
+    NPP_TRACE_SCOPE("parallel.for");
+    NPP_TRACE_COUNT("parallel.jobs", 1);
     TaskPool::instance().run(begin, end, body, grain, threads);
 }
 

@@ -1,0 +1,295 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace npp {
+
+namespace {
+
+/** Span cap: ~48 MB of event storage at worst; beyond it spans are
+ *  counted as dropped instead of growing without bound (a sweep over a
+ *  large figure can emit millions of cache-probe spans). */
+constexpr size_t kMaxSpans = 1u << 20;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // Plain decimal with enough digits to round-trip microsecond spans.
+    std::ostringstream os;
+    os.precision(15);
+    os << v;
+    return os.str();
+}
+
+int
+currentThreadId()
+{
+    static std::mutex mu;
+    static std::map<std::thread::id, int> ids;
+    thread_local int cached = -1;
+    if (cached < 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, fresh] =
+            ids.try_emplace(std::this_thread::get_id(),
+                            static_cast<int>(ids.size()) + 1);
+        (void)fresh;
+        cached = it->second;
+    }
+    return cached;
+}
+
+} // namespace
+
+struct Trace::Impl
+{
+    struct Span
+    {
+        const char *name;
+        double beginUs;
+        double durUs;
+        int tid;
+    };
+
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+
+    mutable std::mutex mu;
+    std::vector<Span> spans;
+    uint64_t dropped = 0;
+    std::map<std::string, double> counters;
+};
+
+Trace::Trace()
+    : impl_(new Impl)
+{
+    if (const char *env = std::getenv("NPP_TRACE")) {
+        if (env[0] && !(env[0] == '0' && env[1] == '\0'))
+            enabled_.store(true, std::memory_order_relaxed);
+    }
+}
+
+Trace &
+Trace::instance()
+{
+    // Leaked intentionally: instrumented scopes may unwind during static
+    // destruction.
+    static Trace *trace = new Trace();
+    return *trace;
+}
+
+void
+Trace::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+double
+Trace::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - impl_->epoch)
+        .count();
+}
+
+void
+Trace::count(const char *name, double delta)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->counters[name] += delta;
+}
+
+void
+Trace::span(const char *name, double beginUs, double endUs)
+{
+    const int tid = currentThreadId();
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->spans.size() >= kMaxSpans) {
+        impl_->dropped++;
+        return;
+    }
+    impl_->spans.push_back({name, beginUs, endUs - beginUs, tid});
+}
+
+std::string
+Trace::chromeTraceJson() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Impl::Span &s : impl_->spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(s.name)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
+           << ",\"ts\":" << jsonNumber(s.beginUs)
+           << ",\"dur\":" << jsonNumber(std::max(s.durUs, 0.0)) << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+std::string
+Trace::flatJson() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+
+    // Aggregate spans by name (std::map: deterministic output order).
+    std::map<std::string, TraceTimerStat> timers;
+    for (const Impl::Span &s : impl_->spans) {
+        TraceTimerStat &t = timers[s.name];
+        if (t.count == 0) {
+            t.minUs = s.durUs;
+            t.maxUs = s.durUs;
+        }
+        t.count++;
+        t.totalUs += s.durUs;
+        t.minUs = std::min(t.minUs, s.durUs);
+        t.maxUs = std::max(t.maxUs, s.durUs);
+    }
+
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : impl_->counters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":" << jsonNumber(value);
+    }
+    os << "},\"timers\":{";
+    first = true;
+    for (const auto &[name, t] : timers) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":{\"count\":" << t.count
+           << ",\"total_us\":" << jsonNumber(t.totalUs)
+           << ",\"min_us\":" << jsonNumber(t.minUs)
+           << ",\"max_us\":" << jsonNumber(t.maxUs) << "}";
+    }
+    os << "},\"dropped_spans\":" << impl_->dropped << "}";
+    return os.str();
+}
+
+namespace {
+
+bool
+writeWholeFile(const std::string &path, const std::string &contents)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        NPP_WARN("cannot open {} for writing", path);
+        return false;
+    }
+    const bool ok =
+        std::fwrite(contents.data(), 1, contents.size(), f) ==
+        contents.size();
+    std::fclose(f);
+    if (!ok)
+        NPP_WARN("short write to {}", path);
+    return ok;
+}
+
+} // namespace
+
+bool
+Trace::writeChromeTrace(const std::string &path) const
+{
+    return writeWholeFile(path, chromeTraceJson());
+}
+
+bool
+Trace::writeFlatJson(const std::string &path) const
+{
+    return writeWholeFile(path, flatJson());
+}
+
+double
+Trace::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->counters.find(name);
+    return it == impl_->counters.end() ? 0.0 : it->second;
+}
+
+TraceTimerStat
+Trace::timerStat(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    TraceTimerStat t;
+    for (const Impl::Span &s : impl_->spans) {
+        if (name != s.name)
+            continue;
+        if (t.count == 0) {
+            t.minUs = s.durUs;
+            t.maxUs = s.durUs;
+        }
+        t.count++;
+        t.totalUs += s.durUs;
+        t.minUs = std::min(t.minUs, s.durUs);
+        t.maxUs = std::max(t.maxUs, s.durUs);
+    }
+    return t;
+}
+
+uint64_t
+Trace::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->spans.size();
+}
+
+uint64_t
+Trace::droppedSpans() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->dropped;
+}
+
+void
+Trace::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->spans.clear();
+    impl_->counters.clear();
+    impl_->dropped = 0;
+}
+
+} // namespace npp

@@ -218,6 +218,108 @@ TEST(Search, TripleNestUsesThreeDims)
 // Fixed-strategy presets (Fig 7).
 //
 
+// ---------------------------------------------------------------------
+// Decision-explanation report (SearchOptions::explain)
+
+TEST(Explain, ContributionsSumToSelectedScore)
+{
+    auto sp = makeSumRows();
+    SearchOptions opts;
+    opts.explain = true;
+    auto res = findMapping(sp.prog, teslaK20c(),
+                           {{sp.rVar, 2048.0}, {sp.cVar, 2048.0}}, opts);
+    const SearchExplanation &ex = res.explanation;
+    ASSERT_TRUE(ex.valid);
+    EXPECT_TRUE(ex.selected.decision == res.best);
+    EXPECT_TRUE(ex.selected.feasible);
+    for (const auto &hc : ex.selected.hardChecks)
+        EXPECT_TRUE(hc.passed) << hc.name << ": " << hc.detail;
+
+    double sum = 0.0;
+    for (const auto &c : ex.selected.soft)
+        sum += c.contribution;
+    EXPECT_DOUBLE_EQ(sum, ex.selected.totalScore);
+    // The selected mapping's explanation must account for the search's
+    // own winning score (the score is invariant under the ControlDOP
+    // span rewrites, so this holds post-adjustment too).
+    EXPECT_DOUBLE_EQ(ex.selected.totalScore, res.bestScore);
+}
+
+TEST(Explain, CandidateTalliesPartitionTheSpace)
+{
+    auto sp = makeSumRows();
+    SearchOptions opts;
+    opts.explain = true;
+    auto res = findMapping(sp.prog, teslaK20c(), {}, opts);
+    const SearchExplanation &ex = res.explanation;
+    ASSERT_TRUE(ex.valid);
+    EXPECT_EQ(ex.enumerated,
+              static_cast<int64_t>(res.candidatesConsidered));
+    EXPECT_EQ(ex.enumerated, ex.feasibleCount + ex.rejectedDims +
+                                 ex.rejectedBlockShape + ex.rejectedHardSpan);
+    EXPECT_GT(ex.feasibleCount, 0);
+    // The tie-break chain narrows monotonically and never empties.
+    EXPECT_GE(ex.atBestScore, ex.atBestCappedDop);
+    EXPECT_GE(ex.atBestCappedDop, ex.atBestBlocks);
+    EXPECT_GE(ex.atBestBlocks, 1);
+}
+
+TEST(Explain, InfeasibleMappingItemizesTheFailure)
+{
+    auto sp = makeSumRows();
+    AnalysisEnv env;
+    env.prog = &sp.prog;
+    ConstraintSet cs = buildConstraints(sp.prog, env, teslaK20c());
+    MappingSearch search(teslaK20c());
+
+    MappingDecision nonPow2;
+    nonPow2.levels = {{1, 3, SpanType::one()}, {0, 32, SpanType::all()}};
+    MappingExplanation mex = search.explain(nonPow2, cs);
+    EXPECT_FALSE(mex.feasible);
+    EXPECT_DOUBLE_EQ(mex.totalScore, 0.0);
+    EXPECT_DOUBLE_EQ(mex.totalScore, search.score(nonPow2, cs));
+    bool sawFailure = false;
+    for (const auto &hc : mex.hardChecks)
+        sawFailure |= !hc.passed;
+    EXPECT_TRUE(sawFailure) << "at least one hard check must fail";
+}
+
+TEST(Explain, ExplainAgreesWithScoreOnArbitraryFeasibleMappings)
+{
+    auto sp = makeSumRows();
+    AnalysisEnv env;
+    env.prog = &sp.prog;
+    ConstraintSet cs = buildConstraints(sp.prog, env, teslaK20c());
+    MappingSearch search(teslaK20c());
+    for (int64_t bs : {1, 2, 32, 128}) {
+        MappingDecision d;
+        d.levels = {{1, bs, SpanType::one()},
+                    {0, 256 / bs, SpanType::all()}};
+        if (!search.feasible(d, cs))
+            continue;
+        MappingExplanation mex = search.explain(d, cs);
+        EXPECT_DOUBLE_EQ(mex.totalScore, search.score(d, cs))
+            << "blockSize " << bs;
+    }
+}
+
+TEST(Explain, ReportsRenderInBothFormats)
+{
+    auto sp = makeSumRows();
+    SearchOptions opts;
+    opts.explain = true;
+    auto res = findMapping(sp.prog, teslaK20c(), {}, opts);
+    const std::string text = formatSearchExplanation(res.explanation);
+    EXPECT_NE(text.find("selected mapping"), std::string::npos);
+    EXPECT_NE(text.find("total score"), std::string::npos);
+    EXPECT_NE(text.find("tie-breaks"), std::string::npos);
+    const std::string json = searchExplanationJson(res.explanation);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"selected\""), std::string::npos);
+    EXPECT_NE(json.find("\"soft\""), std::string::npos);
+}
+
 TEST(Presets, OneDMapping)
 {
     const DeviceConfig dev = teslaK20c();

@@ -273,6 +273,62 @@ TEST(Determinism, RebuiltAppsRunIdentically)
     cache.setCapacityBytes(savedCapacity);
 }
 
+TEST(Determinism, ExplanationStableAcrossRebuilds)
+{
+    // The decision-explanation report is part of the debugging workflow
+    // (nppc --explain); it must render identically when the same program
+    // is destroyed and rebuilt — constraint order, weights, tie tallies
+    // and the formatted text are all structural, never address-derived.
+    std::string first;
+    for (int round = 0; round < 2; round++) {
+        Workload w = makeRowSums(96, 64);
+        CompileOptions copts;
+        copts.explainSearch = true;
+        Gpu gpu;
+        CompileResult res =
+            compileProgram(*w.prog, gpu.config(), copts);
+        ASSERT_TRUE(res.explanation.valid);
+        const std::string text =
+            formatSearchExplanation(res.explanation);
+        const std::string json = searchExplanationJson(res.explanation);
+        if (round == 0)
+            first = text + "\n" + json;
+        else
+            EXPECT_EQ(first, text + "\n" + json);
+    }
+}
+
+TEST(Determinism, SiteStatsDoNotPerturbTheReport)
+{
+    // Per-site attribution is a pure observer: the aggregate report with
+    // siteStats on must be bit-identical to the plain run, and the site
+    // buckets must sum to the aggregate traffic they decompose.
+    Gpu gpu;
+    Workload loads[] = {makeRowSums(96, 64), makeGather(2048)};
+    for (Workload &w : loads) {
+        SCOPED_TRACE(w.prog->name());
+        SimReport plain = gpu.compileAndRun(*w.prog, *w.args, {}, {});
+        ExecOptions eo;
+        eo.siteStats = true;
+        SimReport sited = gpu.compileAndRun(*w.prog, *w.args, {}, eo);
+        ASSERT_FALSE(sited.stats.siteTraffic.empty());
+        expectSameReport(plain, sited, "siteStats observer");
+
+        double siteBytes = 0.0;
+        for (const SiteTraffic &st : sited.stats.siteTraffic)
+            siteBytes += st.usefulBytes;
+        EXPECT_DOUBLE_EQ(siteBytes, sited.stats.usefulBytes);
+
+        // And the attribution itself is deterministic across runs.
+        SimReport again = gpu.compileAndRun(*w.prog, *w.args, {}, eo);
+        ASSERT_EQ(again.stats.siteTraffic.size(),
+                  sited.stats.siteTraffic.size());
+        for (size_t i = 0; i < sited.stats.siteTraffic.size(); i++)
+            EXPECT_TRUE(again.stats.siteTraffic[i] ==
+                        sited.stats.siteTraffic[i]);
+    }
+}
+
 TEST(Determinism, AutotuneSerialAndParallelAgree)
 {
     Gpu gpu;

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "support/env.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/strings.h"
@@ -115,6 +118,53 @@ TEST(Strings, PaddingAndRepeat)
     EXPECT_EQ(repeat("ab", 3), "ababab");
     EXPECT_EQ(repeat("x", 0), "");
     EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(ParseEnvInt, UnsetReturnsFallbackSilently)
+{
+    unsetenv("NPP_TEST_KNOB");
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+}
+
+TEST(ParseEnvInt, ValidValueParses)
+{
+    setenv("NPP_TEST_KNOB", "42", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 42);
+    setenv("NPP_TEST_KNOB", "  8  ", 1); // surrounding whitespace is fine
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 8);
+    unsetenv("NPP_TEST_KNOB");
+}
+
+TEST(ParseEnvInt, GarbageFallsBack)
+{
+    setenv("NPP_TEST_KNOB", "abc", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    setenv("NPP_TEST_KNOB", "", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    setenv("NPP_TEST_KNOB", "12abc", 1); // trailing junk is not a number
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    unsetenv("NPP_TEST_KNOB");
+}
+
+TEST(ParseEnvInt, OutOfRangeFallsBack)
+{
+    setenv("NPP_TEST_KNOB", "0", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    setenv("NPP_TEST_KNOB", "-3", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    setenv("NPP_TEST_KNOB", "101", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    // strtoll overflow (ERANGE) must not wrap into the accepted range.
+    setenv("NPP_TEST_KNOB", "99999999999999999999999999", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 7, 1, 100), 7);
+    unsetenv("NPP_TEST_KNOB");
+}
+
+TEST(ParseEnvInt, NegativeValuesAllowedWhenRangeAllows)
+{
+    setenv("NPP_TEST_KNOB", "-5", 1);
+    EXPECT_EQ(parseEnvInt("NPP_TEST_KNOB", 0, -10, 10), -5);
+    unsetenv("NPP_TEST_KNOB");
 }
 
 TEST(Strings, Join)

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Compile-time no-op check for the tracing macros: this binary is built
+ * with NPP_TRACE_DISABLED (see tests/support/CMakeLists.txt), under
+ * which NPP_TRACE_SCOPE / NPP_TRACE_COUNT must expand to nothing — even
+ * with the registry gate forced on, instrumented code records no spans
+ * and no counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/trace.h"
+
+#ifndef NPP_TRACE_DISABLED
+#error "this test must be compiled with -DNPP_TRACE_DISABLED"
+#endif
+
+static_assert(!npp::kTraceCompiledIn,
+              "NPP_TRACE_DISABLED must flip kTraceCompiledIn");
+
+namespace npp {
+namespace {
+
+TEST(TraceDisabled, MacrosCompileToNothing)
+{
+    Trace::instance().setEnabled(true);
+    Trace::instance().clear();
+    {
+        NPP_TRACE_SCOPE("compiled.out");
+        NPP_TRACE_COUNT("compiled.out.count", 99);
+    }
+    EXPECT_EQ(Trace::instance().spanCount(), 0u);
+    EXPECT_EQ(Trace::instance().counterValue("compiled.out.count"), 0.0);
+    Trace::instance().setEnabled(false);
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the tracing/counter registry (support/trace.h): disabled
+ * tracing records nothing, enabled tracing records spans and counters,
+ * and both exporters emit well-formed JSON. The compile-time no-op
+ * variant (NPP_TRACE_DISABLED) is covered by trace_disabled_test.cc,
+ * which builds the same macros with the define set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/parallel.h"
+#include "support/trace.h"
+
+namespace npp {
+namespace {
+
+/** Minimal structural JSON check: braces/brackets balance outside of
+ *  string literals and the document is a single object. */
+bool
+looksLikeJson(const std::string &s)
+{
+    int depth = 0;
+    bool inStr = false, esc = false;
+    for (char c : s) {
+        if (inStr) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                inStr = false;
+            continue;
+        }
+        if (c == '"')
+            inStr = true;
+        else if (c == '{' || c == '[')
+            depth++;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !inStr && !s.empty() && s.front() == '{';
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Trace::instance().setEnabled(false);
+        Trace::instance().clear();
+    }
+    void TearDown() override
+    {
+        Trace::instance().setEnabled(false);
+        Trace::instance().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    ASSERT_FALSE(Trace::instance().enabled());
+    {
+        NPP_TRACE_SCOPE("test.disabled");
+        NPP_TRACE_COUNT("test.disabled.count", 5);
+    }
+    EXPECT_EQ(Trace::instance().spanCount(), 0u);
+    EXPECT_EQ(Trace::instance().counterValue("test.disabled.count"), 0.0);
+}
+
+TEST_F(TraceTest, EnabledRecordsSpansAndCounters)
+{
+    Trace::instance().setEnabled(true);
+    {
+        NPP_TRACE_SCOPE("test.span");
+        NPP_TRACE_COUNT("test.count", 2);
+        NPP_TRACE_COUNT("test.count", 3);
+    }
+    EXPECT_EQ(Trace::instance().spanCount(), 1u);
+    EXPECT_EQ(Trace::instance().counterValue("test.count"), 5.0);
+    TraceTimerStat stat = Trace::instance().timerStat("test.span");
+    EXPECT_EQ(stat.count, 1u);
+    EXPECT_GE(stat.totalUs, 0.0);
+    EXPECT_LE(stat.minUs, stat.maxUs);
+}
+
+TEST_F(TraceTest, SpanStraddlingEnableIsSkipped)
+{
+    // The gate is sampled at construction: a scope opened while tracing
+    // is off records nothing even if tracing turns on before it closes.
+    {
+        ScopedTimer t("test.straddle");
+        Trace::instance().setEnabled(true);
+    }
+    EXPECT_EQ(Trace::instance().spanCount(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonWellFormed)
+{
+    Trace::instance().setEnabled(true);
+    {
+        NPP_TRACE_SCOPE("phase \"a\"\\b"); // exercises escaping
+        NPP_TRACE_SCOPE("phase.inner");
+    }
+    const std::string json = Trace::instance().chromeTraceJson();
+    EXPECT_TRUE(looksLikeJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"a\\\""), std::string::npos);
+}
+
+TEST_F(TraceTest, FlatJsonWellFormed)
+{
+    Trace::instance().setEnabled(true);
+    NPP_TRACE_COUNT("test.flat", 1);
+    {
+        NPP_TRACE_SCOPE("test.flat.span");
+    }
+    const std::string json = Trace::instance().flatJson();
+    EXPECT_TRUE(looksLikeJson(json)) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"timers\""), std::string::npos);
+    EXPECT_NE(json.find("test.flat"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearResetsEverything)
+{
+    Trace::instance().setEnabled(true);
+    NPP_TRACE_COUNT("test.clear", 1);
+    {
+        NPP_TRACE_SCOPE("test.clear.span");
+    }
+    Trace::instance().clear();
+    EXPECT_EQ(Trace::instance().spanCount(), 0u);
+    EXPECT_EQ(Trace::instance().counterValue("test.clear"), 0.0);
+    EXPECT_TRUE(Trace::instance().enabled()) << "clear keeps the gate";
+}
+
+TEST_F(TraceTest, ThreadSafeUnderTaskPool)
+{
+    Trace::instance().setEnabled(true);
+    const int64_t N = 2000;
+    parallelFor(0, N, [](int64_t) {
+        NPP_TRACE_SCOPE("test.pool");
+        NPP_TRACE_COUNT("test.pool.iters", 1);
+    });
+    // parallelFor itself records one job span + counter when pooled;
+    // only the per-iteration counter has an exact expected value.
+    EXPECT_EQ(Trace::instance().counterValue("test.pool.iters"),
+              static_cast<double>(N));
+    EXPECT_EQ(Trace::instance().timerStat("test.pool").count,
+              static_cast<uint64_t>(N));
+}
+
+} // namespace
+} // namespace npp

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full verification driver: the default build + ctest, then (optionally)
+# sanitizer builds in separate build trees. Usage:
+#
+#   tools/check.sh              # default job: build + ctest
+#   tools/check.sh asan         # AddressSanitizer + UBSan build + ctest
+#   tools/check.sh tsan         # ThreadSanitizer build + ctest
+#   tools/check.sh all          # all three, in order
+#
+# Each job uses its own build directory (build/, build-asan/, build-tsan/)
+# so sanitizer and plain objects never mix. Exits nonzero on the first
+# failing configure, build, or test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${1:-default}"
+
+run_job() {
+    local name="$1" dir="$2"
+    shift 2
+    echo "== check: ${name} (${dir}) =="
+    cmake -B "${dir}" -S . "$@"
+    cmake --build "${dir}" -j
+    ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+case "${jobs}" in
+default)
+    run_job default build
+    ;;
+asan)
+    run_job asan build-asan -DNPP_ASAN=ON
+    ;;
+tsan)
+    run_job tsan build-tsan -DNPP_TSAN=ON
+    ;;
+all)
+    run_job default build
+    run_job asan build-asan -DNPP_ASAN=ON
+    run_job tsan build-tsan -DNPP_TSAN=ON
+    ;;
+*)
+    echo "usage: tools/check.sh [default|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== check: ${jobs} OK =="

@@ -7,7 +7,15 @@
  *
  *     nppc <program> [--strategy=multidim|1d|tbt|warp]
  *                    [--ir] [--constraints] [--mapping] [--cuda]
- *                    [--run] [--all]
+ *                    [--run] [--explain] [--trace=FILE] [--stats=FILE]
+ *                    [--all]
+ *
+ * --explain prints the mapping-decision report (why this dim/block/span:
+ * hard-filter verdicts, per-constraint score contributions, tie-breaks).
+ * --trace=FILE records pipeline spans and writes chrome://tracing JSON.
+ * --stats=FILE runs the simulator with per-site attribution and writes
+ * the full counter export (coalescing efficiency per trace site,
+ * occupancy, overhead shares, EvalCache counters) as JSON.
  *
  * programs: sumrows, sumcols, weightedrows, weightedcols, pagerank,
  *           mandelbrot
@@ -20,8 +28,10 @@
 #include "apps/sums.h"
 #include "ir/builder.h"
 #include "ir/printer.h"
+#include "sim/evalcache.h"
 #include "sim/gpu.h"
 #include "support/rng.h"
+#include "support/trace.h"
 
 using namespace npp;
 
@@ -172,7 +182,8 @@ usage()
         "  programs: sumrows sumcols weightedrows weightedcols pagerank "
         "mandelbrot\n"
         "  options:  --strategy=multidim|1d|tbt|warp\n"
-        "            --ir --constraints --mapping --cuda --run --all\n");
+        "            --ir --constraints --mapping --cuda --run --all\n"
+        "            --explain --trace=FILE --stats=FILE\n");
     return 2;
 }
 
@@ -202,7 +213,8 @@ main(int argc, char **argv)
         return usage();
 
     bool showIr = false, showConstraints = false, showMapping = false,
-         showCuda = false, doRun = false;
+         showCuda = false, doRun = false, explain = false;
+    std::string tracePath, statsPath;
     Strategy strategy = Strategy::MultiDim;
     for (int i = 2; i < argc; i++) {
         const std::string arg = argv[i];
@@ -216,9 +228,15 @@ main(int argc, char **argv)
             showCuda = true;
         else if (arg == "--run")
             doRun = true;
+        else if (arg == "--explain")
+            explain = true;
+        else if (arg.rfind("--trace=", 0) == 0)
+            tracePath = arg.substr(std::strlen("--trace="));
+        else if (arg.rfind("--stats=", 0) == 0)
+            statsPath = arg.substr(std::strlen("--stats="));
         else if (arg == "--all")
             showIr = showConstraints = showMapping = showCuda = doRun =
-                true;
+                explain = true;
         else if (arg == "--strategy=multidim")
             strategy = Strategy::MultiDim;
         else if (arg == "--strategy=1d")
@@ -230,14 +248,21 @@ main(int argc, char **argv)
         else
             return usage();
     }
-    if (!showIr && !showConstraints && !showMapping && !showCuda && !doRun)
+    if (!showIr && !showConstraints && !showMapping && !showCuda &&
+        !doRun && !explain && statsPath.empty())
         showMapping = showCuda = true; // sensible default
+    if (!statsPath.empty())
+        doRun = true; // the counter export comes from a simulated run
+
+    if (!tracePath.empty())
+        Trace::instance().setEnabled(true);
 
     Gpu gpu;
     CompileOptions copts;
     copts.strategy = strategy;
     copts.paramValues = demo.params;
     copts.fuseMapReduce = demo.fuse;
+    copts.explainSearch = explain;
     CompileResult compiled =
         compileProgram(*demo.prog, gpu.config(), copts);
 
@@ -264,14 +289,42 @@ main(int argc, char **argv)
                         compiled.fusedPatterns);
         std::printf("\n\n");
     }
+    if (explain)
+        std::printf("== Mapping decision ==\n%s\n",
+                    formatSearchExplanation(compiled.explanation).c_str());
     if (showCuda)
         std::printf("== CUDA ==\n%s\n", compiled.spec.cudaSource.c_str());
     if (doRun) {
         Bindings args(*demo.prog);
         demo.bind(args);
-        SimReport report = gpu.run(compiled.spec, args);
+        ExecOptions eopts;
+        eopts.siteStats = !statsPath.empty();
+        SimReport report = gpu.run(compiled.spec, args, eopts);
         std::printf("== Simulated run (%s) ==\n%s\n",
                     gpu.config().name.c_str(), report.toString().c_str());
+        if (!statsPath.empty()) {
+            std::string json =
+                "{\"program\":\"" + name + "\",\"device\":\"" +
+                gpu.config().name + "\",\"report\":" +
+                report.toJson(gpu.config().transactionBytes) +
+                ",\"eval_cache\":" + EvalCache::instance().stats().toJson() +
+                "}\n";
+            FILE *f = std::fopen(statsPath.c_str(), "wb");
+            if (!f) {
+                std::fprintf(stderr, "nppc: cannot write %s\n",
+                             statsPath.c_str());
+                return 1;
+            }
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("wrote simulator counters to %s\n",
+                        statsPath.c_str());
+        }
+    }
+    if (!tracePath.empty()) {
+        Trace::instance().writeChromeTrace(tracePath);
+        std::printf("wrote chrome://tracing events to %s\n",
+                    tracePath.c_str());
     }
     return 0;
 }
