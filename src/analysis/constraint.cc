@@ -133,13 +133,33 @@ class Generator
 
         // The size expression itself may load memory (e.g. CSR row
         // offsets); those loads execute once per iteration of the
-        // *enclosing* patterns.
+        // *enclosing* patterns. Same for a nested groupBy's key-domain
+        // size (the output allocation size).
         visitAccessesInExpr(p.size, multiplier, /*skipSelf=*/true);
+        visitAccessesInExpr(p.keyDomain, multiplier, true);
 
         visitStmts(p.body, inner, level, 0);
         visitAccessesInExpr(p.yield, inner, false);
         visitAccessesInExpr(p.filterPred, inner, false);
         visitAccessesInExpr(p.key, inner, false);
+
+        // Variable-size nested outputs write through the local-array
+        // layout: the filter's compaction cursor advances with the
+        // iteration order (unit stride in this level's index), the
+        // groupBy bins are indexed by the data-dependent key. Both
+        // targets are array locals, so the constraint is flexible — the
+        // prealloc layout can absorb whatever dimension the search picks.
+        if (level > 0 && p.kind == PatternKind::Filter) {
+            addAccessConstraints(varRef(p.indexVar, ScalarKind::I64),
+                                 VarRole::ArrayLocal, inner, 0,
+                                 "nested filter compacted store",
+                                 /*isWrite=*/true);
+        }
+        if (level > 0 && p.kind == PatternKind::GroupBy) {
+            addAccessConstraints(p.key, VarRole::ArrayLocal, inner, 0,
+                                 "nested groupBy keyed store",
+                                 /*isWrite=*/true);
+        }
         enclosing.pop_back();
     }
 

@@ -363,6 +363,9 @@ MappingSearch::search(const ConstraintSet &cset) const
 
     NPP_ASSERT(haveBest, "no feasible mapping found");
     NPP_TRACE_COUNT("search.candidates", result.candidatesConsidered);
+    // ControlDOP below may rewrite the winner's spans; tie-break tallies
+    // in the explanation refer to the decision the search selected.
+    const MappingDecision preAdjustBest = result.best;
     // The 1D directive pins the inner levels; ControlDOP must not undo
     // that by splitting them (underutilization is exactly the 1D
     // mapping's documented weakness).
@@ -394,27 +397,34 @@ MappingSearch::search(const ConstraintSet &cset) const
         ex.valid = true;
         ex.enumerated = static_cast<int64_t>(space.size());
         ex.controlDopNote = std::move(controlDopNote);
-        for (const MappingDecision &d : space) {
+        // Model-ranked search ties on equal predicted time instead of
+        // the soft score; the DOP/blocks sub-tallies then count, among
+        // the model-tied candidates, those agreeing with the winner.
+        const bool modelRanked =
+            options_.objective == SearchObjective::StaticModel;
+        const double refCapped =
+            modelRanked ? cappedDop(preAdjustBest.dop(cset.levelSizes))
+                        : bestCapped;
+        const int64_t refBlocks =
+            modelRanked ? blockCount(preAdjustBest) : bestBlocks;
+        for (size_t i = 0; i < space.size(); i++) {
+            const MappingDecision &d = space[i];
             if (!feasible(d, cset)) {
                 classifyRejection(d, cset, ex);
                 continue;
             }
             ex.feasibleCount++;
-            if (options_.objective != SearchObjective::SoftScore)
-                continue;
-            if (score(d, cset) != result.bestScore)
+            const bool atBest =
+                modelRanked ? modelMs[i] == bestModelMs
+                            : score(d, cset) == result.bestScore;
+            if (!atBest)
                 continue;
             ex.atBestScore++;
-            if (cappedDop(d.dop(cset.levelSizes)) != bestCapped)
+            if (cappedDop(d.dop(cset.levelSizes)) != refCapped)
                 continue;
             ex.atBestCappedDop++;
-            if (blockCount(d) == bestBlocks)
+            if (blockCount(d) == refBlocks)
                 ex.atBestBlocks++;
-        }
-        if (options_.objective != SearchObjective::SoftScore) {
-            // Model-ranked search: ties are broken lexicographically on
-            // equal model time, not by the DOP chain.
-            ex.atBestScore = ex.atBestCappedDop = ex.atBestBlocks = 1;
         }
         // ControlDOP rewrites spans only, which no hard or soft rule
         // keys on once feasibility holds, so the post-adjustment

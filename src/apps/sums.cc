@@ -85,6 +85,37 @@ buildSum(bool byCols, bool weighted)
     return sp;
 }
 
+SumsProgram
+buildSumPositives(bool byCols)
+{
+    SumsProgram sp;
+    sp.byCols = byCols;
+
+    ProgramBuilder b(byCols ? "sumPositiveCols" : "sumPositiveRows");
+    sp.m = b.inF64("m");
+    sp.r = b.paramI64("R");
+    sp.c = b.paramI64("C");
+    sp.out = b.outF64("out");
+
+    Arr m = sp.m;
+    Ex r = sp.r, c = sp.c;
+    const Ex outerSize = byCols ? c : r;
+    const Ex innerSize = byCols ? r : c;
+    auto elem = [&](Ex outer, Ex inner) {
+        return byCols ? m(inner * c + outer) : m(outer * c + inner);
+    };
+
+    b.map(outerSize, sp.out, [&](Body &fn, Ex o) {
+        Filtered kept = fn.filter(innerSize, [&](Body &, Ex i) {
+            return FilterItem{elem(o, i) > 0.0, elem(o, i)};
+        });
+        return fn.reduce(kept.count, Op::Add,
+                         [&](Body &, Ex j) { return kept.items(j); });
+    });
+    sp.prog = std::make_shared<Program>(b.build());
+    return sp;
+}
+
 SimReport
 runSum(const Gpu &gpu, const SumsProgram &sp, int64_t R, int64_t C,
        CompileOptions copts, std::vector<double> *out)

@@ -29,6 +29,13 @@ struct SumsProgram
 /** Build sumRows/sumCols (weighted == Fig 15's zipWith+reduce form). */
 SumsProgram buildSum(bool byCols, bool weighted);
 
+/** Variable-size variant: per outer element a nested filter compacts the
+ *  positive entries into a local (preallocated at the static upper bound
+ *  = the inner size), then the kept prefix is reduced. Exercises the
+ *  variable-size output pipeline (compaction finalize stage) in the
+ *  Fig 16 allocation sweep. */
+SumsProgram buildSumPositives(bool byCols);
+
 /**
  * Run one sum kernel on R x C data (deterministic synthetic inputs).
  * The compiler sees the actual sizes. When `out` is non-null the result

@@ -51,6 +51,8 @@ class Emitter
         kernel();
         if (needsCombiner())
             combinerKernel();
+        if (needsCompaction())
+            compactKernels();
         launchStub();
         return os.str();
     }
@@ -91,6 +93,16 @@ class Emitter
     {
         for (const auto &l : spec.mapping.levels) {
             if (l.span.kind == SpanKind::Split)
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    needsCompaction() const
+    {
+        for (const auto &plan : spec.locals) {
+            if (plan.variableSize)
                 return true;
         }
         return false;
@@ -159,13 +171,20 @@ class Emitter
     std::string
     localIndex(const LocalArrayPlan &plan, const ExprRef &logical)
     {
+        return localIndexText(plan, expr(logical));
+    }
+
+    /** Same, for an index that is already CUDA text (compaction cursors
+     *  and seed loops have no IR expression to render). */
+    std::string
+    localIndexText(const LocalArrayPlan &plan, const std::string &logical)
+    {
         if (plan.mode == LocalArrayPlan::Mode::ThreadMalloc)
-            return expr(logical);
+            return logical;
         if (plan.layout == LocalArrayPlan::Layout::Contiguous)
-            return fmt("__row_{} + ({})", varName(plan.varId),
-                       expr(logical));
+            return fmt("__row_{} + ({})", varName(plan.varId), logical);
         return fmt("__col_{} + ({}) * __stride_{}", varName(plan.varId),
-                   expr(logical), varName(plan.varId));
+                   logical, varName(plan.varId));
     }
 
     //
@@ -209,6 +228,12 @@ class Emitter
                            LocalArrayPlan::Mode::Prealloc) {
                 params.push_back(fmt("{} *{} /* preallocated */",
                                      cudaTypeName(v.kind), v.name));
+            }
+        }
+        for (const auto &plan : spec.locals) {
+            if (plan.variableSize) {
+                params.push_back(fmt("long long *__counts_{}",
+                                     varName(plan.varId)));
             }
         }
         if (needsCombiner())
@@ -601,10 +626,120 @@ class Emitter
                 close();
             if (spec.mapping.levels[lv].span.kind == SpanKind::N)
                 close();
+        } else if (p.kind == PatternKind::Filter) {
+            emitNestedFilter(s, lv);
+        } else if (p.kind == PatternKind::GroupBy) {
+            emitNestedGroupBy(s, lv);
         } else {
             NPP_PANIC("nested {} not supported by the emitter",
                       patternKindName(p.kind));
         }
+    }
+
+    void
+    emitNestedFilter(const Stmt &s, int lv)
+    {
+        // Nested filter always maps span(all) (it needs cross-lane state),
+        // so every thread of this level's dim cooperates. The span(all)
+        // strided loop is replaced by whole-block passes so that no thread
+        // exits early and every thread reaches the per-pass scan and
+        // barriers. __block_excl_scan computes each lane's offset among
+        // the pass's kept elements (__ballot_sync/__popc within a warp,
+        // warp totals combined through shared memory) and returns the
+        // pass total through its second argument.
+        const Pattern &p = *s.pattern;
+        const LevelMapping &l = spec.mapping.levels[lv];
+        const char *d = cudaDim(l.dim);
+        const std::string arr = varName(s.var);
+        const LocalArrayPlan *plan = spec.localPlan(s.var);
+        NPP_ASSERT(plan != nullptr, "filter result without plan");
+        const std::string ty = cudaTypeName(prog.var(s.var).kind);
+        const std::string idx = varName(p.indexVar);
+
+        line(fmt("// nested filter into {}: count/scan/scatter per pass",
+                 arr));
+        line(fmt("__shared__ long long __cursor_{};", arr));
+        open(fmt("if (threadIdx.{} == 0)", d));
+        line(fmt("__cursor_{} = 0;", arr));
+        close();
+        line("__syncthreads();");
+        open(fmt("for (long long __base_{} = 0; __base_{} < {}; "
+                 "__base_{} += blockDim.{})",
+                 arr, arr, expr(p.size), arr, d));
+        line(fmt("const long long {} = __base_{} + threadIdx.{};", idx,
+                 arr, d));
+        line(fmt("int __keep_{} = 0;", arr));
+        line(fmt("{} __val_{} = 0;", ty, arr));
+        open(fmt("if ({} < {})", idx, expr(p.size)));
+        emitStmts(p.body, lv);
+        open(fmt("if ({})", expr(p.filterPred)));
+        line(fmt("__keep_{} = 1;", arr));
+        line(fmt("__val_{} = {};", arr, expr(p.yield)));
+        close();
+        close();
+        line(fmt("long long __total_{};", arr));
+        line(fmt("const long long __off_{} = __block_excl_scan(__keep_{}, "
+                 "&__total_{});",
+                 arr, arr, arr));
+        open(fmt("if (__keep_{})", arr));
+        line(fmt("{}[{}] = __val_{};", arr,
+                 localIndexText(*plan,
+                                fmt("__cursor_{} + __off_{}", arr, arr)),
+                 arr));
+        close();
+        line("__syncthreads();");
+        open(fmt("if (threadIdx.{} == 0)", d));
+        line(fmt("__cursor_{} += __total_{};", arr, arr));
+        close();
+        line("__syncthreads();");
+        close();
+        line(fmt("const long long {} = __cursor_{};", varName(s.countVar),
+                 arr));
+        open(fmt("if (threadIdx.{} == 0)", d));
+        line(fmt("__counts_{}[__outer_linear_id()] = __cursor_{}; "
+                 "// for {}_compact",
+                 arr, arr, prog.name()));
+        close();
+    }
+
+    void
+    emitNestedGroupBy(const Stmt &s, int lv)
+    {
+        const Pattern &p = *s.pattern;
+        const LevelMapping &l = spec.mapping.levels[lv];
+        const char *d = cudaDim(l.dim);
+        const std::string arr = varName(s.var);
+        const LocalArrayPlan *plan = spec.localPlan(s.var);
+        NPP_ASSERT(plan != nullptr, "groupBy result without plan");
+        NPP_ASSERT(p.keyDomain != nullptr, "nested groupBy without key "
+                                           "domain");
+
+        line(fmt("// nested groupBy into {}: seed the key-domain bins "
+                 "with the combiner identity, then combine keyed yields "
+                 "with atomics",
+                 arr));
+        open(fmt("for (long long __g_{} = threadIdx.{}; __g_{} < {}; "
+                 "__g_{} += blockDim.{})",
+                 arr, d, arr, expr(p.keyDomain), arr, d));
+        line(fmt("{}[{}] = {};", arr,
+                 localIndexText(*plan, fmt("__g_{}", arr)),
+                 combinerIdentity(p.combiner)));
+        close();
+        line("__syncthreads();");
+
+        bool needsClose = false, hasGuard = false;
+        openLevel(p, lv, needsClose, hasGuard);
+        emitStmts(p.body, lv);
+        line(fmt("atomic{}(&{}[{}], {});",
+                 p.combiner == Op::Add ? "Add" : "CombineCAS", arr,
+                 localIndexText(*plan,
+                                fmt("(long long)({})", expr(p.key))),
+                 expr(p.yield)));
+        if (needsClose)
+            close();
+        if (l.span.kind == SpanKind::N)
+            close();
+        line("__syncthreads(); // bins visible block-wide");
     }
 
     void
@@ -633,6 +768,50 @@ class Emitter
         close();
         close();
         os << "\n";
+    }
+
+    void
+    compactKernels()
+    {
+        // Finalize pass for variable-size nested outputs (Section V-A):
+        // exclusive scan of the per-chunk kept counts, then scatter each
+        // chunk's kept prefix into a dense output. One chunk is one outer
+        // invocation's slice of the preallocated upper-bound buffer; the
+        // read side honours the slice's layout (contiguous row vs
+        // interleaved column).
+        for (const auto &plan : spec.locals) {
+            if (!plan.variableSize)
+                continue;
+            const std::string arr = varName(plan.varId);
+            const std::string ty =
+                cudaTypeName(prog.var(plan.varId).kind);
+            const bool interleaved =
+                plan.mode == LocalArrayPlan::Mode::Prealloc &&
+                plan.layout == LocalArrayPlan::Layout::Interleaved;
+            const std::string elem =
+                interleaved ? "c + i * __num_chunks"
+                            : "c * __chunk_size + i";
+            open(fmt("__global__ void {}_compact_{}(const long long "
+                     "*__counts, const {} *__chunks, long long "
+                     "__chunk_size, long long __num_chunks, {} *__out, "
+                     "long long *__total)",
+                     prog.name(), arr, ty, ty));
+            line("long long c = blockIdx.x * blockDim.x + threadIdx.x;");
+            open("if (c < __num_chunks)");
+            line("long long __base = 0; // exclusive scan of kept counts");
+            open("for (long long p = 0; p < c; p++)");
+            line("__base += __counts[p];");
+            close();
+            open("for (long long i = 0; i < __counts[c]; i++)");
+            line(fmt("__out[__base + i] = __chunks[{}];", elem));
+            close();
+            open("if (c == __num_chunks - 1)");
+            line("*__total = __base + __counts[c];");
+            close();
+            close();
+            close();
+            os << "\n";
+        }
     }
 
     Op
@@ -665,6 +844,14 @@ class Emitter
             os << "//   " << prog.name()
                << "_combine<<<ceil(outer/256), 256>>>(partials, outer, "
                   "out);\n";
+        }
+        for (const auto &plan : spec.locals) {
+            if (plan.variableSize) {
+                os << "//   " << prog.name() << "_compact_"
+                   << varName(plan.varId)
+                   << "<<<ceil(chunks/256), 256>>>(counts, chunks, "
+                      "chunkSize, chunks, out, total);\n";
+            }
         }
     }
 

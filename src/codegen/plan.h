@@ -51,6 +51,12 @@ struct LocalArrayPlan
     Mode mode = Mode::Prealloc;
     Layout layout = Layout::Contiguous;
 
+    /** True for Filter-produced locals: the allocation is the static
+     *  upper bound but only a per-iteration prefix is valid, so the
+     *  kernel plan gains a count/scan/scatter compaction finalize step
+     *  (Section V-A applied to variable-size outputs). */
+    bool variableSize = false;
+
     std::string toString() const;
 };
 

@@ -165,6 +165,89 @@ Body::reduce(Ex size, Op combiner, const MapFn &fn)
     return Ex(varRef(resId, res.kind));
 }
 
+Filtered
+Body::filter(Ex size, const FilterFn &fn, ScalarKind kind)
+{
+    NPP_ASSERT(size.valid(), "nested filter with empty size");
+    auto p = std::make_unique<Pattern>();
+    p->kind = PatternKind::Filter;
+    p->size = size.ref();
+
+    VarInfo idx;
+    idx.name = freshName(prog_, "i");
+    idx.role = VarRole::Index;
+    idx.kind = ScalarKind::I64;
+    p->indexVar = prog_.addVar(idx);
+
+    Body inner(prog_, p->body);
+    FilterItem item = fn(inner, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(item.pred.valid() && item.value.valid(),
+               "nested filter returned empty pred/value");
+    p->filterPred = item.pred.ref();
+    p->yield = item.value.ref();
+
+    VarInfo res;
+    res.name = freshName(prog_, "arr");
+    res.role = VarRole::ArrayLocal;
+    res.kind = kind;
+    int resId = prog_.addVar(res);
+
+    VarInfo cnt;
+    cnt.name = freshName(prog_, "cnt");
+    cnt.role = VarRole::ScalarLocal;
+    cnt.kind = ScalarKind::I64;
+    int cntId = prog_.addVar(cnt);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Nested;
+    stmt->var = resId;
+    stmt->countVar = cntId;
+    stmt->pattern = std::move(p);
+    stmts_.push_back(std::move(stmt));
+    return {Arr(resId, kind), Ex(varRef(cntId, ScalarKind::I64))};
+}
+
+Arr
+Body::groupBy(Ex size, Ex numKeys, Op combiner, const GroupFn &fn,
+              ScalarKind kind)
+{
+    NPP_ASSERT(size.valid(), "nested groupBy with empty size");
+    NPP_ASSERT(numKeys.valid(), "nested groupBy with empty key domain");
+    NPP_ASSERT(isCombinerOp(combiner),
+               "groupBy with non-associative op {}", opName(combiner));
+    auto p = std::make_unique<Pattern>();
+    p->kind = PatternKind::GroupBy;
+    p->size = size.ref();
+    p->keyDomain = numKeys.ref();
+    p->combiner = combiner;
+
+    VarInfo idx;
+    idx.name = freshName(prog_, "i");
+    idx.role = VarRole::Index;
+    idx.kind = ScalarKind::I64;
+    p->indexVar = prog_.addVar(idx);
+
+    Body inner(prog_, p->body);
+    KeyedValue kv = fn(inner, Ex(varRef(p->indexVar, ScalarKind::I64)));
+    NPP_ASSERT(kv.key.valid() && kv.value.valid(),
+               "nested groupBy returned empty key/value");
+    p->key = kv.key.ref();
+    p->yield = kv.value.ref();
+
+    VarInfo res;
+    res.name = freshName(prog_, "arr");
+    res.role = VarRole::ArrayLocal;
+    res.kind = kind;
+    int resId = prog_.addVar(res);
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::Nested;
+    stmt->var = resId;
+    stmt->pattern = std::move(p);
+    stmts_.push_back(std::move(stmt));
+    return Arr(resId, kind);
+}
+
 void
 Body::foreach(Ex size, const VoidFn &fn)
 {

@@ -76,6 +76,14 @@ struct KeyedValue
 
 class Body;
 
+/** Result handles of a nested filter: the compacted array local (valid
+ *  prefix only) and the kept-element count. */
+struct Filtered
+{
+    Arr items;
+    Ex count;
+};
+
 using MapFn = std::function<Ex(Body &, Ex)>;
 using VoidFn = std::function<void(Body &, Ex)>;
 using FilterFn = std::function<FilterItem(Body &, Ex)>;
@@ -115,6 +123,19 @@ class Body
 
     /** Nested reduce with the given associative combiner. */
     Ex reduce(Ex size, Op combiner, const MapFn &fn);
+
+    /** Nested filter: produces an array local preallocated at the static
+     *  upper bound `size`, holding the kept values compacted in iteration
+     *  order, plus a scalar local with the kept count. Reads past the
+     *  count are unspecified. */
+    Filtered filter(Ex size, const FilterFn &fn,
+                    ScalarKind kind = ScalarKind::F64);
+
+    /** Nested groupBy (reduce-by-key): produces an array local of length
+     *  `numKeys` where slot k holds the combiner-fold of all values whose
+     *  key evaluated to k (combiner identity for untouched keys). */
+    Arr groupBy(Ex size, Ex numKeys, Op combiner, const GroupFn &fn,
+                ScalarKind kind = ScalarKind::F64);
 
     /** Nested foreach (effectful). */
     void foreach(Ex size, const VoidFn &fn);

@@ -83,6 +83,7 @@ cloneStmt(const Stmt &stmt)
     out->index = stmt.index;
     out->cond = stmt.cond;
     out->trip = stmt.trip;
+    out->countVar = stmt.countVar;
     out->body = cloneStmtList(stmt.body);
     out->elseBody = cloneStmtList(stmt.elseBody);
     if (stmt.pattern)
@@ -101,6 +102,7 @@ clonePattern(const Pattern &pattern)
     out->yield = pattern.yield;
     out->filterPred = pattern.filterPred;
     out->key = pattern.key;
+    out->keyDomain = pattern.keyDomain;
     out->combiner = pattern.combiner;
     return out;
 }

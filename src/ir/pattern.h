@@ -88,6 +88,11 @@ struct Stmt
     /** Nested: the nested pattern. */
     PatternPtr pattern;
 
+    /** Nested Filter only: scalar local receiving the kept-element count
+     *  (the compacted prefix length of the result array local). -1 for
+     *  every other statement. */
+    int countVar = -1;
+
     /** Memory-trace grouping id (see Expr::readSite). Assigned by
      *  Program::validate() from the program's pre-order walk; shares one
      *  counter with Pattern::site and Expr::readSite so ids are unique
@@ -135,6 +140,12 @@ struct Pattern
     /** GroupBy: key expression (integer-valued, in [0, numKeys)). */
     ExprRef key;
 
+    /** Nested GroupBy only: output-domain size (number of distinct keys,
+     *  known at kernel launch). The nested result array local has exactly
+     *  this many slots. Root GroupBy sizes its output from the bound
+     *  output array instead, so this stays null at the root. */
+    ExprRef keyDomain;
+
     /** Reduce/GroupBy: associative combiner. */
     Op combiner = Op::Add;
 
@@ -150,6 +161,16 @@ struct Pattern
 
     /** Nesting depth: 1 + max depth of nested patterns in the body. */
     int depth() const;
+
+    /** Allocation size of the result array this pattern produces: the
+     *  key domain for GroupBy, otherwise the index-domain size (which for
+     *  Filter is the static upper bound the compacted output lives in). */
+    const ExprRef &
+    allocSize() const
+    {
+        return (kind == PatternKind::GroupBy && keyDomain) ? keyDomain
+                                                           : size;
+    }
 };
 
 /** Nesting depth of a statement list. */

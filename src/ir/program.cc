@@ -80,10 +80,6 @@ validatePattern(const Program &prog, const Pattern &p, bool atRoot)
       case PatternKind::Filter:
         if (!p.yield || !p.filterPred)
             NPP_FATAL("{}: filter needs yield and predicate", prog.name());
-        if (!atRoot)
-            NPP_FATAL("{}: filter is only supported as the root pattern "
-                      "(nested variable-size outputs are future work)",
-                      prog.name());
         break;
       case PatternKind::Reduce:
         if (!p.yield)
@@ -98,8 +94,9 @@ validatePattern(const Program &prog, const Pattern &p, bool atRoot)
         if (!isCombinerOp(p.combiner))
             NPP_FATAL("{}: groupBy combiner {} is not associative",
                       prog.name(), opName(p.combiner));
-        if (!atRoot)
-            NPP_FATAL("{}: groupBy is only supported as the root pattern",
+        if (!atRoot && !p.keyDomain)
+            NPP_FATAL("{}: nested groupBy needs a key-domain size "
+                      "(the output array local's length)",
                       prog.name());
         break;
     }
@@ -140,6 +137,20 @@ validateStmts(const Program &prog, const std::vector<StmtPtr> &stmts,
           case StmtKind::Nested:
             if (!s->pattern)
                 NPP_FATAL("{}: nested stmt without pattern", prog.name());
+            if (s->pattern->kind == PatternKind::Filter) {
+                if (s->var < 0 ||
+                    prog.var(s->var).role != VarRole::ArrayLocal) {
+                    NPP_FATAL("{}: nested filter needs a result array "
+                              "local",
+                              prog.name());
+                }
+                if (s->countVar < 0 || s->countVar >= prog.numVars() ||
+                    prog.var(s->countVar).role != VarRole::ScalarLocal) {
+                    NPP_FATAL("{}: nested filter needs a kept-count "
+                              "scalar local",
+                              prog.name());
+                }
+            }
             validatePattern(prog, *s->pattern, false);
             break;
         }

@@ -39,6 +39,7 @@ walkOnePattern(const Pattern &p, const Walker &walker, WalkCtx ctx)
     visitExpr(p.yield, walker, ctx);
     visitExpr(p.filterPred, walker, ctx);
     visitExpr(p.key, walker, ctx);
+    visitExpr(p.keyDomain, walker, ctx);
 }
 
 void

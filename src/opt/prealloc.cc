@@ -19,10 +19,15 @@ planLocalArrays(const Program &prog, const MappingDecision &mapping,
         LocalArrayPlan plan;
         plan.varId = s.var;
         plan.definingLevel = ctx.level + 1;
+        plan.variableSize = s.pattern->kind == PatternKind::Filter;
         // Preallocation needs the same allocation size across outer
-        // iterations, i.e. a launch-known inner size (Section V-A).
+        // iterations, i.e. a launch-known allocation size (Section V-A).
+        // For variable-size outputs (nested Filter) that is the static
+        // upper bound — the full index domain; for nested GroupBy it is
+        // the key-domain size.
         const bool preallocatable =
-            options.enable && sizeKnownAtLaunch(s.pattern->size, prog);
+            options.enable &&
+            sizeKnownAtLaunch(s.pattern->allocSize(), prog);
         plan.mode = preallocatable ? LocalArrayPlan::Mode::Prealloc
                                    : LocalArrayPlan::Mode::ThreadMalloc;
         if (options.enable && options.layoutFromMapping &&

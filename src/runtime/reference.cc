@@ -126,18 +126,7 @@ class SeqExec
         switch (p.kind) {
           case PatternKind::Map:
           case PatternKind::ZipWith: {
-            // Bind the result array-local to arena storage.
-            auto &store = arena[stmt.var];
-            if (!store)
-                store = std::make_unique<std::vector<double>>();
-            if (static_cast<int64_t>(store->size()) < n)
-                store->resize(n);
-            ArraySlot slot;
-            slot.data = store->data();
-            slot.size = n;
-            slot.physSize = static_cast<int64_t>(store->size());
-            ctx.arrays[stmt.var] = slot;
-
+            bindLocal(stmt.var, n);
             for (int64_t i = 0; i < n; i++) {
                 counts.iterations++;
                 ctx.scalars[p.indexVar] = static_cast<double>(i);
@@ -164,15 +153,67 @@ class SeqExec
                 runStmts(p.body);
             }
             break;
-          case PatternKind::Filter:
-          case PatternKind::GroupBy:
-            // Program::validate() rejects these as nested patterns (their
-            // outputs are variable-sized); run() validates first, so
-            // reaching this case means the validator has a hole.
-            NPP_PANIC("validate() admitted a nested {} the reference "
-                      "interpreter cannot execute",
-                      patternKindName(p.kind));
+          case PatternKind::Filter: {
+            // Variable-size output: the local is preallocated at the
+            // static upper bound n and survivors compact into its prefix;
+            // the kept count lands in the stmt's count scalar.
+            bindLocal(stmt.var, n);
+            int64_t kept = 0;
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                if (evalExpr(p.filterPred, ctx) != 0.0) {
+                    storeArray(p.site, stmt.var, kept,
+                               evalExpr(p.yield, ctx), ctx);
+                    kept++;
+                }
+            }
+            ctx.scalars[stmt.countVar] = static_cast<double>(kept);
+            break;
+          }
+          case PatternKind::GroupBy: {
+            // Fixed key domain: the local has keyDomain slots, seeded
+            // with the combiner identity, updated by keyed read-modify-
+            // write in iteration order.
+            const int64_t keys = asIndex(evalExpr(p.keyDomain, ctx));
+            bindLocal(stmt.var, keys);
+            for (int64_t k = 0; k < keys; k++)
+                storeArray(p.site, stmt.var, k,
+                           combinerIdentity(p.combiner), ctx);
+            for (int64_t i = 0; i < n; i++) {
+                counts.iterations++;
+                ctx.scalars[p.indexVar] = static_cast<double>(i);
+                runStmts(p.body);
+                const int64_t key = asIndex(evalExpr(p.key, ctx));
+                NPP_ASSERT(key >= 0 && key < keys,
+                           "nested groupBy key {} outside key domain {}",
+                           key, keys);
+                const double prev = loadArray(p.site, stmt.var, key, ctx);
+                storeArray(p.site, stmt.var, key,
+                           applyOp(p.combiner, prev,
+                                   evalExpr(p.yield, ctx)),
+                           ctx);
+            }
+            break;
+          }
         }
+    }
+
+    /** Bind an array local to arena storage with `n` visible slots. */
+    void
+    bindLocal(int var, int64_t n)
+    {
+        auto &store = arena[var];
+        if (!store)
+            store = std::make_unique<std::vector<double>>();
+        if (static_cast<int64_t>(store->size()) < n)
+            store->resize(n);
+        ArraySlot slot;
+        slot.data = store->data();
+        slot.size = n;
+        slot.physSize = static_cast<int64_t>(store->size());
+        ctx.arrays[var] = slot;
     }
 
     void
@@ -223,10 +264,10 @@ class SeqExec
 WorkCounts
 ReferenceInterp::run(const Program &prog, const Bindings &args)
 {
-    // Fail structurally-invalid programs (e.g. nested Filter/GroupBy)
-    // with validate()'s diagnostic up front instead of a mid-run panic;
-    // programs from ProgramBuilder::build() are already validated and
-    // revalidation is cheap and idempotent.
+    // Fail structurally-invalid programs (e.g. a nested filter missing
+    // its count scalar) with validate()'s diagnostic up front instead of
+    // a mid-run panic; programs from ProgramBuilder::build() are already
+    // validated and revalidation is cheap and idempotent.
     prog.validate();
 
     WorkCounts counts;

@@ -159,6 +159,7 @@ class DeviceExecutor
 
         finishSplit();
         finishFilterCount();
+        finishCompaction();
 
         if (options.siteStats) {
             stats.siteTraffic.reserve(siteTrafficMap.size());
@@ -177,11 +178,18 @@ class DeviceExecutor
                 st.transactions *= device.wrapperTrafficFactor;
         }
 
-        // Extrapolate the sampled traffic to the whole grid.
+        // Extrapolate the sampled traffic to the whole grid. The global
+        // useful-byte tally accrues on *every* block (the probe counts it
+        // before its countTraffic gate), so it is already whole-grid
+        // exact — scaling it with the sampled traffic would double-count
+        // and inflate the reported coalescing efficiency. Per-site useful
+        // bytes are countTraffic-gated and do need the extrapolation.
         if (measured < geom.totalBlocks && measured > 0) {
             const double factor =
                 static_cast<double>(geom.totalBlocks) / measured;
+            const double exactUsefulBytes = stats.usefulBytes;
             stats.scaleTraffic(factor);
+            stats.usefulBytes = exactUsefulBytes;
             stats.mallocs *= factor;
             stats.sampledFraction =
                 static_cast<double>(measured) / geom.totalBlocks;
@@ -549,7 +557,8 @@ class DeviceExecutor
     };
 
     void
-    execPattern(const Pattern &p, int lv, bool isRoot, int resultVar = -1)
+    execPattern(const Pattern &p, int lv, bool isRoot, int resultVar = -1,
+                int countVar = -1)
     {
         const auto &g = geom.levels[lv];
         const int64_t size = asIndex(evalExpr(p.size, ctx));
@@ -583,6 +592,22 @@ class DeviceExecutor
         if (isReduce)
             acc = combinerIdentity(p.combiner);
 
+        // A nested groupBy's local is seeded with the combiner identity
+        // before accumulation, like the root groupBy's output memset
+        // (initialization traffic is not probed for either).
+        if (!isRoot && p.kind == PatternKind::GroupBy) {
+            MemProbe *save = ctx.probe;
+            ctx.probe = nullptr;
+            for (int64_t k = 0; k < ctx.arrays[resultVar].size; k++) {
+                storeArray(p.site, resultVar, k,
+                           combinerIdentity(p.combiner), ctx);
+            }
+            ctx.probe = save;
+        }
+
+        // Nested filter: survivors compact into the local's prefix.
+        int64_t localCursor = 0;
+
         const int64_t lanes = std::max<int64_t>(g.blockSize, 1);
         const uint64_t sigSave = curSig;
         for (int64_t base = lo, k = 0; base < hi;
@@ -614,14 +639,20 @@ class DeviceExecutor
                     break;
                   case PatternKind::Filter:
                     if (evalExpr(p.filterPred, ctx) != 0.0) {
-                        storeArray(p.site, prog.rootOutput(), filterCursor++,
-                                   evalExpr(p.yield, ctx), ctx);
+                        if (isRoot) {
+                            storeArray(p.site, prog.rootOutput(),
+                                       filterCursor++,
+                                       evalExpr(p.yield, ctx), ctx);
+                        } else {
+                            storeArray(p.site, resultVar, localCursor++,
+                                       evalExpr(p.yield, ctx), ctx);
+                        }
                     }
                     break;
                   case PatternKind::GroupBy: {
                     const int64_t key =
                         asIndex(evalExpr(p.key, ctx));
-                    const int out = prog.rootOutput();
+                    const int out = isRoot ? prog.rootOutput() : resultVar;
                     NPP_ASSERT(key >= 0 && key < ctx.arrays[out].size,
                                "groupBy key {} out of range", key);
                     const double prev = loadArray(p.site, out, key, ctx);
@@ -639,6 +670,41 @@ class DeviceExecutor
 
         if (isReduce)
             finishReduce(p, lv, isRoot, resultVar, acc);
+
+        if (!isRoot && p.kind == PatternKind::Filter) {
+            NPP_ASSERT(countVar >= 0, "nested filter without count var");
+            ctx.scalars[countVar] = static_cast<double>(localCursor);
+            chargeCompaction(lv, size, localCursor);
+        }
+    }
+
+    /**
+     * Nested-filter compaction costs: the in-kernel count/scan machinery
+     * (a block-wide exclusive scan of the keep flags, same shared-memory
+     * tree shape as the reduce combine) plus the accumulators for the
+     * analytic scatter finalize step. The finalize totals accrue on every
+     * block — each outer iteration executes functionally exactly once —
+     * so they are whole-grid exact and are never extrapolated.
+     */
+    void
+    chargeCompaction(int lv, int64_t size, int64_t kept)
+    {
+        const auto &g = geom.levels[lv];
+        if (g.blockSize > 1 && probe.countTraffic) {
+            const double warpsPerPass =
+                std::max(1.0, static_cast<double>(geom.threadsPerBlock) /
+                                  device.warpSize);
+            const double perVisit =
+                1.0 / std::max(boundLaneProduct(), 1.0);
+            stats.smemAccesses += 2.0 * warpsPerPass * perVisit;
+            stats.syncs += (log2i(g.blockSize) + 1.0) * perVisit;
+            stats.warpInstructions +=
+                log2i(g.blockSize) * warpsPerPass * perVisit;
+        }
+        compactionElems += size;
+        compactionKept += kept;
+        compactionChunks +=
+            ceilDiv(size, std::max<int64_t>(g.blockSize, 1));
     }
 
     /** Store one nested-map element into its (pre)allocated local. */
@@ -793,7 +859,7 @@ class DeviceExecutor
         // warp's lanes wait for the longest one.
         const bool sequentialInThread = geom.levels[lv].blockSize == 1;
         const uint64_t ops0 = ctx.opCount;
-        execPattern(p, lv, /*isRoot=*/false, s.var);
+        execPattern(p, lv, /*isRoot=*/false, s.var, s.countVar);
         if (sequentialInThread)
             recordDivergence(s.site, ctx.opCount - ops0);
 
@@ -815,7 +881,10 @@ class DeviceExecutor
         LocalState &state = it->second;
         const LocalArrayPlan &plan = *state.plan;
 
-        const int64_t innerSize = asIndex(evalExpr(p.size, ctx));
+        // Allocation size: the static upper bound for a filter (only a
+        // prefix is valid per outer iteration) and the key domain for a
+        // groupBy; the index-domain size otherwise.
+        const int64_t innerSize = asIndex(evalExpr(p.allocSize(), ctx));
         if (static_cast<int64_t>(state.storage.size()) < innerSize)
             state.storage.resize(innerSize);
 
@@ -1006,18 +1075,49 @@ class DeviceExecutor
         const int64_t size = asIndex(evalExpr(p.size, ctx));
         if (s.var >= 0 && prog.var(s.var).role == VarRole::ArrayLocal)
             bindLocalArray(s, p);
+        if (p.kind == PatternKind::GroupBy) {
+            for (int64_t k = 0; k < ctx.arrays[s.var].size; k++)
+                storeArray(p.site, s.var, k,
+                           combinerIdentity(p.combiner), ctx);
+        }
         double acc = combinerIdentity(p.combiner);
+        int64_t cursor = 0;
         for (int64_t i = 0; i < size; i++) {
             ctx.scalars[p.indexVar] = static_cast<double>(i);
             curLevelIndex[lv] = i;
             replayStmts(p.body, lv + 1);
-            if (p.kind == PatternKind::Reduce)
+            switch (p.kind) {
+              case PatternKind::Reduce:
                 acc = applyOp(p.combiner, acc, evalExpr(p.yield, ctx));
-            else if (s.var >= 0 && p.kind != PatternKind::Foreach)
-                storeArray(p.site, s.var, i, evalExpr(p.yield, ctx), ctx);
+                break;
+              case PatternKind::Filter:
+                if (evalExpr(p.filterPred, ctx) != 0.0) {
+                    storeArray(p.site, s.var, cursor++,
+                               evalExpr(p.yield, ctx), ctx);
+                }
+                break;
+              case PatternKind::GroupBy: {
+                const int64_t key = asIndex(evalExpr(p.key, ctx));
+                const double prev = loadArray(p.site, s.var, key, ctx);
+                storeArray(p.site, s.var, key,
+                           applyOp(p.combiner, prev,
+                                   evalExpr(p.yield, ctx)),
+                           ctx);
+                break;
+              }
+              case PatternKind::Foreach:
+                break;
+              default:
+                if (s.var >= 0)
+                    storeArray(p.site, s.var, i, evalExpr(p.yield, ctx),
+                               ctx);
+                break;
+            }
         }
         if (p.kind == PatternKind::Reduce)
             ctx.scalars[s.var] = acc;
+        if (p.kind == PatternKind::Filter)
+            ctx.scalars[s.countVar] = static_cast<double>(cursor);
     }
 
     void
@@ -1029,6 +1129,26 @@ class DeviceExecutor
                        static_cast<double>(filterCursor), ctx);
             ctx.probe = &probe;
         }
+    }
+
+    /**
+     * Analytic cost of the compaction finalize step for nested-filter
+     * outputs (an extra kernel in the plan, mirroring the split-combiner
+     * accounting): one thread per candidate element reads the per-chunk
+     * counts, exclusive-scans them, and scatters each survivor from its
+     * chunk-local slot to the compacted prefix.
+     */
+    void
+    finishCompaction()
+    {
+        if (compactionElems == 0)
+            return;
+        stats.hasCompaction = true;
+        stats.compactionTransactions +=
+            ceilDiv(compactionChunks * 8, 128) +
+            2 * ceilDiv(compactionKept * 8, 128);
+        stats.compactionOps += static_cast<double>(compactionElems);
+        stats.compactionThreads = compactionElems;
     }
 
     //
@@ -1109,6 +1229,9 @@ class DeviceExecutor
     bool deferNestedPending = false;
     bool combinerReplay = false;
     int64_t filterCursor = 0;
+    int64_t compactionElems = 0;
+    int64_t compactionKept = 0;
+    int64_t compactionChunks = 0;
 };
 
 } // namespace

@@ -24,11 +24,12 @@ std::string
 SimReport::toString() const
 {
     return fmt("total {} ms (compute {}, mem {}, launch {}, blocks {}, "
-               "malloc {}, combiner {}); bw {} GB/s, warps {}, "
-               "trans {}, warpInstr {}",
+               "malloc {}, combiner {}, compaction {}); bw {} GB/s, "
+               "warps {}, trans {}, warpInstr {}",
                fixed(totalMs, 4), fixed(computeMs, 4), fixed(memoryMs, 4),
                fixed(launchMs, 4), fixed(blockOverheadMs, 4),
                fixed(mallocMs, 4), fixed(combinerMs, 4),
+               fixed(compactionMs, 4),
                fixed(achievedBandwidth, 1), fixed(residentWarps, 0),
                fixed(stats.transactions, 0),
                fixed(stats.warpInstructions, 0));
@@ -47,6 +48,7 @@ SimReport::toJson(int64_t transactionBytes) const
     os << ",\"block_overhead_ms\":" << num(blockOverheadMs);
     os << ",\"malloc_ms\":" << num(mallocMs);
     os << ",\"combiner_ms\":" << num(combinerMs);
+    os << ",\"compaction_ms\":" << num(compactionMs);
     os << ",\"launch_share\":" << num(launchMs / total);
     os << ",\"block_overhead_share\":" << num(blockOverheadMs / total);
     os << ",\"achieved_bandwidth_gbs\":" << num(achievedBandwidth);
@@ -68,6 +70,12 @@ SimReport::toJson(int64_t transactionBytes) const
     os << ",\"combiner_transactions\":" << num(stats.combinerTransactions);
     os << ",\"combiner_ops\":" << num(stats.combinerOps);
     os << ",\"combiner_threads\":" << stats.combinerThreads;
+    os << ",\"has_compaction\":"
+       << (stats.hasCompaction ? "true" : "false");
+    os << ",\"compaction_transactions\":"
+       << num(stats.compactionTransactions);
+    os << ",\"compaction_ops\":" << num(stats.compactionOps);
+    os << ",\"compaction_threads\":" << stats.compactionThreads;
     os << ",\"sampled_fraction\":" << num(stats.sampledFraction);
     os << ",\"classed_blocks\":" << stats.classedBlocks;
     os << "}";

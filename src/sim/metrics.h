@@ -71,6 +71,14 @@ struct KernelStats
     double combinerOps = 0.0;
     int64_t combinerThreads = 0;
 
+    /** Compaction finalize-kernel work for variable-size nested outputs
+     *  (count/scan/scatter; zero when the program has no nested filter).
+     *  Whole-grid exact — never extrapolated from sampled blocks. */
+    bool hasCompaction = false;
+    double compactionTransactions = 0.0;
+    double compactionOps = 0.0;
+    int64_t compactionThreads = 0;
+
     /** Fraction of blocks whose traffic was measured (rest extrapolated). */
     double sampledFraction = 1.0;
 
@@ -117,6 +125,7 @@ struct SimReport
     double blockOverheadMs = 0.0;
     double mallocMs = 0.0;
     double combinerMs = 0.0;
+    double compactionMs = 0.0;
     /** @} */
 
     /** Achieved DRAM bandwidth GB/s (diagnostics). */

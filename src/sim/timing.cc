@@ -108,10 +108,31 @@ computeTiming(const KernelStats &stats, const DeviceConfig &device)
                                 cyclesPerSec * 1e3;
     }
 
+    // Compaction finalize kernel (variable-size nested outputs): an
+    // extra launch that counts, scans, and scatters — same cost shape as
+    // the combiner kernel, at its own thread count's concurrency.
+    if (stats.hasCompaction) {
+        const double compWarps = std::max(
+            1.0, static_cast<double>(stats.compactionThreads) /
+                     device.warpSize);
+        const double compBw = std::min(
+            device.dramBandwidthGBs * 1e9,
+            std::min(compWarps, static_cast<double>(
+                                    device.numSMs * 64)) *
+                outstandingPerWarp * device.transactionBytes / latencySec);
+        const double compBytes =
+            stats.compactionTransactions * device.transactionBytes;
+        report.compactionMs = device.kernelLaunchOverheadUs * 1e-3 +
+                              compBytes / std::max(compBw, 1.0) * 1e3 +
+                              stats.compactionOps / 32.0 /
+                                  std::max(2.0 * device.numSMs, 1.0) /
+                                  cyclesPerSec * 1e3;
+    }
+
     report.totalMs = report.launchMs +
                      std::max(report.computeMs, report.memoryMs) +
                      report.blockOverheadMs + report.mallocMs +
-                     report.combinerMs;
+                     report.combinerMs + report.compactionMs;
     return report;
 }
 

@@ -91,6 +91,7 @@ struct Trace::Impl
     mutable std::mutex mu;
     std::vector<Span> spans;
     uint64_t dropped = 0;
+    bool warnedDrop = false;
     std::map<std::string, double> counters;
 };
 
@@ -140,6 +141,13 @@ Trace::span(const char *name, double beginUs, double endUs)
     std::lock_guard<std::mutex> lock(impl_->mu);
     if (impl_->spans.size() >= kMaxSpans) {
         impl_->dropped++;
+        if (!impl_->warnedDrop) {
+            impl_->warnedDrop = true;
+            NPP_WARN("trace span cap ({}) reached; further spans are "
+                     "dropped and counted as droppedSpans "
+                     "(dropped_spans in the flat-JSON export)",
+                     kMaxSpans);
+        }
         return;
     }
     impl_->spans.push_back({name, beginUs, endUs - beginUs, tid});
@@ -290,6 +298,7 @@ Trace::clear()
     impl_->spans.clear();
     impl_->counters.clear();
     impl_->dropped = 0;
+    impl_->warnedDrop = false;
 }
 
 } // namespace npp

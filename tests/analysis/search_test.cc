@@ -303,6 +303,36 @@ TEST(Explain, ExplainAgreesWithScoreOnArbitraryFeasibleMappings)
     }
 }
 
+TEST(Explain, StaticModelTalliesCountModelTies)
+{
+    auto sp = makeSumRows();
+    SearchOptions opts;
+    opts.explain = true;
+    opts.keepCandidates = true;
+    opts.objective = SearchObjective::StaticModel;
+    auto res = findMapping(sp.prog, teslaK20c(),
+                           {{sp.rVar, 512.0}, {sp.cVar, 512.0}}, opts);
+    const SearchExplanation &ex = res.explanation;
+    ASSERT_TRUE(ex.valid);
+    ASSERT_FALSE(res.candidates.empty());
+
+    // Real tallies (the report used to hardwire 1/1/1 for the model
+    // objective): atBestScore counts the feasible candidates tied at
+    // the best predicted time.
+    double bestMs = res.candidates.front().modelMs;
+    for (const ScoredMapping &c : res.candidates)
+        bestMs = std::min(bestMs, c.modelMs);
+    int64_t ties = 0;
+    for (const ScoredMapping &c : res.candidates)
+        ties += c.modelMs == bestMs ? 1 : 0;
+    EXPECT_EQ(ex.atBestScore, ties);
+
+    // The chain still narrows monotonically and never empties.
+    EXPECT_GE(ex.atBestScore, ex.atBestCappedDop);
+    EXPECT_GE(ex.atBestCappedDop, ex.atBestBlocks);
+    EXPECT_GE(ex.atBestBlocks, 1);
+}
+
 TEST(Explain, ReportsRenderInBothFormats)
 {
     auto sp = makeSumRows();

@@ -203,5 +203,26 @@ TEST(Sums, WeightedVariantsValidateUnderAllStrategies)
     }
 }
 
+TEST(Sums, PositiveVariantsValidateUnderAllStrategies)
+{
+    // Variable-size pipeline (nested filter + compaction) end-to-end on
+    // the Fig 16 workload, validated against the reference interpreter.
+    Gpu gpu;
+    for (bool byCols : {false, true}) {
+        SumsProgram sp = buildSumPositives(byCols);
+        std::vector<double> expect = referenceSum(sp, 64, 96);
+        for (Strategy s : {Strategy::MultiDim, Strategy::OneD,
+                           Strategy::ThreadBlockThread,
+                           Strategy::WarpBased}) {
+            CompileOptions copts;
+            copts.strategy = s;
+            std::vector<double> out;
+            runSum(gpu, sp, 64, 96, copts, &out);
+            EXPECT_LE(maxRelDiff(expect, out), 1e-9)
+                << sp.prog->name() << " under " << strategyName(s);
+        }
+    }
+}
+
 } // namespace
 } // namespace npp

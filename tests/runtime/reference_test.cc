@@ -320,9 +320,10 @@ TEST(Reference, GroupByMinCombiner)
 
 // Parity tests per nested pattern kind: the reference interpreter and
 // the mapped simulation must agree on every executable nesting. These
-// pin down the interpreter's nested-pattern dispatch (reference.cc); the
-// non-executable kinds (nested Filter/GroupBy) are covered by the
-// validation death tests below.
+// pin down the interpreter's nested-pattern dispatch (reference.cc);
+// structurally incomplete nested Filter/GroupBy (missing the kept-count
+// scalar / key-domain size) are covered by the validation death tests
+// below.
 
 TEST(ReferenceParity, NestedMap)
 {
@@ -444,6 +445,109 @@ TEST(ReferenceParity, NestedForeach)
         EXPECT_NEAR(refOut[i], simOut[i], 1e-9) << "elem " << i;
 }
 
+TEST(Reference, NestedFilterCompactsInOrder)
+{
+    // Per row: keep the positive entries (compacted, order preserved),
+    // then sum the kept prefix.
+    const int64_t R = 4, C = 6;
+    ProgramBuilder b("rowPositives");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), c = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        Filtered kept = fn.filter(c, [&](Body &, Ex j) {
+            return FilterItem{m(i * c + j) > 0.0, m(i * c + j)};
+        });
+        return fn.reduce(kept.count, Op::Add, [&](Body &, Ex j) {
+            return kept.items(j);
+        });
+    });
+    Program p = b.build();
+
+    std::vector<double> mData = {
+        1, -1, 2, -2, 3, -3,   // row 0: 1+2+3
+        -1, -2, -3, -4, -5, -6, // row 1: all rejected
+        1, 2, 3, 4, 5, 6,       // row 2: all kept
+        -7, 8, -9, 10, -11, 12, // row 3: 8+10+12
+    };
+    std::vector<double> outData(R, -1.0);
+    Bindings args(p);
+    args.scalar(r, R);
+    args.scalar(c, C);
+    args.array(m, mData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 6);
+    EXPECT_DOUBLE_EQ(outData[1], 0) << "empty kept prefix sums to 0";
+    EXPECT_DOUBLE_EQ(outData[2], 21);
+    EXPECT_DOUBLE_EQ(outData[3], 30);
+}
+
+TEST(Reference, NestedGroupBySeedsIdentityPerInvocation)
+{
+    // Per row: histogram the row's keys, then take the fullest bin.
+    // Bins must re-seed to the combiner identity on every outer
+    // iteration (stale counts from row i-1 would inflate row i).
+    const int64_t R = 3, C = 6, K = 4;
+    ProgramBuilder b("rowHistMax");
+    Arr keys = b.inI64("keys");
+    Ex r = b.paramI64("R"), c = b.paramI64("C"), k = b.paramI64("K");
+    Arr out = b.outF64("out");
+    b.map(r, out, [&](Body &fn, Ex i) {
+        Arr hist = fn.groupBy(c, k, Op::Add, [&](Body &, Ex j) {
+            return KeyedValue{keys(i * c + j), Ex(1.0)};
+        });
+        return fn.reduce(k, Op::Max,
+                         [&](Body &, Ex g) { return hist(g); });
+    });
+    Program p = b.build();
+
+    std::vector<double> keyData = {
+        0, 0, 0, 1, 2, 3, // row 0: max bin 3
+        0, 1, 2, 3, 0, 1, // row 1: max bin 2
+        3, 3, 3, 3, 3, 3, // row 2: max bin 6
+    };
+    std::vector<double> outData(R, -1.0);
+    Bindings args(p);
+    args.scalar(r, R);
+    args.scalar(c, C);
+    args.scalar(k, K);
+    args.array(keys, keyData);
+    args.array(out, outData);
+    ReferenceInterp().run(p, args);
+
+    EXPECT_DOUBLE_EQ(outData[0], 3);
+    EXPECT_DOUBLE_EQ(outData[1], 2);
+    EXPECT_DOUBLE_EQ(outData[2], 6);
+}
+
+TEST(ReferenceDeath, NestedGroupByKeyOutsideDomain)
+{
+    const int64_t C = 4, K = 2;
+    ProgramBuilder b("badKeys");
+    Arr keys = b.inI64("keys");
+    Ex n = b.paramI64("n"), k = b.paramI64("K");
+    Arr out = b.outF64("out");
+    b.map(Ex(1), out, [&](Body &fn, Ex) {
+        Arr hist = fn.groupBy(n, k, Op::Add, [&](Body &, Ex j) {
+            return KeyedValue{keys(j), Ex(1.0)};
+        });
+        return fn.reduce(k, Op::Add,
+                         [&](Body &, Ex g) { return hist(g); });
+    });
+    Program p = b.build();
+
+    std::vector<double> keyData = {0, 1, 3, 1}; // 3 >= K
+    std::vector<double> outData(1);
+    Bindings args(p);
+    args.scalar(n, C);
+    args.scalar(k, K);
+    args.array(keys, keyData);
+    args.array(out, outData);
+    EXPECT_DEATH(ReferenceInterp().run(p, args), "outside key domain");
+}
+
 /** Graft a hand-built nested pattern of `kind` into the root body of a
  *  freshly built one-level map program, bypassing ProgramBuilder (which
  *  only exposes root-level filter/groupBy). */
@@ -483,7 +587,7 @@ programWithGraftedNested(PatternKind kind, Ex *nOut, Arr *outOut)
     return p;
 }
 
-TEST(ReferenceDeath, NestedFilterRejectedByValidate)
+TEST(ReferenceDeath, NestedFilterWithoutCountRejectedByValidate)
 {
     Ex n;
     Arr out;
@@ -493,12 +597,14 @@ TEST(ReferenceDeath, NestedFilterRejectedByValidate)
     args.scalar(n, 4);
     args.array(out, outData);
     // run() validates up front: the structural diagnostic fires instead
-    // of the interpreter's mid-run "validator has a hole" panic.
+    // of the interpreter's mid-run "validator has a hole" panic. The
+    // grafted filter has no kept-count scalar local (builder.filter
+    // always attaches one).
     EXPECT_DEATH(ReferenceInterp().run(p, args),
-                 "only supported as the root pattern");
+                 "nested filter needs a kept-count scalar local");
 }
 
-TEST(ReferenceDeath, NestedGroupByRejectedByValidate)
+TEST(ReferenceDeath, NestedGroupByWithoutDomainRejectedByValidate)
 {
     Ex n;
     Arr out;
@@ -507,8 +613,10 @@ TEST(ReferenceDeath, NestedGroupByRejectedByValidate)
     Bindings args(p);
     args.scalar(n, 4);
     args.array(out, outData);
+    // The grafted groupBy has no key-domain size, so its output
+    // allocation is unknowable (builder.groupBy always sets one).
     EXPECT_DEATH(ReferenceInterp().run(p, args),
-                 "only supported as the root pattern");
+                 "nested groupBy needs a key-domain size");
 }
 
 TEST(ReferenceDeath, OutOfBoundsReadIsCaught)

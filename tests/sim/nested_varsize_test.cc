@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Parity and edge-case tests for variable-size nested outputs: nested
+ * Filter (compaction) and nested GroupBy (key-domain bins). The mapped
+ * execution must produce exactly the same bytes as the sequential
+ * reference interpreter under every strategy and fixed mapping, and the
+ * compaction finalize stage must show up in the report. Also holds the
+ * sampled-vs-full traffic regression (the extrapolation used to
+ * double-scale useful bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_emit.h"
+#include "ir/builder.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+struct Case
+{
+    std::string name;
+    std::shared_ptr<Program> prog;
+    std::function<void(Bindings &)> bindInputs;
+    std::vector<std::pair<Arr, int64_t>> outputs;
+};
+
+/** Run reference and simulator; outputs must agree within tolerance
+ *  (0.0 = bit parity). Returns the simulator report for stat checks. */
+SimReport
+expectParityOpts(const Case &c, const CompileOptions &copts,
+                 double tolerance)
+{
+    Gpu gpu;
+    std::vector<std::vector<double>> refOut;
+    {
+        Bindings args(*c.prog);
+        c.bindInputs(args);
+        for (const auto &[arr, size] : c.outputs)
+            refOut.emplace_back(size, 0.0);
+        for (size_t i = 0; i < c.outputs.size(); i++)
+            args.array(c.outputs[i].first, refOut[i]);
+        ReferenceInterp().run(*c.prog, args);
+    }
+    std::vector<std::vector<double>> simOut;
+    SimReport report;
+    {
+        Bindings args(*c.prog);
+        c.bindInputs(args);
+        for (const auto &[arr, size] : c.outputs)
+            simOut.emplace_back(size, 0.0);
+        for (size_t i = 0; i < c.outputs.size(); i++)
+            args.array(c.outputs[i].first, simOut[i]);
+        report = gpu.compileAndRun(*c.prog, args, copts);
+    }
+    for (size_t i = 0; i < c.outputs.size(); i++) {
+        EXPECT_LE(maxAbsDiff(refOut[i], simOut[i]), tolerance)
+            << c.name << " output " << i << " under "
+            << strategyName(copts.strategy);
+    }
+    return report;
+}
+
+SimReport
+expectParity(const Case &c, Strategy strategy, double tolerance = 0.0)
+{
+    CompileOptions copts;
+    copts.strategy = strategy;
+    return expectParityOpts(c, copts, tolerance);
+}
+
+//
+// Cases. Values are chosen to be exact in double arithmetic (small
+// integers), so parity is bit-for-bit no matter how lanes interleave
+// the combining order.
+//
+
+enum class FilterData { Mixed, AllPass, AllReject };
+
+std::vector<double>
+filterMatrix(int64_t n, FilterData data)
+{
+    std::vector<double> m(n);
+    Rng rng(21);
+    for (int64_t i = 0; i < n; i++) {
+        const double mag = static_cast<double>(1 + rng.below(100));
+        switch (data) {
+          case FilterData::Mixed:
+            m[i] = rng.below(2) ? mag : -mag;
+            break;
+          case FilterData::AllPass:
+            m[i] = mag;
+            break;
+          case FilterData::AllReject:
+            m[i] = -mag;
+            break;
+        }
+    }
+    return m;
+}
+
+/** Per row: compact the positive entries, then copy the kept prefix and
+ *  its length out. Every store lands at a distinct address, so the
+ *  compacted order (and the per-row counts) are directly observable
+ *  bit-for-bit in the outputs. */
+Case
+nestedFilterCase(int64_t R, int64_t C, FilterData data)
+{
+    ProgramBuilder b("rowCompact");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), cc = b.paramI64("C");
+    Arr out = b.outF64("out");
+    Arr cnts = b.outF64("counts");
+    b.foreach(r, [&](Body &outer, Ex i) {
+        Filtered kept = outer.filter(cc, [&](Body &, Ex j) {
+            return FilterItem{m(i * cc + j) > 0.0, m(i * cc + j) * 2.0};
+        });
+        outer.store(cnts, i, kept.count);
+        outer.foreach(cc, [&](Body &fn, Ex j) {
+            fn.branch(Ex(j) < kept.count, [&](Body &t) {
+                t.store(out, i * cc + j, kept.items(j));
+            });
+        });
+    });
+    Case c;
+    c.name = "rowCompact";
+    c.prog = std::make_shared<Program>(b.build());
+    // At least one element so the binding layer accepts the array even
+    // in the empty-outer edge case.
+    auto mData = std::make_shared<std::vector<double>>(
+        filterMatrix(std::max<int64_t>(R * C, 1), data));
+    c.bindInputs = [=](Bindings &args) {
+        args.scalar(r, static_cast<double>(R));
+        args.scalar(cc, static_cast<double>(C));
+        args.array(m, *mData);
+    };
+    c.outputs = {{out, std::max<int64_t>(R * C, 1)},
+                 {cnts, std::max<int64_t>(R, 1)}};
+    return c;
+}
+
+/** Per row: histogram the row's keys into a key-domain-sized local, then
+ *  copy the bins out. Integer-valued adds keep every combining order
+ *  exact. `skew` sends every key to bin 0. */
+Case
+nestedGroupByCase(int64_t R, int64_t C, int64_t K, bool skew)
+{
+    ProgramBuilder b("rowHist");
+    Arr keys = b.inI64("keys");
+    Ex r = b.paramI64("R"), cc = b.paramI64("C"), k = b.paramI64("K");
+    Arr out = b.outF64("out");
+    b.foreach(r, [&](Body &outer, Ex i) {
+        Arr hist = outer.groupBy(cc, k, Op::Add, [&](Body &, Ex j) {
+            return KeyedValue{keys(i * cc + j), Ex(1.0)};
+        });
+        outer.foreach(k, [&](Body &fn, Ex g) {
+            fn.store(out, i * k + g, hist(g));
+        });
+    });
+    Case c;
+    c.name = "rowHist";
+    c.prog = std::make_shared<Program>(b.build());
+    auto keyData = std::make_shared<std::vector<double>>(R * C);
+    Rng rng(33);
+    for (auto &x : *keyData)
+        x = skew ? 0.0 : static_cast<double>(rng.below(K));
+    c.bindInputs = [=](Bindings &args) {
+        args.scalar(r, static_cast<double>(R));
+        args.scalar(cc, static_cast<double>(C));
+        args.scalar(k, static_cast<double>(K));
+        args.array(keys, *keyData);
+    };
+    c.outputs = {{out, R * K}};
+    return c;
+}
+
+//
+// Strategy sweep: nested Filter / GroupBy must be bit-identical to the
+// reference under every mapping strategy, including the locality-aware
+// searched mapping (MultiDim).
+//
+
+class VarSizeStrategy : public ::testing::TestWithParam<Strategy>
+{};
+
+TEST_P(VarSizeStrategy, NestedFilterMixed)
+{
+    expectParity(nestedFilterCase(24, 50, FilterData::Mixed), GetParam());
+}
+
+TEST_P(VarSizeStrategy, NestedFilterAllPass)
+{
+    expectParity(nestedFilterCase(8, 33, FilterData::AllPass), GetParam());
+}
+
+TEST_P(VarSizeStrategy, NestedFilterAllReject)
+{
+    expectParity(nestedFilterCase(8, 33, FilterData::AllReject),
+                 GetParam());
+}
+
+TEST_P(VarSizeStrategy, NestedFilterEmptyOuter)
+{
+    expectParity(nestedFilterCase(0, 16, FilterData::Mixed), GetParam());
+}
+
+TEST_P(VarSizeStrategy, NestedGroupBy)
+{
+    expectParity(nestedGroupByCase(16, 40, 8, /*skew=*/false), GetParam());
+}
+
+TEST_P(VarSizeStrategy, NestedGroupBySkewedKeys)
+{
+    expectParity(nestedGroupByCase(12, 64, 8, /*skew=*/true), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, VarSizeStrategy,
+    ::testing::Values(Strategy::MultiDim, Strategy::OneD,
+                      Strategy::ThreadBlockThread, Strategy::WarpBased),
+    [](const ::testing::TestParamInfo<Strategy> &info) {
+        switch (info.param) {
+          case Strategy::MultiDim: return "MultiDim";
+          case Strategy::OneD: return "OneD";
+          case Strategy::ThreadBlockThread: return "ThreadBlockThread";
+          case Strategy::WarpBased: return "WarpBased";
+          default: return "Fixed";
+        }
+    });
+
+//
+// Fixed-mapping sweep, as in executor_test's SumRowsManyMappings: every
+// feasible handwritten mapping must agree bit-for-bit.
+//
+
+TEST(VarSizeFixedSweep, NestedFilterManyMappings)
+{
+    Case c = nestedFilterCase(20, 40, FilterData::Mixed);
+    const DeviceConfig dev = teslaK20c();
+    AnalysisEnv env;
+    env.prog = c.prog.get();
+    ConstraintSet cs = buildConstraints(*c.prog, env, dev);
+    MappingSearch search(dev);
+
+    int tested = 0;
+    for (int outerDim : {0, 1}) {
+        for (int64_t outerBs : {1, 8, 64}) {
+            for (int64_t innerBs : {1, 32, 128}) {
+                MappingDecision d;
+                d.levels.resize(2);
+                d.levels[0] = {outerDim, outerBs, SpanType::one()};
+                d.levels[1] = {outerDim == 0 ? 1 : 0, innerBs,
+                               SpanType::all()};
+                if (!search.feasible(d, cs))
+                    continue;
+                tested++;
+                CompileOptions copts;
+                copts.strategy = Strategy::Fixed;
+                copts.fixedMapping = d;
+                expectParityOpts(c, copts, 0.0);
+            }
+        }
+    }
+    EXPECT_GT(tested, 8);
+}
+
+TEST(VarSizeFixedSweep, NestedGroupByManyMappings)
+{
+    Case c = nestedGroupByCase(10, 30, 4, /*skew=*/false);
+    const DeviceConfig dev = teslaK20c();
+    AnalysisEnv env;
+    env.prog = c.prog.get();
+    ConstraintSet cs = buildConstraints(*c.prog, env, dev);
+    MappingSearch search(dev);
+
+    int tested = 0;
+    for (int outerDim : {0, 1}) {
+        for (int64_t outerBs : {1, 8, 64}) {
+            for (int64_t innerBs : {1, 32, 128}) {
+                MappingDecision d;
+                d.levels.resize(2);
+                d.levels[0] = {outerDim, outerBs, SpanType::one()};
+                d.levels[1] = {outerDim == 0 ? 1 : 0, innerBs,
+                               SpanType::all()};
+                if (!search.feasible(d, cs))
+                    continue;
+                tested++;
+                CompileOptions copts;
+                copts.strategy = Strategy::Fixed;
+                copts.fixedMapping = d;
+                expectParityOpts(c, copts, 0.0);
+            }
+        }
+    }
+    EXPECT_GT(tested, 8);
+}
+
+//
+// The compaction finalize stage must be modeled and exported.
+//
+
+TEST(VarSizeReport, CompactionStageCharged)
+{
+    Case c = nestedFilterCase(24, 50, FilterData::Mixed);
+    SimReport report = expectParity(c, Strategy::MultiDim);
+    EXPECT_TRUE(report.stats.hasCompaction);
+    EXPECT_GT(report.stats.compactionTransactions, 0.0);
+    EXPECT_GT(report.stats.compactionOps, 0.0);
+    EXPECT_GT(report.stats.compactionThreads, 0);
+    EXPECT_GT(report.compactionMs, 0.0);
+    EXPECT_GE(report.totalMs, report.compactionMs);
+
+    // A program without a nested filter must not pay for the stage.
+    Case g = nestedGroupByCase(8, 24, 4, false);
+    SimReport greport = expectParity(g, Strategy::MultiDim);
+    EXPECT_FALSE(greport.stats.hasCompaction);
+    EXPECT_DOUBLE_EQ(greport.compactionMs, 0.0);
+}
+
+TEST(VarSizeReport, EmitterProducesCompactKernel)
+{
+    Case c = nestedFilterCase(6, 20, FilterData::Mixed);
+    Gpu gpu;
+    CompileResult res = compileProgram(*c.prog, gpu.config());
+    const std::string cuda = emitCuda(res.spec);
+    EXPECT_NE(cuda.find("rowCompact_compact_"), std::string::npos)
+        << "missing compaction finalize kernel:\n"
+        << cuda;
+    EXPECT_NE(cuda.find("__block_excl_scan"), std::string::npos)
+        << "missing in-kernel compaction scan:\n"
+        << cuda;
+
+    Case g = nestedGroupByCase(6, 20, 4, false);
+    CompileResult gres = compileProgram(*g.prog, gpu.config());
+    const std::string gcuda = emitCuda(gres.spec);
+    EXPECT_NE(gcuda.find("// nested groupBy"), std::string::npos);
+    EXPECT_EQ(gcuda.find("_compact_"), std::string::npos)
+        << "groupBy alone must not emit a compaction kernel";
+}
+
+//
+// Sampled-block extrapolation regression: coalescing efficiency derives
+// from useful bytes, which are accrued exactly on every block; the
+// extrapolation of the sampled traffic must not rescale them. Before the
+// fix they were double-scaled whenever the launch exceeded
+// maxSampledBlocks, inflating efficiency by ~1/sampledFraction.
+//
+
+TEST(SampledTraffic, CoalescingEfficiencyMatchesFullSim)
+{
+    // Strided reads (column sums) so efficiency is well below 1, and a
+    // fixed outer mapping with enough blocks to trigger sampling. C is a
+    // multiple of the block size so every block carries identical
+    // traffic and the extrapolation itself is exact — any mismatch is a
+    // scaling bug, not sampling error.
+    const int64_t R = 6, C = 2048 * 64;
+    ProgramBuilder b("sumColsBig");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), cc = b.paramI64("C");
+    Arr out = b.outF64("out");
+    b.map(cc, out, [&](Body &fn, Ex j) {
+        return fn.reduce(r, Op::Add,
+                         [&](Body &, Ex i) { return m(i * cc + j); });
+    });
+    auto prog = std::make_shared<Program>(b.build());
+
+    std::vector<double> mData(R * C);
+    Rng rng(17);
+    for (auto &v : mData)
+        v = rng.uniform(-1, 1);
+
+    MappingDecision d;
+    d.levels.resize(2);
+    d.levels[0] = {0, 64, SpanType::one()}; // ceil(100000/64) blocks
+    d.levels[1] = {1, 1, SpanType::all()};
+    CompileOptions copts;
+    copts.strategy = Strategy::Fixed;
+    copts.fixedMapping = d;
+
+    const auto runWith = [&](int64_t maxSampledBlocks) {
+        Gpu gpu;
+        std::vector<double> outData(C, 0.0);
+        Bindings args(*prog);
+        args.scalar(r, static_cast<double>(R));
+        args.scalar(cc, static_cast<double>(C));
+        args.array(m, mData);
+        args.array(out, outData);
+        ExecOptions eopts;
+        eopts.maxSampledBlocks = maxSampledBlocks;
+        return gpu.compileAndRun(*prog, args, copts, eopts);
+    };
+
+    const SimReport sampled = runWith(256);
+    const SimReport full = runWith(1 << 30);
+
+    ASSERT_LT(sampled.stats.sampledFraction, 1.0)
+        << "test must actually exercise the sampling path";
+    EXPECT_DOUBLE_EQ(full.stats.sampledFraction, 1.0);
+    EXPECT_GT(sampled.coalescingEfficiency, 0.0);
+    EXPECT_LT(sampled.coalescingEfficiency, 1.0);
+    EXPECT_NEAR(sampled.coalescingEfficiency, full.coalescingEfficiency,
+                1e-6);
+    // Useful bytes are whole-grid exact in both runs: R*C reads plus C
+    // output stores of 8 bytes each.
+    EXPECT_DOUBLE_EQ(sampled.stats.usefulBytes, full.stats.usefulBytes);
+}
+
+} // namespace
+} // namespace npp

@@ -5,11 +5,12 @@
 #   tools/check.sh              # default job: build + ctest
 #   tools/check.sh asan         # AddressSanitizer + UBSan build + ctest
 #   tools/check.sh tsan         # ThreadSanitizer build + ctest
-#   tools/check.sh all          # all three, in order
+#   tools/check.sh ubsan        # UBSan-only build + ctest
+#   tools/check.sh all          # all four, in order
 #
-# Each job uses its own build directory (build/, build-asan/, build-tsan/)
-# so sanitizer and plain objects never mix. Exits nonzero on the first
-# failing configure, build, or test.
+# Each job uses its own build directory (build/, build-asan/,
+# build-tsan/, build-ubsan/) so sanitizer and plain objects never mix.
+# Exits nonzero on the first failing configure, build, or test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,13 +36,17 @@ asan)
 tsan)
     run_job tsan build-tsan -DNPP_TSAN=ON
     ;;
+ubsan)
+    run_job ubsan build-ubsan -DNPP_UBSAN=ON
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
     run_job tsan build-tsan -DNPP_TSAN=ON
+    run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|all]" >&2
     exit 2
     ;;
 esac
