@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Block-equivalence classing payoff: wall-clock of full (every-block)
+ * vs classed metrics-only simulation, on the shapes classing was built
+ * for. Two sections:
+ *
+ *   1. Variable-size programs (the Fig 16 family): a class-invariant
+ *      nested filter (bandCompact) sweeps the outer size — classed
+ *      simulation visits two representative blocks per class while the
+ *      full run visits all of them, so the speedup grows with the outer
+ *      size. A data-dependent variant (sumPositiveRows) rides along to
+ *      show the exact fallback costs ~1x.
+ *
+ *   2. Per-site attribution (--stats): dense sum kernels with
+ *      siteStats on — the sweep that used to force exact simulation
+ *      and now classes.
+ *
+ * Columns: full ms, classed ms, speedup (full/classed), identical
+ * (1 = reports bit-identical, checked by reportsBitIdentical; a 0 aborts
+ * the binary). Both modes run through the uncached Gpu::run path, so
+ * every timing is a true re-simulation.
+ */
+
+#include <functional>
+#include <memory>
+
+#include "apps/sums.h"
+#include "common.h"
+#include "ir/builder.h"
+#include "pipeline.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+/** A program plus its bound inputs and (metrics-only, never written)
+ *  outputs, ready to time. */
+struct BenchCase
+{
+    std::string label;
+    std::shared_ptr<Program> prog;
+    std::function<void(Bindings &)> bind;
+};
+
+std::shared_ptr<std::vector<double>>
+signedData(int64_t n, uint64_t seed)
+{
+    auto m = std::make_shared<std::vector<double>>(std::max<int64_t>(n, 1));
+    Rng rng(seed);
+    for (auto &x : *m)
+        x = rng.uniform(-1, 1);
+    return m;
+}
+
+/** The classable variable-size kernel from the differential suite: the
+ *  filter predicate depends only on the inner index and a launch
+ *  parameter, so every block walks the compaction cursor identically. */
+BenchCase
+bandCompactCase(int64_t R, int64_t C)
+{
+    ProgramBuilder b("bandCompact");
+    Arr m = b.inF64("m");
+    Ex r = b.paramI64("R"), cc = b.paramI64("C");
+    Arr out = b.outF64("out");
+    Arr cnts = b.outF64("counts");
+    b.foreach(r, [&](Body &outer, Ex i) {
+        Filtered kept = outer.filter(cc, [&](Body &, Ex j) {
+            return FilterItem{Ex(j) * 2 < cc, m(i * cc + j) * 2.0};
+        });
+        outer.store(cnts, i, kept.count);
+        outer.foreach(cc, [&](Body &fn, Ex j) {
+            fn.branch(Ex(j) < kept.count, [&](Body &t) {
+                t.store(out, i * cc + j, kept.items(j));
+            });
+        });
+    });
+    BenchCase c;
+    c.label = "bandCompact " + std::to_string(R) + "x" + std::to_string(C);
+    c.prog = std::make_shared<Program>(b.build());
+    auto mData = signedData(R * C, 0x5eedULL);
+    auto outData = std::make_shared<std::vector<double>>(R * C, 0.0);
+    auto cntData = std::make_shared<std::vector<double>>(R, 0.0);
+    c.bind = [=](Bindings &args) {
+        args.scalar(r, static_cast<double>(R));
+        args.scalar(cc, static_cast<double>(C));
+        args.array(m, *mData);
+        args.array(out, *outData);
+        args.array(cnts, *cntData);
+    };
+    return c;
+}
+
+/** Fig 16's data-dependent variable-size kernel: the predicate reads
+ *  the matrix, classing falls back, speedup ~1x. */
+BenchCase
+sumPositivesCase(int64_t R, int64_t C)
+{
+    SumsProgram sp = buildSumPositives(/*byCols=*/false);
+    BenchCase c;
+    c.label = sp.prog->name() + " " + std::to_string(R) + "x" +
+              std::to_string(C) + " (fallback)";
+    c.prog = sp.prog;
+    auto mData = signedData(R * C, 0xfeedULL);
+    auto outData =
+        std::make_shared<std::vector<double>>(sp.outputSize(R, C), 0.0);
+    c.bind = [=](Bindings &args) {
+        args.scalar(sp.r, static_cast<double>(R));
+        args.scalar(sp.c, static_cast<double>(C));
+        args.array(sp.m, *mData);
+        args.array(sp.out, *outData);
+    };
+    return c;
+}
+
+/** Dense sum kernel (Fig 1 / Fig 15) for the per-site attribution
+ *  sweep. */
+BenchCase
+sumCase(bool byCols, bool weighted, int64_t R, int64_t C)
+{
+    SumsProgram sp = buildSum(byCols, weighted);
+    BenchCase c;
+    c.label = sp.prog->name() + " " + std::to_string(R) + "x" +
+              std::to_string(C);
+    c.prog = sp.prog;
+    auto mData = signedData(R * C, 0xfeedULL);
+    auto vData = signedData(std::max(R, C), 0xbeefULL);
+    auto outData =
+        std::make_shared<std::vector<double>>(sp.outputSize(R, C), 0.0);
+    c.bind = [=](Bindings &args) {
+        args.scalar(sp.r, static_cast<double>(R));
+        args.scalar(sp.c, static_cast<double>(C));
+        args.array(sp.m, *mData);
+        if (sp.weighted)
+            args.array(sp.v, *vData);
+        args.array(sp.out, *outData);
+    };
+    return c;
+}
+
+/** Fixed two-level mapping matching the differential suite: outer
+ *  partitioned across blocks (block size 16 keeps per-block output
+ *  shifts at 128B multiples), inner span-all — many blocks, so
+ *  classing has real work to skip. */
+CompileOptions
+partitionedOuter()
+{
+    CompileOptions copts;
+    copts.strategy = Strategy::Fixed;
+    copts.fixedMapping.levels = {{0, 16, SpanType::one()},
+                                 {1, 32, SpanType::all()}};
+    return copts;
+}
+
+Row
+timeCase(const Gpu &gpu, const BenchCase &c, const CompileOptions &copts,
+         bool siteStats)
+{
+    CompileResult compiled = compileProgram(*c.prog, gpu.config(), copts);
+    Bindings args(*c.prog);
+    c.bind(args);
+    ClassedTiming t = timeClassedVsFull(gpu, compiled.spec, args, siteStats);
+    if (!t.identical) {
+        std::fprintf(stderr,
+                     "fig_classing: %s: classed report is NOT bit-identical "
+                     "to the full simulation\n",
+                     c.label.c_str());
+        std::exit(4);
+    }
+    if (!t.classReason.empty())
+        std::printf("  %-34s every block simulated (%s)\n", c.label.c_str(),
+                    t.classReason.c_str());
+    else
+        std::printf("  %-34s %lld blocks replicated from class "
+                    "representatives\n",
+                    c.label.c_str(),
+                    static_cast<long long>(t.classedBlocks));
+    return Row{c.label,
+               {t.fullMs, t.classedMs, t.fullMs / t.classedMs,
+                t.identical ? 1.0 : 0.0}};
+}
+
+void
+runFigure()
+{
+    Gpu gpu;
+    const std::vector<std::string> series = {"Full (ms)", "Classed (ms)",
+                                             "Speedup", "Identical"};
+
+    banner("Classing payoff: variable-size programs (Fig 16 shapes)",
+           "Full vs classed metrics-only simulation; identical=1 means "
+           "bit-identical reports.");
+    std::vector<Row> varRows;
+    for (int64_t R : {2048, 8192, 32768})
+        varRows.push_back(
+            timeCase(gpu, bandCompactCase(R, 64), partitionedOuter(),
+                     /*siteStats=*/false));
+    varRows.push_back(timeCase(gpu, sumPositivesCase(2048, 64),
+                               partitionedOuter(), /*siteStats=*/false));
+    std::printf("\n");
+    table(series, varRows, 34);
+
+    banner("Classing payoff: per-site attribution (--stats sweep)",
+           "siteStats no longer forces exact simulation; reports stay "
+           "bit-identical.");
+    // Shapes where the simulator's per-block metrics really are uniform
+    // class; the other two model slightly different traffic on a few
+    // blocks (absolute-address artifacts of the exact simulator,
+    // unchanged by attribution) — the runtime probes catch them
+    // (adjacent divergence in sumCols at 1024^2, a scattered anomaly in
+    // sumWeightedRows at 512^2 that only the spread probe sees) and
+    // fall back, still bit-identical.
+    std::vector<Row> siteRows;
+    siteRows.push_back(timeCase(gpu, sumCase(false, false, 1024, 1024),
+                                partitionedOuter(), /*siteStats=*/true));
+    siteRows.push_back(timeCase(gpu, sumCase(false, true, 512, 512),
+                                partitionedOuter(), /*siteStats=*/true));
+    siteRows.push_back(timeCase(gpu, sumCase(true, true, 256, 256),
+                                partitionedOuter(), /*siteStats=*/true));
+    siteRows.push_back(timeCase(gpu, sumCase(true, false, 1024, 1024),
+                                partitionedOuter(), /*siteStats=*/true));
+    std::printf("\n");
+    table(series, siteRows, 34);
+
+    std::printf(
+        "\nShapes to check:\n"
+        "  - bandCompact speedup grows with the outer size (more blocks\n"
+        "    skipped per class) and Identical stays 1;\n"
+        "  - the data-dependent fallback row costs ~1x (classing probes\n"
+        "    the first block pair, then simulates all blocks exactly);\n"
+        "  - the uniform --stats rows class with per-site attribution\n"
+        "    on; the other two trip the runtime divergence probes and\n"
+        "    fall back — bit-identical either way.\n");
+}
+
+} // namespace
+} // namespace npp
+
+int
+main(int argc, char **argv)
+{
+    if (int rc = npp::benchInit(argc, argv))
+        return rc;
+    npp::runFigure();
+    return npp::benchFinish();
+}

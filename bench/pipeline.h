@@ -13,6 +13,7 @@
 #ifndef NPP_BENCH_PIPELINE_H
 #define NPP_BENCH_PIPELINE_H
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -24,6 +25,60 @@
 #include "support/trace.h"
 
 namespace npp {
+
+/** Wall-clock comparison of classed vs full (every-block) metrics-only
+ *  simulation of one compiled launch, used by fig_classing. Both modes
+ *  run `repeats` times (min wall time is reported) through the uncached
+ *  Gpu::run path, and the reports are checked bit-identical — the same
+ *  contract the differential suite (tests/sim/classed_vs_full_test)
+ *  enforces, re-verified on the benchmark shapes. */
+struct ClassedTiming
+{
+    double fullMs = 0.0;
+    double classedMs = 0.0;
+    bool identical = false;
+    int64_t classedBlocks = 0;
+    std::string classReason; //!< empty when classing engaged
+};
+
+inline ClassedTiming
+timeClassedVsFull(const Gpu &gpu, const KernelSpec &spec,
+                  const Bindings &args, bool siteStats = false,
+                  int repeats = 3)
+{
+    using clock = std::chrono::steady_clock;
+    const auto once = [&](bool classed) {
+        ExecOptions eopts;
+        eopts.metricsOnly = true;
+        eopts.blockClasses = classed;
+        eopts.siteStats = siteStats;
+        const auto t0 = clock::now();
+        SimReport rep = gpu.run(spec, args, eopts);
+        const double ms =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+        return std::make_pair(rep, ms);
+    };
+
+    ClassedTiming t;
+    SimReport full, classed;
+    for (int i = 0; i < repeats; i++) {
+        auto [fullRep, fullMs] = once(false);
+        auto [classedRep, classedMs] = once(true);
+        if (i == 0 || fullMs < t.fullMs) {
+            t.fullMs = fullMs;
+            full = fullRep;
+        }
+        if (i == 0 || classedMs < t.classedMs) {
+            t.classedMs = classedMs;
+            classed = classedRep;
+        }
+    }
+    t.identical = reportsBitIdentical(full, classed);
+    t.classedBlocks = classed.stats.classedBlocks;
+    t.classReason = classed.stats.classReason;
+    return t;
+}
 
 /** Run one Row-producing job per App, serially or on the task pool.
  *  Row order always matches `apps` order. */

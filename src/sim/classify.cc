@@ -77,8 +77,24 @@ class Analyzer
         return 0;
     }
 
+    /** True when varId is an enclosing pattern index of a level that maps
+     *  to a single block (span-all). Such an index runs through the same
+     *  value sequence in every block, so it may feed class-invariant
+     *  control flow, filter predicates, and groupBy keys. */
+    bool
+    singleBlockIndex(int varId) const
+    {
+        for (size_t lv = 0; lv < chainVars.size(); lv++) {
+            if (chainVars[lv] == varId)
+                return geom.levels[lv].blocks <= 1;
+        }
+        return false;
+    }
+
     /** Value identical for corresponding lanes of any two blocks: free of
-     *  parallel indices, reads, and mutable locals after let expansion. */
+     *  reads, mutable locals, nested-pattern results, and partitioned
+     *  parallel indices after let expansion. Span-all indices are allowed
+     *  — their level has one block, so every block sees the same values. */
     bool
     blockUniform(const ExprRef &expr)
     {
@@ -90,8 +106,10 @@ class Analyzer
                 uniform = false;
             if (x.kind == ExprKind::Var) {
                 const VarInfo &v = prog.var(x.varId);
-                if (v.role == VarRole::Index || v.isMutable ||
-                    dynamicVars.count(x.varId)) {
+                if (v.isMutable || dynamicVars.count(x.varId)) {
+                    uniform = false;
+                } else if (v.role == VarRole::Index &&
+                           !singleBlockIndex(x.varId)) {
                     uniform = false;
                 }
             }
@@ -151,6 +169,11 @@ class Analyzer
                 continue;
             const auto c = coeffOf(resolved, chainVars[lv], env);
             if (!c) {
+                // Non-affine in a span-all index is harmless: that level
+                // has one block, so the whole term is identical in every
+                // block and contributes no per-block shift.
+                if (geom.levels[lv].blocks <= 1)
+                    continue;
                 fail(fmt("non-affine index into {}", av.name));
                 return;
             }
@@ -275,54 +298,83 @@ class Analyzer
               case StmtKind::Nested:
                 // A nested pattern's result (reduce scalar, map array) is
                 // data, not geometry: it must never steer control flow or
-                // addressing in a classed launch.
+                // addressing in a classed launch. The one exception is a
+                // class-invariant filter's count var, which walkPatternNode
+                // promotes back out of dynamicVars once the predicate is
+                // proven identical across blocks.
                 if (s->var >= 0)
                     dynamicVars.insert(s->var);
+                if (s->countVar >= 0)
+                    dynamicVars.insert(s->countVar);
                 walkPatternNode(*s->pattern, lv + 1, s->var,
-                                /*isRoot=*/false);
+                                /*isRoot=*/false, s->countVar);
                 break;
             }
         }
     }
 
     void
-    walkPatternNode(const Pattern &p, int lv, int resultVar, bool isRoot)
+    walkPatternNode(const Pattern &p, int lv, int resultVar, bool isRoot,
+                    int countVar = -1)
     {
         if (!ok)
             return;
-        if (p.kind == PatternKind::Filter || p.kind == PatternKind::GroupBy) {
-            fail(fmt("{} pattern carries cross-block state",
-                     patternKindName(p.kind)));
-            return;
-        }
         if (lv >= static_cast<int>(geom.levels.size())) {
             fail("pattern deeper than mapped levels");
             return;
         }
+        const bool varSize = p.kind == PatternKind::Filter ||
+                             p.kind == PatternKind::GroupBy;
+        if (varSize) {
+            if (isRoot && p.kind == PatternKind::Filter) {
+                fail("root filter compacts through a cross-block output "
+                     "cursor");
+                return;
+            }
+            if (geom.levels[lv].blocks > 1) {
+                fail(fmt("{} level {} is partitioned across blocks",
+                         patternKindName(p.kind), lv));
+                return;
+            }
+        }
+        // Launch-known sizes are the common case; a class-invariant size
+        // (a proven-invariant filter count var, possibly with arithmetic)
+        // is equally good — every block runs the same trip count.
         const auto size = constEval(p.size, env);
-        if (!size) {
-            fail("pattern size not launch-known");
+        if (!size && !blockUniform(p.size)) {
+            fail("pattern size neither launch-known nor class-invariant");
             return;
         }
 
         chainVars[lv] = p.indexVar;
 
-        // Register the defining size of a nested array-local result so
-        // local accesses can fold the layout coefficients.
+        // Register the defining allocation size of a nested array-local
+        // result so local accesses can fold the layout coefficients. The
+        // allocation size (filter upper bound / groupBy key domain) is
+        // what bindLocalArray addresses with, not the index-domain size.
         if (resultVar >= 0 &&
             prog.var(resultVar).role == VarRole::ArrayLocal) {
-            localInnerSize[resultVar] = static_cast<int64_t>(*size);
+            const auto alloc = constEval(p.allocSize(), env);
+            if (!alloc) {
+                fail(fmt("local {} allocation size not launch-known",
+                         prog.var(resultVar).name));
+                chainVars[lv] = -1;
+                return;
+            }
+            localInnerSize[resultVar] = static_cast<int64_t>(*alloc);
         }
 
         walkStmts(p.body, lv);
         checkExpr(p.yield);
 
-        // Where do the yields land? Root maps store to the root output
-        // at the pattern index (coefficient 1 at this level); nested
-        // maps store into the local array the same way. Root reduces
-        // store only from block 0, which the executor salts into its own
-        // class.
-        if (p.kind == PatternKind::Map || p.kind == PatternKind::ZipWith) {
+        const std::vector<double> zeros(geom.levels.size(), 0.0);
+        switch (p.kind) {
+          case PatternKind::Map:
+          case PatternKind::ZipWith: {
+            // Yields land at the pattern index: coefficient 1 at this
+            // level, into the root output or the local array. Root
+            // reduces store only from block 0, which the executor salts
+            // into its own class.
             std::vector<double> coeffs(geom.levels.size(), 0.0);
             coeffs[lv] = 1.0;
             if (isRoot) {
@@ -330,6 +382,45 @@ class Analyzer
             } else if (resultVar >= 0) {
                 checkCoeffs(resultVar, coeffs);
             }
+            break;
+          }
+          case PatternKind::Filter:
+            // Kept yields land at the compaction cursor. The cursor is
+            // driven by the predicate: class-invariant predicate means
+            // every block walks the identical keep sequence, so the
+            // cursor's value (logical coefficient 0 everywhere) and the
+            // per-block kept count replicate exactly.
+            checkExpr(p.filterPred);
+            if (!blockUniform(p.filterPred)) {
+                fail(fmt("filter predicate at level {} is data-dependent "
+                         "across blocks",
+                         lv));
+            } else if (ok) {
+                if (resultVar >= 0)
+                    checkCoeffs(resultVar, zeros);
+                // The kept count is now provably identical across blocks:
+                // let it size inner patterns and feed uniform control.
+                if (ok && countVar >= 0)
+                    dynamicVars.erase(countVar);
+            }
+            break;
+          case PatternKind::GroupBy:
+            // Combines land at the key. A class-invariant key drives the
+            // identical bin sequence in every block (logical coefficient
+            // 0 at every partitioned level).
+            checkExpr(p.key);
+            if (!blockUniform(p.key)) {
+                fail(fmt("groupBy key at level {} is data-dependent "
+                         "across blocks; each block combines into its "
+                         "own bins",
+                         lv));
+            } else if (ok) {
+                checkCoeffs(isRoot ? prog.rootOutput() : resultVar, zeros);
+            }
+            break;
+          case PatternKind::Reduce:
+          case PatternKind::Foreach:
+            break;
         }
 
         chainVars[lv] = -1;

@@ -20,8 +20,26 @@
  *     (coefficient x block step x element bytes) is a multiple of the
  *     transaction size, so the segment-count of every warp access group
  *     is translation invariant.
- *  3. No Filter/GroupBy patterns and no Split spans (they carry
- *     cross-block state: output cursors, key combines, split partials).
+ *  3. No Split spans (they carry cross-block reduce partials).
+ *  4. Filter/GroupBy patterns are class-invariant. Both always run at a
+ *     span-all level (they need a block-wide pass), so every block walks
+ *     the same index range; what can still differ across blocks is the
+ *     data. A nested filter classes when its predicate — and a groupBy
+ *     when its key — is free of array reads, mutable locals, nested
+ *     results, and indices of levels that are partitioned across blocks
+ *     (span-all indices are fine: their level maps to a single block).
+ *     Then every block drives the compaction cursor / key-bin addresses
+ *     through the identical sequence, so kept counts, compaction traffic
+ *     and the per-class metric deltas replicate exactly, and the filter's
+ *     count var becomes a class-invariant scalar that may size inner
+ *     patterns. Root filters never class (their output cursor threads
+ *     through all blocks), and data-dependent predicates/keys fail with
+ *     a reason naming the pattern — the executor then simulates every
+ *     block exactly and surfaces the reason via KernelStats::classReason.
+ *
+ * Uniformity across corresponding lanes is what matters, not uniformity
+ * within a block: control flow may depend on span-all indices (every
+ * block diverges identically), just never on partitioned ones.
  *
  * Local arrays (prealloc or thread-malloc) participate: their simulated
  * device addresses are themselves affine in the enclosing indices, so the

@@ -192,9 +192,12 @@ uint64_t
 EvalCache::hashExec(const ExecOptions &eopts)
 {
     // metricsOnly and blockClasses are excluded on purpose: they are
-    // report-identical execution modes (determinism test), so trials in
-    // any mode can share entries. siteStats is NOT report-identical (it
-    // adds the per-site table and disables classing), so it is keyed.
+    // report-identical execution modes (determinism test + the classed
+    // differential suite), so trials in any mode can share entries; the
+    // classedBlocks/classReason diagnostics of a replayed report may
+    // therefore reflect the mode that originally populated the cache.
+    // siteStats is NOT report-identical (it adds the per-site table), so
+    // it is keyed.
     uint64_t h = mix(kFnvBasis, static_cast<uint64_t>(eopts.maxSampledBlocks));
     return mix(h, eopts.siteStats ? 1 : 0);
 }

@@ -11,6 +11,7 @@
 #include "sim/coalesce.h"
 #include "support/logging.h"
 #include "support/stats.h"
+#include "support/strings.h"
 #include "support/trace.h"
 
 namespace npp {
@@ -128,15 +129,26 @@ class DeviceExecutor
 
         // Block-equivalence classing: only legal when outputs need not
         // be materialized (skipped blocks never run their stores), and
-        // only profitable with blocks to merge. Site attribution forces
-        // exact simulation: class replication copies aggregate metric
-        // deltas and cannot assign them to access sites.
+        // only profitable with blocks to merge. Site attribution rides
+        // along: per-site deltas are recorded on the representatives and
+        // replicated with the aggregates. Whenever classing does not
+        // engage, record why (surfaced as KernelStats::classReason).
         bool classed = options.blockClasses && options.metricsOnly &&
-                       !options.siteStats && geom.totalBlocks > 2;
+                       geom.totalBlocks > 2;
+        std::string classReason;
+        if (!options.blockClasses)
+            classReason = "block classing disabled (ExecOptions)";
+        else if (!options.metricsOnly)
+            classReason = "functional run materializes outputs in every "
+                          "block";
+        else if (geom.totalBlocks <= 2)
+            classReason = "too few blocks to merge";
         if (classed) {
-            classed = analyzeBlockClasses(spec, geom, levelSizes, ctx,
-                                          device)
-                          .classable;
+            const BlockClassPlan plan =
+                analyzeBlockClasses(spec, geom, levelSizes, ctx, device);
+            classed = plan.classable;
+            if (!plan.classable)
+                classReason = plan.reason;
         }
 
         if (classed) {
@@ -146,16 +158,23 @@ class DeviceExecutor
                 // wrong somewhere. Rewind stats and array state, then
                 // simulate every block.
                 stats = preLoop;
+                compactionElems = compactionKept = compactionChunks = 0;
+                filterCursor = 0;
+                siteTrafficMap.clear();
                 for (PrivateCopy &pc : privateCopies) {
                     std::copy(pc.src, pc.src + pc.copy.size(),
                               pc.copy.data());
                 }
                 measured = 0;
                 classed = false;
+                classReason =
+                    fmt("block {} diverged from its equivalence class",
+                        divergedBlock);
             }
         }
         if (!classed)
             runBlocksExact(sampleStride, measured);
+        stats.classReason = classed ? std::string() : classReason;
 
         finishSplit();
         finishFilterCount();
@@ -227,10 +246,24 @@ class DeviceExecutor
         }
     }
 
-    /** The accumulating per-block stats fields. All of them are sums of
-     *  dyadic rationals with bounded precision (pow2 block sizes make
+    /** Everything one block contributes that must replicate across its
+     *  equivalence class: the accumulating stats fields, the compaction
+     *  accumulators a nested filter drives through its cursor, and (under
+     *  siteStats) the per-site traffic buckets. All FP members are sums
+     *  of dyadic rationals with bounded precision (pow2 block sizes make
      *  every per-warp weight a power-of-two fraction), so FP accumulation
      *  is exact and per-block deltas replicate bit-identically. */
+    struct BlockDelta
+    {
+        KernelStats stats;
+        int64_t compactionElems = 0;
+        int64_t compactionKept = 0;
+        int64_t compactionChunks = 0;
+        /** Per-site contributions, sorted by site id; zero-delta sites
+         *  are dropped so the vector compares mode-independently. */
+        std::vector<SiteTraffic> sites;
+    };
+
     static KernelStats
     statsDelta(const KernelStats &after, const KernelStats &before)
     {
@@ -245,29 +278,71 @@ class DeviceExecutor
     }
 
     static bool
-    sameDelta(const KernelStats &a, const KernelStats &b)
+    sameDelta(const BlockDelta &a, const BlockDelta &b)
     {
-        return a.warpInstructions == b.warpInstructions &&
-               a.transactions == b.transactions &&
-               a.usefulBytes == b.usefulBytes &&
-               a.smemAccesses == b.smemAccesses && a.syncs == b.syncs &&
-               a.mallocs == b.mallocs;
+        return a.stats.warpInstructions == b.stats.warpInstructions &&
+               a.stats.transactions == b.stats.transactions &&
+               a.stats.usefulBytes == b.stats.usefulBytes &&
+               a.stats.smemAccesses == b.stats.smemAccesses &&
+               a.stats.syncs == b.stats.syncs &&
+               a.stats.mallocs == b.stats.mallocs &&
+               a.compactionElems == b.compactionElems &&
+               a.compactionKept == b.compactionKept &&
+               a.compactionChunks == b.compactionChunks &&
+               a.sites == b.sites;
+    }
+
+    /** The per-site traffic this block added over `before` (sorted,
+     *  zero deltas dropped). */
+    std::vector<SiteTraffic>
+    siteDelta(const std::unordered_map<int64_t, SiteTraffic> &before) const
+    {
+        std::vector<SiteTraffic> d;
+        for (const auto &[site, st] : siteTrafficMap) {
+            SiteTraffic s = st;
+            const auto it = before.find(site);
+            if (it != before.end()) {
+                s.transactions -= it->second.transactions;
+                s.usefulBytes -= it->second.usefulBytes;
+                s.accesses -= it->second.accesses;
+            }
+            if (s.transactions != 0.0 || s.usefulBytes != 0.0 ||
+                s.accesses != 0.0) {
+                d.push_back(s);
+            }
+        }
+        std::sort(d.begin(), d.end(),
+                  [](const SiteTraffic &a, const SiteTraffic &b) {
+                      return a.site < b.site;
+                  });
+        return d;
     }
 
     /** Replicate a representative's delta for one skipped block. Serial
-     *  execution counts traffic only on sampled blocks but useful bytes
-     *  on every block; replication honors the same split. */
+     *  execution counts traffic (aggregate and per-site) only on sampled
+     *  blocks, but useful bytes and the compaction accumulators on every
+     *  block; replication honors the same split. */
     void
-    applyDelta(const KernelStats &d, bool measure)
+    applyDelta(const BlockDelta &d, bool measure)
     {
-        stats.usefulBytes += d.usefulBytes;
+        stats.usefulBytes += d.stats.usefulBytes;
+        compactionElems += d.compactionElems;
+        compactionKept += d.compactionKept;
+        compactionChunks += d.compactionChunks;
         if (!measure)
             return;
-        stats.warpInstructions += d.warpInstructions;
-        stats.transactions += d.transactions;
-        stats.smemAccesses += d.smemAccesses;
-        stats.syncs += d.syncs;
-        stats.mallocs += d.mallocs;
+        stats.warpInstructions += d.stats.warpInstructions;
+        stats.transactions += d.stats.transactions;
+        stats.smemAccesses += d.stats.smemAccesses;
+        stats.syncs += d.stats.syncs;
+        stats.mallocs += d.stats.mallocs;
+        for (const SiteTraffic &s : d.sites) {
+            SiteTraffic &st = siteTrafficMap[s.site];
+            st.site = s.site;
+            st.transactions += s.transactions;
+            st.usefulBytes += s.usefulBytes;
+            st.accesses += s.accesses;
+        }
     }
 
     /** Per-level pattern sizes (launch-known in classed mode), cached for
@@ -323,41 +398,73 @@ class DeviceExecutor
         return h;
     }
 
-    /** Classed block loop: simulate the first two members of each class
-     *  (the second verifies the first bitwise), replicate the delta for
-     *  the rest. Returns false when verification fails. */
+    /** Classed block loop: simulate four probe members of each class —
+     *  the first two (the second verifies the first bitwise — aggregate,
+     *  compaction, and per-site deltas all must match) plus two spread
+     *  across the class at the 1/3 and 2/3 member positions — and
+     *  replicate the verified delta for the rest. The spread probes catch
+     *  scattered per-block model artifacts (absolute-address effects the
+     *  static analysis cannot see) that adjacent-block verification
+     *  misses; the differential bench found exactly such a case in
+     *  sumWeightedRows at 512^2. Returns false when any probe's delta
+     *  disagrees. */
     bool
     runBlocksClassed(int64_t sampleStride, int64_t &measured)
     {
         prepareClassSizes();
         struct ClassInfo
         {
-            KernelStats delta;
+            BlockDelta delta;
             int sims = 0;
+            int64_t members = 0; //!< total size (pre-pass)
+            int64_t seen = 0;    //!< members visited so far (main loop)
         };
         std::unordered_map<uint64_t, ClassInfo> classes;
+        for (int64_t block = 0; block < geom.totalBlocks; block++)
+            classes[classKey(block)].members++;
 
         for (int64_t block = 0; block < geom.totalBlocks; block++) {
             const bool measure = block % sampleStride == 0;
             ClassInfo &cls = classes[classKey(block)];
-            if (cls.sims < 2) {
+            const int64_t ordinal = cls.seen++;
+            const bool probeMember =
+                ordinal < 2 || ordinal == cls.members / 3 ||
+                ordinal == 2 * cls.members / 3;
+            if (probeMember) {
                 const KernelStats before = stats;
+                const int64_t beforeElems = compactionElems;
+                const int64_t beforeKept = compactionKept;
+                const int64_t beforeChunks = compactionChunks;
+                std::unordered_map<int64_t, SiteTraffic> beforeSites;
+                if (options.siteStats)
+                    beforeSites = siteTrafficMap;
                 simulateBlock(block, /*countTraffic=*/true);
-                const KernelStats delta = statsDelta(stats, before);
-                if (cls.sims == 1 && !sameDelta(cls.delta, delta)) {
+                BlockDelta delta;
+                delta.stats = statsDelta(stats, before);
+                delta.compactionElems = compactionElems - beforeElems;
+                delta.compactionKept = compactionKept - beforeKept;
+                delta.compactionChunks = compactionChunks - beforeChunks;
+                if (options.siteStats)
+                    delta.sites = siteDelta(beforeSites);
+                if (cls.sims >= 1 && !sameDelta(cls.delta, delta)) {
                     NPP_WARN("{}: block {} diverged from its equivalence "
                              "class; exact re-simulation",
                              prog.name(), block);
+                    divergedBlock = block;
                     return false;
                 }
+                const double dUsefulBytes = delta.stats.usefulBytes;
                 if (cls.sims == 0)
-                    cls.delta = delta;
+                    cls.delta = std::move(delta);
                 cls.sims++;
                 if (!measure) {
-                    // Serial would not have counted this block's traffic;
-                    // keep only the unconditional useful bytes.
+                    // Serial would not have counted this block's traffic
+                    // (aggregate or per-site); keep the unconditional
+                    // useful bytes and compaction accumulators only.
                     stats = before;
-                    stats.usefulBytes += delta.usefulBytes;
+                    stats.usefulBytes += dUsefulBytes;
+                    if (options.siteStats)
+                        siteTrafficMap = std::move(beforeSites);
                 }
             } else {
                 applyDelta(cls.delta, measure);
@@ -1232,6 +1339,7 @@ class DeviceExecutor
     int64_t compactionElems = 0;
     int64_t compactionKept = 0;
     int64_t compactionChunks = 0;
+    int64_t divergedBlock = 0;
 };
 
 } // namespace
@@ -1246,6 +1354,9 @@ executeOnDevice(const KernelSpec &spec, const Bindings &args,
     NPP_TRACE_COUNT("sim.blocks", static_cast<double>(stats.totalBlocks));
     NPP_TRACE_COUNT("sim.classed_blocks",
                     static_cast<double>(stats.classedBlocks));
+    if (options.blockClasses && options.metricsOnly &&
+        !stats.classReason.empty())
+        NPP_TRACE_COUNT("sim.class_fallbacks", 1);
     return stats;
 }
 

@@ -33,18 +33,22 @@ struct ExecOptions
     /** Merge thread blocks whose interpreted behavior is provably
      *  identical up to the block index's affine address contribution:
      *  simulate one representative per equivalence class and replicate
-     *  its per-block metric deltas (see sim/classify.h for the legality
-     *  analysis). Only active together with metricsOnly; set to false
-     *  for exact (every-block) simulation. Bit-identical stats either
-     *  way — enforced by tests/sim/determinism_test. */
+     *  its per-block metric deltas — including variable-size programs'
+     *  compaction-cursor traffic and, under siteStats, the per-site
+     *  buckets (see sim/classify.h for the legality analysis). Only
+     *  active together with metricsOnly; set to false for exact
+     *  (every-block) simulation. Bit-identical stats either way —
+     *  enforced by tests/sim/determinism_test and the differential
+     *  suite tests/sim/classed_vs_full_test. When classing does not
+     *  engage, KernelStats::classReason says why. */
     bool blockClasses = true;
 
     /** Collect per-trace-site traffic (KernelStats::siteTraffic) for the
-     *  --stats diagnostics. Disables block classing for the run — class
-     *  replication copies aggregate deltas and cannot attribute them to
-     *  sites — and changes the report payload, so it is part of the
-     *  EvalCache key (a site-less cached report must not satisfy a
-     *  siteStats request). */
+     *  --stats diagnostics. Compatible with block classing: per-site
+     *  deltas are recorded on class representatives and replicated like
+     *  the aggregate counters. Changes the report payload, so it is part
+     *  of the EvalCache key (a site-less cached report must not satisfy
+     *  a siteStats request). */
     bool siteStats = false;
 };
 

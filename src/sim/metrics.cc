@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "support/strings.h"
@@ -16,6 +17,38 @@ num(double v)
     os.precision(17);
     os << v;
     return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -78,6 +111,7 @@ SimReport::toJson(int64_t transactionBytes) const
     os << ",\"compaction_threads\":" << stats.compactionThreads;
     os << ",\"sampled_fraction\":" << num(stats.sampledFraction);
     os << ",\"classed_blocks\":" << stats.classedBlocks;
+    os << ",\"class_reason\":\"" << jsonEscape(stats.classReason) << "\"";
     os << "}";
     if (!stats.siteTraffic.empty()) {
         os << ",\"sites\":[";
@@ -102,6 +136,39 @@ SimReport::toJson(int64_t transactionBytes) const
     }
     os << "}";
     return os.str();
+}
+
+bool
+reportsBitIdentical(const SimReport &a, const SimReport &b)
+{
+    const KernelStats &s = a.stats;
+    const KernelStats &t = b.stats;
+    return a.totalMs == b.totalMs && a.computeMs == b.computeMs &&
+           a.memoryMs == b.memoryMs && a.launchMs == b.launchMs &&
+           a.blockOverheadMs == b.blockOverheadMs &&
+           a.mallocMs == b.mallocMs && a.combinerMs == b.combinerMs &&
+           a.compactionMs == b.compactionMs &&
+           a.achievedBandwidth == b.achievedBandwidth &&
+           a.residentWarps == b.residentWarps &&
+           a.blocksPerSM == b.blocksPerSM && a.occupancy == b.occupancy &&
+           a.coalescingEfficiency == b.coalescingEfficiency &&
+           s.warpInstructions == t.warpInstructions &&
+           s.transactions == t.transactions &&
+           s.usefulBytes == t.usefulBytes &&
+           s.smemAccesses == t.smemAccesses && s.syncs == t.syncs &&
+           s.mallocs == t.mallocs && s.totalBlocks == t.totalBlocks &&
+           s.threadsPerBlock == t.threadsPerBlock &&
+           s.sharedMemPerBlock == t.sharedMemPerBlock &&
+           s.hasCombiner == t.hasCombiner &&
+           s.combinerTransactions == t.combinerTransactions &&
+           s.combinerOps == t.combinerOps &&
+           s.combinerThreads == t.combinerThreads &&
+           s.hasCompaction == t.hasCompaction &&
+           s.compactionTransactions == t.compactionTransactions &&
+           s.compactionOps == t.compactionOps &&
+           s.compactionThreads == t.compactionThreads &&
+           s.sampledFraction == t.sampledFraction &&
+           s.siteTraffic == t.siteTraffic;
 }
 
 } // namespace npp

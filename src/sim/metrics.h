@@ -87,6 +87,14 @@ struct KernelStats
      *  classing is off or the launch is not classable). */
     int64_t classedBlocks = 0;
 
+    /** Why block-equivalence classing did not engage for this run: empty
+     *  when classes were used, otherwise the first disqualifying reason
+     *  (classing disabled, functional run, too few blocks, the legality
+     *  analysis' fail(...) reason, or a dynamic verification divergence).
+     *  A diagnostic like classedBlocks: excluded from the bit-exactness
+     *  contract between execution modes. */
+    std::string classReason;
+
     /** Per-trace-site traffic, sorted by site id; populated only when
      *  ExecOptions::siteStats is set (empty otherwise so the default
      *  report payload is unchanged). */
@@ -155,6 +163,15 @@ struct SimReport
      *  transaction size, used for per-site efficiency. */
     std::string toJson(int64_t transactionBytes = 128) const;
 };
+
+/**
+ * Bitwise equality of two reports — every timing field and every metric,
+ * including the compaction/combiner stages and the per-site traffic
+ * table. The execution-mode diagnostics (classedBlocks, classReason) are
+ * deliberately ignored: they record *how* the result was obtained and
+ * are the only fields allowed to differ between exact and classed runs.
+ */
+bool reportsBitIdentical(const SimReport &a, const SimReport &b);
 
 } // namespace npp
 

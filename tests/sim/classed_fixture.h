@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Shared differential fixture for the block-equivalence-classing suite.
+ * A DiffCase (program + synthetic inputs) is compiled once and executed
+ * four ways — full (every-block) and classed metrics-only simulation,
+ * each with and without per-site attribution — and the full/classed
+ * report pairs are asserted bit-identical field by field. The classing
+ * diagnostics (classedBlocks, classReason) are the only fields allowed
+ * to differ; the fixture returns the classed report so callers can make
+ * assertions about them (classing engaged, or failed for the expected
+ * reason).
+ *
+ * The fixture calls compileProgram + Gpu::run directly: those paths are
+ * uncached, so every run truly re-simulates (the EvalCache would
+ * otherwise replay one mode's report for the other and the comparison
+ * would be vacuous).
+ */
+
+#ifndef NPP_TESTS_SIM_CLASSED_FIXTURE_H
+#define NPP_TESTS_SIM_CLASSED_FIXTURE_H
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/gpu.h"
+
+namespace npp {
+namespace difftest {
+
+/** One differential case: a program plus input bindings and the output
+ *  arrays it declares (bound but never written — all runs are
+ *  metrics-only). */
+struct DiffCase
+{
+    std::string name;
+    std::shared_ptr<Program> prog;
+    std::function<void(Bindings &)> bindInputs;
+    std::vector<std::pair<Arr, int64_t>> outputs;
+};
+
+/** Field-by-field bitwise comparison of a full-simulation report against
+ *  a classed one. Granular EXPECT_EQs so a mismatch names the field that
+ *  diverged; the reportsBitIdentical() cross-check guards fields added
+ *  to SimReport after this list was written. */
+inline void
+expectBitIdentical(const SimReport &full, const SimReport &classed,
+                   const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(full.totalMs, classed.totalMs);
+    EXPECT_EQ(full.computeMs, classed.computeMs);
+    EXPECT_EQ(full.memoryMs, classed.memoryMs);
+    EXPECT_EQ(full.launchMs, classed.launchMs);
+    EXPECT_EQ(full.blockOverheadMs, classed.blockOverheadMs);
+    EXPECT_EQ(full.mallocMs, classed.mallocMs);
+    EXPECT_EQ(full.combinerMs, classed.combinerMs);
+    EXPECT_EQ(full.compactionMs, classed.compactionMs);
+    EXPECT_EQ(full.achievedBandwidth, classed.achievedBandwidth);
+    EXPECT_EQ(full.residentWarps, classed.residentWarps);
+    EXPECT_EQ(full.blocksPerSM, classed.blocksPerSM);
+    EXPECT_EQ(full.occupancy, classed.occupancy);
+    EXPECT_EQ(full.coalescingEfficiency, classed.coalescingEfficiency);
+
+    const KernelStats &s = full.stats;
+    const KernelStats &t = classed.stats;
+    EXPECT_EQ(s.warpInstructions, t.warpInstructions);
+    EXPECT_EQ(s.transactions, t.transactions);
+    EXPECT_EQ(s.usefulBytes, t.usefulBytes);
+    EXPECT_EQ(s.smemAccesses, t.smemAccesses);
+    EXPECT_EQ(s.syncs, t.syncs);
+    EXPECT_EQ(s.mallocs, t.mallocs);
+    EXPECT_EQ(s.totalBlocks, t.totalBlocks);
+    EXPECT_EQ(s.threadsPerBlock, t.threadsPerBlock);
+    EXPECT_EQ(s.sharedMemPerBlock, t.sharedMemPerBlock);
+    EXPECT_EQ(s.hasCombiner, t.hasCombiner);
+    EXPECT_EQ(s.combinerTransactions, t.combinerTransactions);
+    EXPECT_EQ(s.combinerOps, t.combinerOps);
+    EXPECT_EQ(s.combinerThreads, t.combinerThreads);
+    EXPECT_EQ(s.hasCompaction, t.hasCompaction);
+    EXPECT_EQ(s.compactionTransactions, t.compactionTransactions);
+    EXPECT_EQ(s.compactionOps, t.compactionOps);
+    EXPECT_EQ(s.compactionThreads, t.compactionThreads);
+    EXPECT_EQ(s.sampledFraction, t.sampledFraction);
+
+    ASSERT_EQ(s.siteTraffic.size(), t.siteTraffic.size());
+    for (size_t i = 0; i < s.siteTraffic.size(); i++) {
+        SCOPED_TRACE("site index " + std::to_string(i));
+        EXPECT_EQ(s.siteTraffic[i].site, t.siteTraffic[i].site);
+        EXPECT_EQ(s.siteTraffic[i].transactions,
+                  t.siteTraffic[i].transactions);
+        EXPECT_EQ(s.siteTraffic[i].usefulBytes,
+                  t.siteTraffic[i].usefulBytes);
+        EXPECT_EQ(s.siteTraffic[i].accesses, t.siteTraffic[i].accesses);
+    }
+
+    EXPECT_TRUE(reportsBitIdentical(full, classed))
+        << "reports differ in a field not covered above";
+}
+
+/** Run the case once in the given mode. Bindings are rebuilt per run
+ *  (cheap) so no run can observe another's state. */
+inline SimReport
+runMode(const Gpu &gpu, const KernelSpec &spec, const DiffCase &c,
+        std::vector<std::vector<double>> &outStorage, bool classed,
+        bool sites)
+{
+    Bindings args(*c.prog);
+    c.bindInputs(args);
+    for (size_t i = 0; i < c.outputs.size(); i++)
+        args.array(c.outputs[i].first, outStorage[i]);
+    ExecOptions eopts;
+    eopts.metricsOnly = true;
+    eopts.blockClasses = classed;
+    eopts.siteStats = sites;
+    return gpu.run(spec, args, eopts);
+}
+
+/** The differential harness: compile once, simulate full vs classed with
+ *  and without per-site attribution, assert both pairs bit-identical.
+ *  Returns the classed (aggregate) report for classedBlocks/classReason
+ *  assertions. */
+inline SimReport
+runDifferential(const DiffCase &c, const CompileOptions &copts = {})
+{
+    SCOPED_TRACE(c.name);
+    Gpu gpu;
+    CompileResult compiled = compileProgram(*c.prog, gpu.config(), copts);
+
+    std::vector<std::vector<double>> outStorage;
+    for (const auto &[arr, size] : c.outputs)
+        outStorage.emplace_back(std::max<int64_t>(size, 1), 0.0);
+
+    SimReport classedAggregate;
+    for (const bool sites : {false, true}) {
+        const SimReport full =
+            runMode(gpu, compiled.spec, c, outStorage, false, sites);
+        const SimReport classed =
+            runMode(gpu, compiled.spec, c, outStorage, true, sites);
+        expectBitIdentical(full, classed,
+                           sites ? "with siteStats" : "aggregate only");
+        // Full simulation must never report classing activity.
+        EXPECT_EQ(full.stats.classedBlocks, 0);
+        EXPECT_FALSE(full.stats.classReason.empty());
+        if (!sites)
+            classedAggregate = classed;
+        else
+            EXPECT_EQ(classed.stats.classReason,
+                      classedAggregate.stats.classReason)
+                << "siteStats changed the classing verdict";
+    }
+    return classedAggregate;
+}
+
+} // namespace difftest
+} // namespace npp
+
+#endif // NPP_TESTS_SIM_CLASSED_FIXTURE_H

@@ -31,9 +31,11 @@
 namespace npp {
 namespace {
 
-/** Bitwise SimReport comparison; classedBlocks is the one field allowed
- *  to differ between exact and classed execution (it is a diagnostic,
- *  not a metric). */
+/** Bitwise SimReport comparison; the classing diagnostics (classedBlocks
+ *  and classReason) are the only fields allowed to differ between exact
+ *  and classed execution, and siteTraffic is compared only when both
+ *  runs collected it (the sited mode's aggregate must still match the
+ *  plain baseline bit for bit). */
 void
 expectSameReport(const SimReport &a, const SimReport &b, const char *what)
 {
@@ -45,9 +47,12 @@ expectSameReport(const SimReport &a, const SimReport &b, const char *what)
     EXPECT_EQ(a.blockOverheadMs, b.blockOverheadMs);
     EXPECT_EQ(a.mallocMs, b.mallocMs);
     EXPECT_EQ(a.combinerMs, b.combinerMs);
+    EXPECT_EQ(a.compactionMs, b.compactionMs);
     EXPECT_EQ(a.achievedBandwidth, b.achievedBandwidth);
     EXPECT_EQ(a.residentWarps, b.residentWarps);
     EXPECT_EQ(a.blocksPerSM, b.blocksPerSM);
+    EXPECT_EQ(a.occupancy, b.occupancy);
+    EXPECT_EQ(a.coalescingEfficiency, b.coalescingEfficiency);
 
     const KernelStats &s = a.stats;
     const KernelStats &t = b.stats;
@@ -64,7 +69,17 @@ expectSameReport(const SimReport &a, const SimReport &b, const char *what)
     EXPECT_EQ(s.combinerTransactions, t.combinerTransactions);
     EXPECT_EQ(s.combinerOps, t.combinerOps);
     EXPECT_EQ(s.combinerThreads, t.combinerThreads);
+    EXPECT_EQ(s.hasCompaction, t.hasCompaction);
+    EXPECT_EQ(s.compactionTransactions, t.compactionTransactions);
+    EXPECT_EQ(s.compactionOps, t.compactionOps);
+    EXPECT_EQ(s.compactionThreads, t.compactionThreads);
     EXPECT_EQ(s.sampledFraction, t.sampledFraction);
+    if (!s.siteTraffic.empty() && !t.siteTraffic.empty()) {
+        ASSERT_EQ(s.siteTraffic.size(), t.siteTraffic.size());
+        for (size_t i = 0; i < s.siteTraffic.size(); i++)
+            EXPECT_TRUE(s.siteTraffic[i] == t.siteTraffic[i])
+                << "site index " << i;
+    }
 }
 
 /** One mini-app: a program plus bound synthetic inputs. */
@@ -171,12 +186,14 @@ struct Mode
     const char *name;
     bool metricsOnly;
     bool blockClasses;
+    bool siteStats;
 };
 
 constexpr Mode kModes[] = {
-    {"functional", false, false},
-    {"metrics-exact", true, false},
-    {"metrics-classed", true, true},
+    {"functional", false, false, false},
+    {"metrics-exact", true, false, false},
+    {"metrics-classed", true, true, false},
+    {"metrics-classed-sites", true, true, true},
 };
 
 TEST(Determinism, ExecutionModesAreReportIdentical)
@@ -191,8 +208,10 @@ TEST(Determinism, ExecutionModesAreReportIdentical)
             ExecOptions eo;
             eo.metricsOnly = mode.metricsOnly;
             eo.blockClasses = mode.blockClasses;
+            eo.siteStats = mode.siteStats;
             SimReport rep = gpu.compileAndRun(*w.prog, *w.args, {}, eo);
             rep.stats.classedBlocks = 0;
+            rep.stats.classReason.clear();
             if (&mode == &kModes[0])
                 base = rep;
             else

@@ -6,7 +6,13 @@
 #   tools/check.sh asan         # AddressSanitizer + UBSan build + ctest
 #   tools/check.sh tsan         # ThreadSanitizer build + ctest
 #   tools/check.sh ubsan        # UBSan-only build + ctest
-#   tools/check.sh all          # all four, in order
+#   tools/check.sh differential # build + classed-vs-full suite only
+#   tools/check.sh all          # all four builds, in order
+#
+# Every ctest invocation runs the full suite, including the classed
+# differential tests (labeled `differential`); the `differential` job
+# builds the default tree and runs just that label for a quick check of
+# the block-classing bit-exactness contract.
 #
 # Each job uses its own build directory (build/, build-asan/,
 # build-tsan/, build-ubsan/) so sanitizer and plain objects never mix.
@@ -39,6 +45,12 @@ tsan)
 ubsan)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
+differential)
+    echo "== check: differential (build) =="
+    cmake -B build -S .
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L differential
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
@@ -46,7 +58,7 @@ all)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|ubsan|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|all]" >&2
     exit 2
     ;;
 esac

@@ -11,11 +11,16 @@
  *                    [--all]
  *
  * --explain prints the mapping-decision report (why this dim/block/span:
- * hard-filter verdicts, per-constraint score contributions, tie-breaks).
+ * hard-filter verdicts, per-constraint score contributions, tie-breaks)
+ * plus the block-classing verdict from a metrics-only run (how many
+ * blocks were replicated from equivalence-class representatives, or why
+ * classing did not engage).
  * --trace=FILE records pipeline spans and writes chrome://tracing JSON.
- * --stats=FILE runs the simulator with per-site attribution and writes
- * the full counter export (coalescing efficiency per trace site,
- * occupancy, overhead shares, EvalCache counters) as JSON.
+ * --stats=FILE runs the simulator metrics-only with per-site attribution
+ * — per-site deltas replicate across block-equivalence classes, so the
+ * export runs at classed speed — and writes the full counter export
+ * (coalescing efficiency per trace site, occupancy, overhead shares,
+ * EvalCache counters) as JSON.
  *
  * programs: sumrows, sumcols, weightedrows, weightedcols, pagerank,
  *           mandelbrot
@@ -173,6 +178,18 @@ mandelDemo()
     return d;
 }
 
+/** One-line block-classing verdict for --run/--stats/--explain output. */
+std::string
+classingLine(const KernelStats &stats)
+{
+    if (stats.classReason.empty())
+        return "block classing: " + std::to_string(stats.classedBlocks) +
+               " of " + std::to_string(stats.totalBlocks) +
+               " blocks replicated from class representatives";
+    return "block classing: every block simulated (" + stats.classReason +
+           ")";
+}
+
 int
 usage()
 {
@@ -289,9 +306,21 @@ main(int argc, char **argv)
                         compiled.fusedPatterns);
         std::printf("\n\n");
     }
-    if (explain)
+    if (explain) {
         std::printf("== Mapping decision ==\n%s\n",
                     formatSearchExplanation(compiled.explanation).c_str());
+        if (!doRun) {
+            // The classing verdict comes from execution, not from the
+            // mapping search; a metrics-only run is cheap and shows
+            // whether the simulator will merge equivalent blocks.
+            Bindings args(*demo.prog);
+            demo.bind(args);
+            ExecOptions eopts;
+            eopts.metricsOnly = true;
+            SimReport verdict = gpu.run(compiled.spec, args, eopts);
+            std::printf("%s\n\n", classingLine(verdict.stats).c_str());
+        }
+    }
     if (showCuda)
         std::printf("== CUDA ==\n%s\n", compiled.spec.cudaSource.c_str());
     if (doRun) {
@@ -299,9 +328,14 @@ main(int argc, char **argv)
         demo.bind(args);
         ExecOptions eopts;
         eopts.siteStats = !statsPath.empty();
+        // The counter export never reads the output arrays, so it can run
+        // metrics-only and let block-equivalence classing replicate the
+        // per-site buckets instead of simulating every block.
+        eopts.metricsOnly = !statsPath.empty();
         SimReport report = gpu.run(compiled.spec, args, eopts);
-        std::printf("== Simulated run (%s) ==\n%s\n",
-                    gpu.config().name.c_str(), report.toString().c_str());
+        std::printf("== Simulated run (%s) ==\n%s\n%s\n",
+                    gpu.config().name.c_str(), report.toString().c_str(),
+                    classingLine(report.stats).c_str());
         if (!statsPath.empty()) {
             std::string json =
                 "{\"program\":\"" + name + "\",\"device\":\"" +
