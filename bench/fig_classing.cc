@@ -138,9 +138,11 @@ sumCase(bool byCols, bool weighted, int64_t R, int64_t C)
 }
 
 /** Fixed two-level mapping matching the differential suite: outer
- *  partitioned across blocks (block size 16 keeps per-block output
- *  shifts at 128B multiples), inner span-all — many blocks, so
- *  classing has real work to skip. */
+ *  partitioned across blocks, inner span-all — many blocks, so
+ *  classing has real work to skip. (The relative-base coalescing model
+ *  is invariant under the per-block output shifts regardless of their
+ *  alignment, so the block size no longer has to keep shifts at 128B
+ *  multiples.) */
 CompileOptions
 partitionedOuter()
 {
@@ -150,6 +152,11 @@ partitionedOuter()
                                  {1, 32, SpanType::all()}};
     return copts;
 }
+
+/** Classed rows (classReason empty) that ran slower than 0.95x the full
+ *  simulation — classing must never cost wall-clock; any entry here
+ *  fails the binary. */
+std::vector<std::string> slowClassedRows;
 
 Row
 timeCase(const Gpu &gpu, const BenchCase &c, const CompileOptions &copts,
@@ -166,14 +173,17 @@ timeCase(const Gpu &gpu, const BenchCase &c, const CompileOptions &copts,
                      c.label.c_str());
         std::exit(4);
     }
-    if (!t.classReason.empty())
+    if (!t.classReason.empty()) {
         std::printf("  %-34s every block simulated (%s)\n", c.label.c_str(),
                     t.classReason.c_str());
-    else
+    } else {
         std::printf("  %-34s %lld blocks replicated from class "
                     "representatives\n",
                     c.label.c_str(),
                     static_cast<long long>(t.classedBlocks));
+        if (t.fullMs / t.classedMs < 0.95)
+            slowClassedRows.push_back(c.label);
+    }
     return Row{c.label,
                {t.fullMs, t.classedMs, t.fullMs / t.classedMs,
                 t.identical ? 1.0 : 0.0}};
@@ -202,13 +212,12 @@ runFigure()
     banner("Classing payoff: per-site attribution (--stats sweep)",
            "siteStats no longer forces exact simulation; reports stay "
            "bit-identical.");
-    // Shapes where the simulator's per-block metrics really are uniform
-    // class; the other two model slightly different traffic on a few
-    // blocks (absolute-address artifacts of the exact simulator,
-    // unchanged by attribution) — the runtime probes catch them
-    // (adjacent divergence in sumCols at 1024^2, a scattered anomaly in
-    // sumWeightedRows at 512^2 that only the spread probe sees) and
-    // fall back, still bit-identical.
+    // All four dense shapes class under the relative-base coalescing
+    // model. Two of them (sumWeightedRows at 512^2, sumCols at 1024^2)
+    // used to trip the runtime divergence probes: the old probe's
+    // hashed group keys could merge simultaneously-alive warp groups in
+    // a block-dependent way, making a handful of blocks look different.
+    // Exact keys plus min-base segment counting removed the artifact.
     std::vector<Row> siteRows;
     siteRows.push_back(timeCase(gpu, sumCase(false, false, 1024, 1024),
                                 partitionedOuter(), /*siteStats=*/true));
@@ -226,10 +235,18 @@ runFigure()
         "  - bandCompact speedup grows with the outer size (more blocks\n"
         "    skipped per class) and Identical stays 1;\n"
         "  - the data-dependent fallback row costs ~1x (classing probes\n"
-        "    the first block pair, then simulates all blocks exactly);\n"
-        "  - the uniform --stats rows class with per-site attribution\n"
-        "    on; the other two trip the runtime divergence probes and\n"
-        "    fall back — bit-identical either way.\n");
+        "    a block spread, then simulates all blocks exactly);\n"
+        "  - every --stats row classes with per-site attribution on,\n"
+        "    including the two shapes the old absolute-address model\n"
+        "    refused (sumWeightedRows 512^2, sumCols 1024^2).\n");
+
+    if (!slowClassedRows.empty()) {
+        std::fprintf(stderr, "fig_classing: classed rows slower than 0.95x "
+                             "the full simulation:\n");
+        for (const auto &label : slowClassedRows)
+            std::fprintf(stderr, "  %s\n", label.c_str());
+        std::exit(5);
+    }
 }
 
 } // namespace

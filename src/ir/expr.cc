@@ -62,23 +62,6 @@ combinerIdentity(Op op)
     }
 }
 
-int
-opCost(Op op)
-{
-    switch (op) {
-      case Op::Div:
-      case Op::Mod:
-      case Op::Sqrt:
-        return 4;
-      case Op::Exp:
-      case Op::Log:
-      case Op::Pow:
-        return 8;
-      default:
-        return 1;
-    }
-}
-
 const char *
 opName(Op op)
 {
@@ -202,37 +185,6 @@ read(int arrayVarId, ExprRef index, ScalarKind kind)
     e.a = std::move(index);
     e.type = kind;
     return make(std::move(e));
-}
-
-double
-applyOp(Op op, double a, double b)
-{
-    switch (op) {
-      case Op::Add: return a + b;
-      case Op::Sub: return a - b;
-      case Op::Mul: return a * b;
-      case Op::Div: return a / b;
-      case Op::Mod: return a - b * std::floor(a / b);
-      case Op::Min: return a < b ? a : b;
-      case Op::Max: return a > b ? a : b;
-      case Op::Pow: return std::pow(a, b);
-      case Op::Lt: return a < b ? 1.0 : 0.0;
-      case Op::Le: return a <= b ? 1.0 : 0.0;
-      case Op::Gt: return a > b ? 1.0 : 0.0;
-      case Op::Ge: return a >= b ? 1.0 : 0.0;
-      case Op::Eq: return a == b ? 1.0 : 0.0;
-      case Op::Ne: return a != b ? 1.0 : 0.0;
-      case Op::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
-      case Op::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-      case Op::Neg: return -a;
-      case Op::Not: return a == 0.0 ? 1.0 : 0.0;
-      case Op::Exp: return std::exp(a);
-      case Op::Log: return std::log(a);
-      case Op::Sqrt: return std::sqrt(a);
-      case Op::Abs: return std::fabs(a);
-      case Op::Floor: return std::floor(a);
-    }
-    NPP_PANIC("unknown op");
 }
 
 Ex operator+(Ex a, Ex b) { return Ex(binary(Op::Add, a.ref(), b.ref())); }

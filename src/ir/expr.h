@@ -10,9 +10,11 @@
 #ifndef NPP_IR_EXPR_H
 #define NPP_IR_EXPR_H
 
+#include <cmath>
 #include <memory>
 
 #include "ir/type.h"
+#include "support/logging.h"
 
 namespace npp {
 
@@ -35,8 +37,24 @@ bool isCombinerOp(Op op);
 /** Identity element of an associative combiner. */
 double combinerIdentity(Op op);
 
-/** Relative compute cost of an operator (simple ops are 1). */
-int opCost(Op op);
+/** Relative compute cost of an operator (simple ops are 1). Inline: the
+ *  interpreter charges it on every Binary/Unary node it evaluates. */
+inline int
+opCost(Op op)
+{
+    switch (op) {
+      case Op::Div:
+      case Op::Mod:
+      case Op::Sqrt:
+        return 4;
+      case Op::Exp:
+      case Op::Log:
+      case Op::Pow:
+        return 8;
+      default:
+        return 1;
+    }
+}
 
 /** Operator name for printing. */
 const char *opName(Op op);
@@ -89,8 +107,39 @@ ExprRef select(ExprRef cond, ExprRef ifTrue, ExprRef ifFalse);
 ExprRef read(int arrayVarId, ExprRef index, ScalarKind kind);
 /** @} */
 
-/** Apply a binary/unary op to already-evaluated operands. */
-double applyOp(Op op, double a, double b);
+/** Apply a binary/unary op to already-evaluated operands. Inline: this
+ *  is the interpreter's innermost dispatch, executed once per evaluated
+ *  operator node, and an out-of-line call here costs more than the op. */
+inline double
+applyOp(Op op, double a, double b)
+{
+    switch (op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::Div: return a / b;
+      case Op::Mod: return a - b * std::floor(a / b);
+      case Op::Min: return a < b ? a : b;
+      case Op::Max: return a > b ? a : b;
+      case Op::Pow: return std::pow(a, b);
+      case Op::Lt: return a < b ? 1.0 : 0.0;
+      case Op::Le: return a <= b ? 1.0 : 0.0;
+      case Op::Gt: return a > b ? 1.0 : 0.0;
+      case Op::Ge: return a >= b ? 1.0 : 0.0;
+      case Op::Eq: return a == b ? 1.0 : 0.0;
+      case Op::Ne: return a != b ? 1.0 : 0.0;
+      case Op::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+      case Op::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      case Op::Neg: return -a;
+      case Op::Not: return a == 0.0 ? 1.0 : 0.0;
+      case Op::Exp: return std::exp(a);
+      case Op::Log: return std::log(a);
+      case Op::Sqrt: return std::sqrt(a);
+      case Op::Abs: return std::fabs(a);
+      case Op::Floor: return std::floor(a);
+    }
+    NPP_PANIC("unknown op");
+}
 
 /**
  * Value wrapper enabling natural C++ operator syntax in the builder EDSL.

@@ -1,5 +1,7 @@
 #include "ir/traverse.h"
 
+#include <algorithm>
+
 namespace npp {
 
 void
@@ -115,6 +117,25 @@ collectPatterns(const Pattern &root)
     };
     walkPattern(root, walker);
     return out;
+}
+
+int
+maxTraceSite(const Pattern &root)
+{
+    int maxSite = -1;
+    Walker walker;
+    walker.onPattern = [&](const Pattern &p, const WalkCtx &) {
+        maxSite = std::max(maxSite, p.site);
+    };
+    walker.onStmt = [&](const Stmt &s, const WalkCtx &) {
+        maxSite = std::max(maxSite, s.site);
+    };
+    walker.onExpr = [&](const Expr &e, const WalkCtx &) {
+        if (e.kind == ExprKind::Read)
+            maxSite = std::max(maxSite, e.readSite);
+    };
+    walkPattern(root, walker);
+    return maxSite;
 }
 
 } // namespace npp

@@ -50,6 +50,14 @@ bool mentionsVar(const ExprRef &expr, int varId);
 std::vector<std::pair<const Pattern *, int>>
 collectPatterns(const Pattern &root);
 
+/**
+ * Largest trace-site id assigned anywhere in the tree (pattern, statement,
+ * or read sites), or -1 for an unvalidated tree. Site ids are small dense
+ * integers, so maxTraceSite(root) + 1 sizes direct-indexed per-site tables
+ * (the simulator's coalescing probe and traffic attribution).
+ */
+int maxTraceSite(const Pattern &root);
+
 } // namespace npp
 
 #endif // NPP_IR_TRAVERSE_H

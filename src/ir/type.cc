@@ -32,18 +32,4 @@ scalarKindName(ScalarKind kind)
     NPP_PANIC("unknown scalar kind");
 }
 
-int
-scalarBytes(ScalarKind kind)
-{
-    switch (kind) {
-      case ScalarKind::F64:
-        return 8;
-      case ScalarKind::I64:
-        return 8;
-      case ScalarKind::Bool:
-        return 1;
-    }
-    NPP_PANIC("unknown scalar kind");
-}
-
 } // namespace npp

@@ -26,8 +26,20 @@ std::string cudaTypeName(ScalarKind kind);
 /** Human-readable name for a scalar kind. */
 std::string scalarKindName(ScalarKind kind);
 
-/** Size in bytes of one element of the given kind in device memory. */
-int scalarBytes(ScalarKind kind);
+/** Size in bytes of one element of the given kind in device memory.
+ *  Inline: the evaluator calls it on every probed array access. */
+inline int
+scalarBytes(ScalarKind kind)
+{
+    switch (kind) {
+      case ScalarKind::F64:
+      case ScalarKind::I64:
+        return 8;
+      case ScalarKind::Bool:
+        return 1;
+    }
+    return 8;
+}
 
 } // namespace npp
 

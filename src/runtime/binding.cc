@@ -39,7 +39,17 @@ Bindings::array(Arr param, std::vector<double> &storage)
     // merges transactions across arrays.
     slot.addrBase = static_cast<int64_t>(id) << 40;
     slot.addrStride = 1;
+    slot.elemBytes = scalarBytes(prog_->var(id).kind);
     arrays_[id] = slot;
+}
+
+void
+Bindings::shiftAddrBases(int64_t deltaElems)
+{
+    for (ArraySlot &slot : arrays_) {
+        if (slot.data)
+            slot.addrBase += deltaElems;
+    }
 }
 
 void

@@ -30,6 +30,14 @@ class Bindings
     /** Bind an array parameter to caller-owned storage. */
     void array(Arr param, std::vector<double> &storage);
 
+    /** Translate every bound array's simulated device address by the
+     *  given element count (the storage itself does not move, only the
+     *  addresses the memory probe sees). Functional results are
+     *  unaffected; the coalescing model's transaction counts are
+     *  relative-base and must be bit-invariant under any such
+     *  translation — the property the shift-invariance suite pins. */
+    void shiftAddrBases(int64_t deltaElems);
+
     /** Seed an EvalCtx with the bound params; fatal if any param is
      *  missing. Locals/indices start at zero. */
     void seed(EvalCtx &ctx) const;

@@ -18,7 +18,7 @@ loadArray(int64_t site, int arrayVar, int64_t logical, EvalCtx &ctx)
     const int64_t phys = slot.physIndex(logical);
     if (ctx.probe) {
         ctx.probe->onAccess(site, arrayVar, slot.traceAddr(logical), false,
-                            scalarBytes(ctx.prog->var(arrayVar).kind));
+                            slot.elemBytes);
     }
     return slot.data[phys];
 }
@@ -36,7 +36,7 @@ storeArray(int64_t site, int arrayVar, int64_t logical, double value,
     const int64_t phys = slot.physIndex(logical);
     if (ctx.probe) {
         ctx.probe->onAccess(site, arrayVar, slot.traceAddr(logical), true,
-                            scalarBytes(ctx.prog->var(arrayVar).kind));
+                            slot.elemBytes);
     }
     slot.data[phys] = value;
 }

@@ -38,6 +38,11 @@ struct ArraySlot
     int64_t addrBase = 0;
     int64_t addrStride = 1;
 
+    /** Device element size reported to the probe (cached from the
+     *  variable's scalar kind at bind time — the access path is too hot
+     *  for a per-access Program::var lookup). */
+    int elemBytes = 8;
+
     int64_t physIndex(int64_t logical) const
     {
         return offset + logical * stride;

@@ -213,6 +213,7 @@ class SeqExec
         slot.data = store->data();
         slot.size = n;
         slot.physSize = static_cast<int64_t>(store->size());
+        slot.elemBytes = scalarBytes(ctx.prog->var(var).kind);
         ctx.arrays[var] = slot;
     }
 

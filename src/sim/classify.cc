@@ -61,22 +61,6 @@ class Analyzer
         }
     }
 
-    int64_t
-    blockStepElems(int lv) const
-    {
-        const auto &g = geom.levels[lv];
-        switch (g.span.kind) {
-          case SpanKind::One:
-            return g.blockSize;
-          case SpanKind::N:
-            return g.blockSize * g.span.factor;
-          case SpanKind::All:
-          case SpanKind::Split:
-            return 0; // single block / gated earlier
-        }
-        return 0;
-    }
-
     /** True when varId is an enclosing pattern index of a level that maps
      *  to a single block (span-all). Such an index runs through the same
      *  value sequence in every block, so it may feed class-invariant
@@ -183,7 +167,15 @@ class Analyzer
     }
 
     /** Fold the slot address transform into the logical coefficients and
-     *  require transaction-aligned per-block shifts. */
+     *  require whole-element per-block shifts. Affine integer
+     *  coefficients mean corresponding lanes of any two blocks differ by
+     *  one uniform address translation per level — and the coalescing
+     *  model counts segments relative to each warp group's minimum
+     *  address, so a uniform translation of any size (transaction-
+     *  aligned or not) leaves every transaction count unchanged.
+     *  Fractional coefficients stay refused: the floor in address
+     *  formation shifts lanes non-uniformly, which is a real spacing
+     *  change, not a translation. */
     void
     checkCoeffs(int arrayVar, const std::vector<double> &logical)
     {
@@ -236,23 +228,12 @@ class Analyzer
             eff = logical;
         }
 
-        const int elemBytes = scalarBytes(av.kind);
         for (size_t lv = 0; lv < eff.size(); lv++) {
             if (geom.levels[lv].blocks <= 1)
                 continue;
             const double coeff = eff[lv];
             if (coeff != std::floor(coeff)) {
                 fail(fmt("fractional address coefficient into {}", av.name));
-                return;
-            }
-            const double shiftBytes =
-                coeff * static_cast<double>(blockStepElems(lv)) * elemBytes;
-            if (std::fmod(shiftBytes,
-                          static_cast<double>(device.transactionBytes)) !=
-                0.0) {
-                fail(fmt("{}: level {} block shift {}B not transaction-"
-                         "aligned",
-                         av.name, lv, shiftBytes));
                 return;
             }
         }

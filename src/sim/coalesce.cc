@@ -1,23 +1,119 @@
 #include "sim/coalesce.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "support/logging.h"
+
 namespace npp {
 
-namespace {
-
-uint64_t
-mix(uint64_t h, uint64_t v)
+void
+CoalesceProbe::configure(int sites, int64_t tiles, int numArrayVars)
 {
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    return h;
+    numSites = std::max(sites, 1);
+    tilesPerBlock = std::max<int64_t>(tiles, 1);
+    const size_t laneSlots = static_cast<size_t>(numSites) * tilesPerBlock *
+                             kMaxLanes;
+    lineBase.assign(laneSlots, 0);
+    lineEpoch.assign(laneSlots, 0);
+    epoch = 1;
+    prefetchAddrs.assign(static_cast<size_t>(std::max(numArrayVars, 1)),
+                         {});
+    prefetchTouched.clear();
 }
 
-} // namespace
+size_t
+CoalesceProbe::findOrInsert(uint64_t sigKey, uint64_t siteTile)
+{
+    if ((used + 1) * 4 >= capacity * 3)
+        rehash(capacity * 2);
+    size_t i = hashKey(sigKey, siteTile) & mask;
+    while (true) {
+        if (gSiteTile[i] == kEmptyKey) {
+            gKey[i] = sigKey;
+            gSiteTile[i] = siteTile;
+            gVisits[i] = 0;
+            gCount[i] = 0;
+            used++;
+            return i;
+        }
+        if (gKey[i] == sigKey && gSiteTile[i] == siteTile)
+            return i;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+CoalesceProbe::rehash(size_t newCap)
+{
+    const std::vector<uint64_t> oldKey = std::move(gKey);
+    const std::vector<uint64_t> oldSiteTile = std::move(gSiteTile);
+    const std::vector<int32_t> oldVisits = std::move(gVisits);
+    const std::vector<int32_t> oldCount = std::move(gCount);
+    const std::vector<double> oldMult = std::move(gMult);
+    const std::vector<int64_t> oldMin = std::move(gMin);
+    const std::vector<int64_t> oldAddr = std::move(gAddr);
+    const size_t oldCap = capacity;
+
+    capacity = newCap;
+    mask = capacity - 1;
+    for (size_t &c : slotCache)
+        c = 0; // keep cached indices < capacity (validated on use anyway)
+    gKey.assign(capacity, 0);
+    gSiteTile.assign(capacity, kEmptyKey);
+    gVisits.assign(capacity, 0);
+    gCount.assign(capacity, 0);
+    gMult.assign(capacity, 1.0);
+    gMin.assign(capacity, 0);
+    gAddr.assign(capacity * kMaxLanes, 0);
+    used = 0;
+
+    for (size_t s = 0; s < oldCap; s++) {
+        if (oldSiteTile[s] == kEmptyKey)
+            continue;
+        const size_t d = findOrInsert(oldKey[s], oldSiteTile[s]);
+        gVisits[d] = oldVisits[s];
+        gCount[d] = oldCount[s];
+        gMult[d] = oldMult[s];
+        gMin[d] = oldMin[s];
+        std::copy_n(&oldAddr[s * kMaxLanes], oldCount[s],
+                    &gAddr[d * kMaxLanes]);
+    }
+}
+
+void
+CoalesceProbe::eraseSlot(size_t slot)
+{
+    // Backward-shift deletion keeps linear probe chains gap-free.
+    used--;
+    size_t hole = slot;
+    size_t i = slot;
+    while (true) {
+        i = (i + 1) & mask;
+        if (gSiteTile[i] == kEmptyKey)
+            break;
+        const size_t home = hashKey(gKey[i], gSiteTile[i]) & mask;
+        // Move i into the hole unless its home lies strictly after the
+        // hole along the probe chain (cyclic distance test).
+        if (((i - home) & mask) >= ((i - hole) & mask)) {
+            gKey[hole] = gKey[i];
+            gSiteTile[hole] = gSiteTile[i];
+            gVisits[hole] = gVisits[i];
+            gCount[hole] = gCount[i];
+            gMult[hole] = gMult[i];
+            gMin[hole] = gMin[i];
+            std::copy_n(&gAddr[i * kMaxLanes], gCount[i],
+                        &gAddr[hole * kMaxLanes]);
+            hole = i;
+        }
+    }
+    gSiteTile[hole] = kEmptyKey;
+}
 
 void
 CoalesceProbe::onAccess(int64_t site, int arrayVar, int64_t physIndex,
                         bool isWrite, int bytes)
 {
-    (void)arrayVar;
     stats.usefulBytes += bytes;
     if (!countTraffic)
         return;
@@ -29,78 +125,179 @@ CoalesceProbe::onAccess(int64_t site, int arrayVar, int64_t physIndex,
     }
 
     const int64_t byteAddr = physIndex * bytes;
-    const int64_t segment = byteAddr / device.transactionBytes;
 
     if (!isWrite && prefetchedSites && prefetchedSites->count(site)) {
         // Served from shared memory; the global fetch happens once per
         // block per segment in the prefetch prologue.
         stats.smemAccesses += warpMultiplier;
-        blockPrefetchSegments.insert(segment);
+        auto &fetched = prefetchAddrs[arrayVar];
+        if (fetched.empty())
+            prefetchTouched.push_back(arrayVar);
+        fetched.insert(byteAddr);
         return;
     }
 
+    const uint64_t siteTile =
+        static_cast<uint64_t>(site) * tilesPerBlock +
+        static_cast<uint64_t>(warpTile);
+
     if (lineReuse) {
-        uint64_t tkey = mix(static_cast<uint64_t>(site),
-                            static_cast<uint64_t>(warpTile) * 37 +
-                                static_cast<uint64_t>(laneInWarp));
-        auto [it, fresh] = lastLine.try_emplace(tkey, segment);
-        if (!fresh) {
-            if (it->second == segment)
+        const size_t li = siteTile * kMaxLanes + laneInWarp;
+        if (lineEpoch[li] == epoch) {
+            const int64_t off = byteAddr - lineBase[li];
+            if (off >= 0 && off < txBytes)
                 return; // L1 line hit
-            it->second = segment;
         }
+        lineEpoch[li] = epoch;
+        lineBase[li] = byteAddr;
     }
 
-    uint64_t key = mix(static_cast<uint64_t>(site), sig);
-    key = mix(key, static_cast<uint64_t>(warpTile));
-
-    Pending &p = pending[key];
-    if (p.visits == 0) {
+    const size_t ci = siteTile & (kSlotCacheSize - 1);
+    size_t slot = slotCache[ci];
+    if (gKey[slot] != sig || gSiteTile[slot] != siteTile) {
+        slot = findOrInsert(sig, siteTile);
+        slotCache[ci] = slot;
+    }
+    int32_t &count = gCount[slot];
+    if (gVisits[slot] == 0) {
         // Stores from outer levels are guarded to a single lane in the
         // generated code (Fig 9 line 15), so broadcast writes are not
         // replicated across the unbound-dimension warps.
-        p.multiplier = isWrite ? 1.0 : warpMultiplier;
-        p.site = site;
+        gMult[slot] = isWrite ? 1.0 : warpMultiplier;
+        gMin[slot] = byteAddr;
+        gAddr[slot * kMaxLanes] = byteAddr;
+        count = 1;
+    } else {
+        int64_t *addrs = &gAddr[slot * kMaxLanes];
+        bool seen = false;
+        for (int i = 0; i < count; i++) {
+            if (addrs[i] == byteAddr) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen && count < kMaxLanes) {
+            addrs[count++] = byteAddr;
+            gMin[slot] = std::min(gMin[slot], byteAddr);
+        }
     }
-    p.add(segment);
-    p.visits++;
-    if (p.visits >= laneVisitsPerGroup) {
-        charge(p);
-        pending.erase(key);
+    if (++gVisits[slot] >= laneVisitsPerGroup) {
+        charge(slot);
+        eraseSlot(slot);
     }
 }
 
-void
-CoalesceProbe::charge(const Pending &p)
+int
+CoalesceProbe::relativeSegments(const int64_t *addrs, int n,
+                                int64_t minAddr) const
 {
-    const double transactions = p.numSegments * p.multiplier;
+    // Segment-aligned base at the group's minimum address: address a
+    // lands in segment (a - min) / T. One 64-bit bitmap covers groups
+    // spanning up to 64 segments (the common, mostly-coalesced case);
+    // wider spreads (large strides) fall back to a small distinct-value
+    // scan — still no sorting, no allocation.
+    uint64_t bitmap = 0;
+    int64_t far[kMaxLanes];
+    int numFar = 0;
+    for (int i = 0; i < n; i++) {
+        const int64_t rel = (addrs[i] - minAddr) / txBytes;
+        if (rel < 64) {
+            bitmap |= 1ull << rel;
+            continue;
+        }
+        bool seen = false;
+        for (int j = 0; j < numFar; j++) {
+            if (far[j] == rel) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            far[numFar++] = rel;
+    }
+    return std::popcount(bitmap) + numFar;
+}
+
+void
+CoalesceProbe::charge(size_t slot)
+{
+    const int segments =
+        relativeSegments(&gAddr[slot * kMaxLanes], gCount[slot], gMin[slot]);
+    const double transactions = segments * gMult[slot];
     stats.transactions += transactions;
-    if (siteTraffic)
-        (*siteTraffic)[p.site].transactions += transactions;
+    if (siteTraffic) {
+        const int64_t site =
+            static_cast<int64_t>(gSiteTile[slot] / tilesPerBlock);
+        (*siteTraffic)[site].transactions += transactions;
+    }
 }
 
 void
 CoalesceProbe::flushAll()
 {
-    for (auto &[key, p] : pending) {
-        if (p.numSegments > 0)
-            charge(p);
+    if (used == 0)
+        return;
+    std::vector<size_t> live;
+    live.reserve(used);
+    for (size_t s = 0; s < capacity && live.size() < used; s++) {
+        if (gSiteTile[s] != kEmptyKey)
+            live.push_back(s);
     }
-    pending.clear();
+    std::sort(live.begin(), live.end(), [this](size_t a, size_t b) {
+        if (gSiteTile[a] != gSiteTile[b])
+            return gSiteTile[a] < gSiteTile[b];
+        return gKey[a] < gKey[b];
+    });
+    for (size_t s : live) {
+        if (gCount[s] > 0)
+            charge(s);
+        gSiteTile[s] = kEmptyKey;
+    }
+    used = 0;
 }
 
 void
 CoalesceProbe::finishBlock()
 {
     flushAll();
-    lastLine.clear();
-    if (!blockPrefetchSegments.empty()) {
+    // One outlier block must not leave a huge table for every later
+    // block's flush scan.
+    if (capacity > 4 * kDefaultCapacity)
+        rehash(kDefaultCapacity);
+
+    epoch++;
+    if (epoch == 0) {
+        // Wrapped: stamp everything invalid the slow way, once per 2^32
+        // blocks.
+        std::fill(lineEpoch.begin(), lineEpoch.end(), 0u);
+        epoch = 1;
+    }
+
+    if (!prefetchTouched.empty()) {
         // The prologue fetches each needed segment once, fully coalesced,
-        // plus the staging stores and one barrier.
-        stats.transactions += blockPrefetchSegments.size();
-        stats.smemAccesses += blockPrefetchSegments.size();
+        // plus the staging stores and one barrier. Segments are counted
+        // per array against the array's minimum fetched address so the
+        // fill cost, like the warp-group model, is shift-invariant.
+        std::sort(prefetchTouched.begin(), prefetchTouched.end());
+        int64_t segments = 0;
+        for (int var : prefetchTouched) {
+            auto &fetched = prefetchAddrs[var];
+            std::vector<int64_t> addrs(fetched.begin(), fetched.end());
+            std::sort(addrs.begin(), addrs.end());
+            int64_t lastSeg = -1;
+            for (int64_t a : addrs) {
+                const int64_t rel = (a - addrs.front()) / txBytes;
+                if (rel != lastSeg) {
+                    segments++;
+                    lastSeg = rel;
+                }
+            }
+            fetched.clear();
+        }
+        stats.transactions += static_cast<double>(segments);
+        stats.smemAccesses += static_cast<double>(segments);
         stats.syncs += 1;
-        blockPrefetchSegments.clear();
+        prefetchTouched.clear();
     }
 }
 

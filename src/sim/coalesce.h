@@ -13,13 +13,29 @@
  * (site, iteration signature, warp tile) and accumulated until the
  * expected number of lane visits arrives, at which point the group's
  * distinct segments are added to the transaction count.
+ *
+ * Segments are counted *relative to the group's minimum lane address*:
+ * a group touching byte addresses A covers |{ floor((a - min A) / T) }|
+ * transactions of size T. Relative counting makes every transaction
+ * metric invariant under whole-block address translation — two blocks
+ * whose access patterns differ only by a uniform shift charge identical
+ * traffic regardless of how the shift sits against segment boundaries.
+ * (An absolute model, where a unit-stride warp's count depends on
+ * whether its base straddles a boundary, would make block-equivalence
+ * classing sensitive to alignment accidents.)
+ *
+ * Groups live in an open-addressed structure-of-arrays table with exact
+ * (signature, site, tile) keys and a preallocated flat lane-address slab
+ * — no per-access heap allocation, no hashed-key collisions merging
+ * unrelated groups, and a sort-free bitmap scan at charge time.
  */
 
 #ifndef NPP_SIM_COALESCE_H
 #define NPP_SIM_COALESCE_H
 
-#include <unordered_map>
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "analysis/target.h"
 #include "runtime/eval.h"
@@ -33,8 +49,10 @@ namespace npp {
  *
  *  - `sig`: hash of all loop counters (identical across the lanes of one
  *    iteration, distinct across iterations),
- *  - `warpTile`: linear id of the warp the currently-bound lane
- *    coordinates fall into,
+ *  - `warpTile`: id of the warp *within the current block* that the
+ *    currently-bound lane coordinates fall into (all grouping state has
+ *    per-block lifetime, so the block id would add nothing but key
+ *    width),
  *  - `warpMultiplier`: number of hardware warps that issue this access
  *    (greater than 1 when unbound inner dimensions span several warps),
  *  - `laneVisitsPerGroup`: how many sequentially-simulated lane visits
@@ -45,10 +63,19 @@ class CoalesceProbe : public MemProbe
 {
   public:
     CoalesceProbe(const DeviceConfig &device, KernelStats &stats)
-        : device(device), stats(stats)
-    {}
+        : device(device),
+          stats(stats),
+          txBytes(device.transactionBytes)
+    {
+        rehash(kDefaultCapacity);
+    }
 
     ~CoalesceProbe() override { flushAll(); }
+
+    /** Size the dense per-(site, tile, lane) tables for one launch. Must
+     *  be called before the first block; ids outside the configured
+     *  ranges are a bug in the caller. */
+    void configure(int numSites, int64_t tilesPerBlock, int numArrayVars);
 
     /** @name Executor-maintained grouping context
      *  @{
@@ -59,10 +86,12 @@ class CoalesceProbe : public MemProbe
     int laneVisitsPerGroup = 1;
     int laneInWarp = 0;
     /** Line-reuse model: when the resident working set fits in L1, a
-     *  thread's back-to-back accesses to the same line are cache hits
-     *  (sequential per-thread walks then cost coalesced-equivalent
-     *  bandwidth; with too many resident threads the lines are evicted
-     *  before reuse and every access pays a transaction). */
+     *  thread's back-to-back accesses within one transaction-sized line
+     *  of its last miss are cache hits (sequential per-thread walks then
+     *  cost coalesced-equivalent bandwidth; with too many resident
+     *  threads the lines are evicted before reuse and every access pays
+     *  a transaction). The line starts at the miss address — relative,
+     *  like the segment model, so hits are translation-invariant. */
     bool lineReuse = false;
     /** @} */
 
@@ -75,54 +104,111 @@ class CoalesceProbe : public MemProbe
     bool countTraffic = true;
 
     /** Optional per-trace-site attribution (ExecOptions::siteStats): the
-     *  executor points this at its site->traffic map and the probe
-     *  mirrors every traffic-counted byte/transaction into the access
-     *  site's bucket. Null when site stats are off (the common case) so
-     *  the extra bookkeeping costs nothing. */
-    std::unordered_map<int64_t, SiteTraffic> *siteTraffic = nullptr;
+     *  executor points this at a site-indexed vector (one slot per trace
+     *  site) and the probe mirrors every traffic-counted byte and
+     *  transaction into the access site's slot. Null when site stats are
+     *  off (the common case) so the extra bookkeeping costs nothing. */
+    std::vector<SiteTraffic> *siteTraffic = nullptr;
 
     void onAccess(int64_t site, int arrayVar, int64_t physIndex,
                   bool isWrite, int bytes) override;
 
-    /** Flush all incomplete warp accesses (end of block). */
+    /** Flush all incomplete warp accesses (end of block), in (site,
+     *  tile, signature) order so double accumulation is identical across
+     *  stdlib implementations. */
     void flushAll();
 
-    /** End-of-block accounting: flush incomplete groups and charge the
-     *  prefetch staging fills (coalesced, once per block). */
+    /** End-of-block accounting: flush incomplete groups, retire the
+     *  line-reuse epoch, and charge the prefetch staging fills
+     *  (coalesced, once per block). */
     void finishBlock();
 
   private:
-    struct Pending
-    {
-        double multiplier = 1.0;
-        int visits = 0;
-        int64_t site = 0; //!< originating access site (site attribution)
-        /** Distinct transaction segments touched by the warp's lanes
-         *  (at most one per lane). */
-        int64_t segments[32];
-        int numSegments = 0;
+    /** Upper bound on lane visits per group: the warp-shape extents of
+     *  the bound dimensions multiply to at most the warp size. */
+    static constexpr int kMaxLanes = 32;
 
-        void
-        add(int64_t segment)
-        {
-            for (int i = 0; i < numSegments; i++) {
-                if (segments[i] == segment)
-                    return;
-            }
-            if (numSegments < 32)
-                segments[numSegments++] = segment;
-        }
-    };
+    /** Initial group-table capacity (power of two; grows on demand and
+     *  shrinks back after an outlier block so steady-state block scans
+     *  stay short). */
+    static constexpr size_t kDefaultCapacity = 1024;
+
+    static constexpr uint64_t kEmptyKey = ~0ull;
+
+    static uint64_t
+    hashKey(uint64_t sig, uint64_t siteTile)
+    {
+        uint64_t h = sig + 0x9e3779b97f4a7c15ULL * (siteTile + 1);
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 29;
+        return h;
+    }
+
+    /** Find the slot for (sig, siteTile), inserting an empty group if
+     *  absent. Exact key comparison: distinct groups never merge. */
+    size_t findOrInsert(uint64_t sigKey, uint64_t siteTile);
+
+    void rehash(size_t newCap);
+    void eraseSlot(size_t slot);
 
     /** Add a completed warp group's transactions to the kernel totals
-     *  and, when attribution is on, to its site's bucket. */
-    void charge(const Pending &p);
+     *  and, when attribution is on, to its site's slot. */
+    void charge(size_t slot);
+
+    /** Distinct segments of `n` addresses relative to their minimum. */
+    int relativeSegments(const int64_t *addrs, int n, int64_t minAddr) const;
 
     const DeviceConfig &device;
     KernelStats &stats;
-    std::unordered_map<uint64_t, Pending> pending;
-    std::unordered_map<uint64_t, int64_t> lastLine;
-    std::unordered_set<int64_t> blockPrefetchSegments;
+    const int64_t txBytes;
+
+    /** @name Group table (SoA, open addressing, linear probing)
+     *  Parallel arrays indexed by slot; `gKey` is the iteration
+     *  signature and `gSiteTile` the dense site-and-tile id
+     *  `site * tilesPerBlock + warpTile` (kEmptyKey there marks a free
+     *  slot — site-tile ids are small, so unlike the signature hash they
+     *  can never collide with the sentinel). `gAddr` is a flat slab of
+     *  kMaxLanes distinct lane addresses per slot.
+     *  @{
+     */
+    std::vector<uint64_t> gKey;
+    std::vector<uint64_t> gSiteTile;
+    std::vector<int32_t> gVisits;
+    std::vector<int32_t> gCount;
+    std::vector<double> gMult;
+    std::vector<int64_t> gMin;
+    std::vector<int64_t> gAddr;
+    size_t capacity = 0;
+    size_t mask = 0;
+    size_t used = 0;
+    /** @} */
+
+    /** Direct-mapped slot cache over the group table, indexed by
+     *  siteTile. The executor visits a warp's lanes back to back, so
+     *  consecutive accesses overwhelmingly hit the same few groups;
+     *  validating the cached slot's exact key skips the hash-and-probe.
+     *  Stale entries are harmless: live groups are unique per
+     *  (sig, siteTile), so a moved or erased group can never validate at
+     *  its old slot. rehash() resets the entries only to keep the cached
+     *  indices inside a possibly shrunken table. */
+    static constexpr size_t kSlotCacheSize = 16;
+    size_t slotCache[kSlotCacheSize] = {};
+
+    /** Line-reuse state, dense per (site, tile, lane) and epoch-stamped
+     *  so finishBlock invalidates it in O(1). */
+    std::vector<int64_t> lineBase;
+    std::vector<uint32_t> lineEpoch;
+    uint32_t epoch = 1;
+    int64_t tilesPerBlock = 1;
+    int numSites = 0;
+
+    /** Distinct byte addresses each prefetched array fetched this block;
+     *  the staging fill is charged per array relative to its own minimum
+     *  address at finishBlock (exact-address dedup is translation-safe,
+     *  absolute-segment dedup would not be). */
+    std::vector<std::unordered_set<int64_t>> prefetchAddrs;
+    std::vector<int> prefetchTouched;
 };
 
 } // namespace npp

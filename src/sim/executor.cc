@@ -53,7 +53,10 @@ class DeviceExecutor
         args.seed(ctx);
         for (const Expr *e : spec.prefetchedSites)
             prefetchSiteIds.insert(e->readSite);
-        probe.prefetchedSites = &prefetchSiteIds;
+        // Null when no site is prefetched so the access hot path skips
+        // the per-access set lookup entirely.
+        probe.prefetchedSites =
+            prefetchSiteIds.empty() ? nullptr : &prefetchSiteIds;
         ctx.probe = &probe;
         ctx.accessOpCost = spec.rawPointers ? 1 : 2;
 
@@ -85,6 +88,11 @@ class DeviceExecutor
         geom = makeGeometry(spec.mapping, levelSizes);
         prepareWarpShape();
         prepareLocals();
+
+        // Trace-site ids are dense pre-order integers, so the probe can
+        // direct-index all per-(site, tile, lane) state for the launch.
+        numSites = maxTraceSite(prog.root()) + 1;
+        probe.configure(numSites, tilesPerBlock, prog.numVars());
 
         stats.totalBlocks = geom.totalBlocks;
         stats.threadsPerBlock = geom.threadsPerBlock;
@@ -124,8 +132,10 @@ class DeviceExecutor
                                          options.maxSampledBlocks));
         int64_t measured = 0;
 
-        if (options.siteStats)
-            probe.siteTraffic = &siteTrafficMap;
+        if (options.siteStats) {
+            siteTrafficDense.assign(numSites, SiteTraffic{});
+            probe.siteTraffic = &siteTrafficDense;
+        }
 
         // Block-equivalence classing: only legal when outputs need not
         // be materialized (skipped blocks never run their stores), and
@@ -160,7 +170,8 @@ class DeviceExecutor
                 stats = preLoop;
                 compactionElems = compactionKept = compactionChunks = 0;
                 filterCursor = 0;
-                siteTrafficMap.clear();
+                if (options.siteStats)
+                    siteTrafficDense.assign(numSites, SiteTraffic{});
                 for (PrivateCopy &pc : privateCopies) {
                     std::copy(pc.src, pc.src + pc.copy.size(),
                               pc.copy.data());
@@ -181,13 +192,14 @@ class DeviceExecutor
         finishCompaction();
 
         if (options.siteStats) {
-            stats.siteTraffic.reserve(siteTrafficMap.size());
-            for (const auto &[site, st] : siteTrafficMap)
-                stats.siteTraffic.push_back(st);
-            std::sort(stats.siteTraffic.begin(), stats.siteTraffic.end(),
-                      [](const SiteTraffic &a, const SiteTraffic &b) {
-                          return a.site < b.site;
-                      });
+            // The dense vector is already site-ordered; untouched sites
+            // stay all-zero and are dropped, matching the sparse export.
+            for (const SiteTraffic &st : siteTrafficDense) {
+                if (st.accesses != 0.0 || st.transactions != 0.0 ||
+                    st.usefulBytes != 0.0) {
+                    stats.siteTraffic.push_back(st);
+                }
+            }
         }
 
         // Generated (non-raw-pointer) kernels pay the array-wrapper tax.
@@ -292,29 +304,24 @@ class DeviceExecutor
                a.sites == b.sites;
     }
 
-    /** The per-site traffic this block added over `before` (sorted,
+    /** The per-site traffic this block added over `before` (site-ordered,
      *  zero deltas dropped). */
     std::vector<SiteTraffic>
-    siteDelta(const std::unordered_map<int64_t, SiteTraffic> &before) const
+    siteDelta(const std::vector<SiteTraffic> &before) const
     {
         std::vector<SiteTraffic> d;
-        for (const auto &[site, st] : siteTrafficMap) {
-            SiteTraffic s = st;
-            const auto it = before.find(site);
-            if (it != before.end()) {
-                s.transactions -= it->second.transactions;
-                s.usefulBytes -= it->second.usefulBytes;
-                s.accesses -= it->second.accesses;
-            }
+        for (int site = 0; site < numSites; site++) {
+            SiteTraffic s = siteTrafficDense[site];
+            const SiteTraffic &b = before[site];
+            s.transactions -= b.transactions;
+            s.usefulBytes -= b.usefulBytes;
+            s.accesses -= b.accesses;
             if (s.transactions != 0.0 || s.usefulBytes != 0.0 ||
                 s.accesses != 0.0) {
+                s.site = site;
                 d.push_back(s);
             }
         }
-        std::sort(d.begin(), d.end(),
-                  [](const SiteTraffic &a, const SiteTraffic &b) {
-                      return a.site < b.site;
-                  });
         return d;
     }
 
@@ -337,7 +344,7 @@ class DeviceExecutor
         stats.syncs += d.stats.syncs;
         stats.mallocs += d.stats.mallocs;
         for (const SiteTraffic &s : d.sites) {
-            SiteTraffic &st = siteTrafficMap[s.site];
+            SiteTraffic &st = siteTrafficDense[s.site];
             st.site = s.site;
             st.transactions += s.transactions;
             st.usefulBytes += s.usefulBytes;
@@ -398,16 +405,33 @@ class DeviceExecutor
         return h;
     }
 
-    /** Classed block loop: simulate four probe members of each class —
-     *  the first two (the second verifies the first bitwise — aggregate,
-     *  compaction, and per-site deltas all must match) plus two spread
-     *  across the class at the 1/3 and 2/3 member positions — and
-     *  replicate the verified delta for the rest. The spread probes catch
-     *  scattered per-block model artifacts (absolute-address effects the
-     *  static analysis cannot see) that adjacent-block verification
-     *  misses; the differential bench found exactly such a case in
-     *  sumWeightedRows at 512^2. Returns false when any probe's delta
-     *  disagrees. */
+    /** Is this class ordinal one of the four probe members: the first
+     *  two (the second verifies the first bitwise) plus two spread
+     *  across the class at the 1/3 and 2/3 member positions? The spread
+     *  probes catch scattered per-block model artifacts the static
+     *  analysis cannot see — before the coalescing model went
+     *  shift-invariant, the differential bench found exactly such a case
+     *  in sumWeightedRows at 512^2. */
+    static bool
+    isProbeMember(int64_t ordinal, int64_t members)
+    {
+        return ordinal < 2 || ordinal == members / 3 ||
+               ordinal == 2 * members / 3;
+    }
+
+    /** Classed block loop, two phases. Phase 1 simulates only the probe
+     *  members of each class, in block order, and verifies that their
+     *  deltas (aggregate stats, compaction accumulators, and per-site
+     *  traffic) agree — so a refused launch bails to exact simulation
+     *  having paid for nothing but the probe runs, never for the
+     *  replication bookkeeping of the skipped blocks. Phase 2 replicates
+     *  the verified delta for every remaining block. Splitting the loop
+     *  cannot change the result: a classed-legal launch has block-uniform
+     *  control and addressing (simulated blocks see identical state
+     *  either way, in the same relative order), and every accumulator is
+     *  a sum of exactly-representable dyadic rationals, so the summation
+     *  order the split changes cannot change the totals. Returns false
+     *  when any probe's delta disagrees. */
     bool
     runBlocksClassed(int64_t sampleStride, int64_t &measured)
     {
@@ -417,59 +441,70 @@ class DeviceExecutor
             BlockDelta delta;
             int sims = 0;
             int64_t members = 0; //!< total size (pre-pass)
-            int64_t seen = 0;    //!< members visited so far (main loop)
+            int64_t seen = 0;    //!< members visited so far
         };
         std::unordered_map<uint64_t, ClassInfo> classes;
-        for (int64_t block = 0; block < geom.totalBlocks; block++)
-            classes[classKey(block)].members++;
+        std::vector<uint64_t> keyOf(geom.totalBlocks);
+        for (int64_t block = 0; block < geom.totalBlocks; block++) {
+            keyOf[block] = classKey(block);
+            classes[keyOf[block]].members++;
+        }
 
         for (int64_t block = 0; block < geom.totalBlocks; block++) {
-            const bool measure = block % sampleStride == 0;
-            ClassInfo &cls = classes[classKey(block)];
+            ClassInfo &cls = classes[keyOf[block]];
             const int64_t ordinal = cls.seen++;
-            const bool probeMember =
-                ordinal < 2 || ordinal == cls.members / 3 ||
-                ordinal == 2 * cls.members / 3;
-            if (probeMember) {
-                const KernelStats before = stats;
-                const int64_t beforeElems = compactionElems;
-                const int64_t beforeKept = compactionKept;
-                const int64_t beforeChunks = compactionChunks;
-                std::unordered_map<int64_t, SiteTraffic> beforeSites;
-                if (options.siteStats)
-                    beforeSites = siteTrafficMap;
-                simulateBlock(block, /*countTraffic=*/true);
-                BlockDelta delta;
-                delta.stats = statsDelta(stats, before);
-                delta.compactionElems = compactionElems - beforeElems;
-                delta.compactionKept = compactionKept - beforeKept;
-                delta.compactionChunks = compactionChunks - beforeChunks;
-                if (options.siteStats)
-                    delta.sites = siteDelta(beforeSites);
-                if (cls.sims >= 1 && !sameDelta(cls.delta, delta)) {
-                    NPP_WARN("{}: block {} diverged from its equivalence "
-                             "class; exact re-simulation",
-                             prog.name(), block);
-                    divergedBlock = block;
-                    return false;
-                }
-                const double dUsefulBytes = delta.stats.usefulBytes;
-                if (cls.sims == 0)
-                    cls.delta = std::move(delta);
-                cls.sims++;
-                if (!measure) {
-                    // Serial would not have counted this block's traffic
-                    // (aggregate or per-site); keep the unconditional
-                    // useful bytes and compaction accumulators only.
-                    stats = before;
-                    stats.usefulBytes += dUsefulBytes;
-                    if (options.siteStats)
-                        siteTrafficMap = std::move(beforeSites);
-                }
-            } else {
-                applyDelta(cls.delta, measure);
-                stats.classedBlocks++;
+            if (!isProbeMember(ordinal, cls.members))
+                continue;
+            const bool measure = block % sampleStride == 0;
+            const KernelStats before = stats;
+            const int64_t beforeElems = compactionElems;
+            const int64_t beforeKept = compactionKept;
+            const int64_t beforeChunks = compactionChunks;
+            std::vector<SiteTraffic> beforeSites;
+            if (options.siteStats)
+                beforeSites = siteTrafficDense;
+            simulateBlock(block, /*countTraffic=*/true);
+            BlockDelta delta;
+            delta.stats = statsDelta(stats, before);
+            delta.compactionElems = compactionElems - beforeElems;
+            delta.compactionKept = compactionKept - beforeKept;
+            delta.compactionChunks = compactionChunks - beforeChunks;
+            if (options.siteStats)
+                delta.sites = siteDelta(beforeSites);
+            if (cls.sims >= 1 && !sameDelta(cls.delta, delta)) {
+                NPP_WARN("{}: block {} diverged from its equivalence "
+                         "class; exact re-simulation",
+                         prog.name(), block);
+                divergedBlock = block;
+                return false;
             }
+            const double dUsefulBytes = delta.stats.usefulBytes;
+            if (cls.sims == 0)
+                cls.delta = std::move(delta);
+            cls.sims++;
+            if (!measure) {
+                // Serial would not have counted this block's traffic
+                // (aggregate or per-site); keep the unconditional
+                // useful bytes and compaction accumulators only.
+                stats = before;
+                stats.usefulBytes += dUsefulBytes;
+                if (options.siteStats)
+                    siteTrafficDense = std::move(beforeSites);
+            } else {
+                measured++;
+            }
+        }
+
+        for (auto &[key, cls] : classes)
+            cls.seen = 0;
+        for (int64_t block = 0; block < geom.totalBlocks; block++) {
+            ClassInfo &cls = classes[keyOf[block]];
+            const int64_t ordinal = cls.seen++;
+            if (isProbeMember(ordinal, cls.members))
+                continue;
+            const bool measure = block % sampleStride == 0;
+            applyDelta(cls.delta, measure);
+            stats.classedBlocks++;
             if (measure)
                 measured++;
         }
@@ -549,6 +584,15 @@ class DeviceExecutor
         levelOfDim[0] = levelOfDim[1] = levelOfDim[2] = levelOfDim[3] = -1;
         for (size_t lv = 0; lv < geom.levels.size(); lv++)
             levelOfDim[geom.levels[lv].dim] = static_cast<int>(lv);
+        // Per-dim strides of the linear warp-tile / lane-in-warp ids,
+        // fixed per launch, for bindLane's incremental rebind path.
+        int64_t tStride = 1, lStride = 1;
+        for (int d = 0; d < 4; d++) {
+            tileStrideOfDim[d] = tStride;
+            tStride *= tilesPerDim[d];
+            laneStrideOfDim[d] = lStride;
+            lStride *= warpShape[d];
+        }
         recomputeFactors();
     }
 
@@ -606,7 +650,9 @@ class DeviceExecutor
             lane += (coord % warpShape[d]) * laneStride;
             laneStride *= warpShape[d];
         }
-        probe.warpTile = blockLinear * tilesPerBlock + tile;
+        // Block-local: all grouping state is flushed at finishBlock, so
+        // the block id would only widen the key.
+        probe.warpTile = tile;
         probe.laneInWarp = static_cast<int>(lane);
     }
 
@@ -631,8 +677,19 @@ class DeviceExecutor
     bindLane(int dim, int64_t lane)
     {
         flushOps();
+        const int64_t old = laneCoord[dim];
         laneCoord[dim] = lane;
-        recomputeFactors();
+        if (old < 0) {
+            recomputeFactors();
+            return;
+        }
+        // Rebinding an already-bound dim (the lane loop's steady state):
+        // the bound/unbound factors are unchanged, only this dim's
+        // contribution to the warp-tile and lane-in-warp ids moves.
+        const int64_t ws = warpShape[dim];
+        probe.warpTile += (lane / ws - old / ws) * tileStrideOfDim[dim];
+        probe.laneInWarp += static_cast<int>(
+            (lane % ws - old % ws) * laneStrideOfDim[dim]);
     }
 
     void
@@ -717,12 +774,18 @@ class DeviceExecutor
 
         const int64_t lanes = std::max<int64_t>(g.blockSize, 1);
         const uint64_t sigSave = curSig;
+        // The dim is rebound per visit (cheap incremental path) and
+        // unbound once after the sweep: between two visits of this loop
+        // no ops accrue and no accesses are probed, so deferring the
+        // unbind is observationally identical to unbinding every visit.
+        bool laneBound = false;
         for (int64_t base = lo, k = 0; base < hi;
              base += lanes, k++) {
             setSig(sigSave * 1000003ull + static_cast<uint64_t>(k) + 1);
             for (int64_t t = 0; t < lanes && base + t < hi; t++) {
                 const int64_t idx = base + t;
                 bindLane(g.dim, t % g.blockSize);
+                laneBound = true;
                 ctx.scalars[p.indexVar] = static_cast<double>(idx);
                 curLevelIndex[lv] = idx;
 
@@ -770,9 +833,10 @@ class DeviceExecutor
                     break;
                   }
                 }
-                unbindLane(g.dim);
             }
         }
+        if (laneBound)
+            unbindLane(g.dim);
         setSig(sigSave);
 
         if (isReduce)
@@ -1001,6 +1065,7 @@ class DeviceExecutor
         slot.physSize = static_cast<int64_t>(state.storage.size());
         slot.offset = 0;
         slot.stride = 1;
+        slot.elemBytes = scalarBytes(prog.var(s.var).kind);
 
         const int64_t base = static_cast<int64_t>(s.var) << 40;
         const int64_t outer = outerLinear(plan.definingLevel);
@@ -1032,10 +1097,12 @@ class DeviceExecutor
             return;
         // Group by iteration signature too: only lanes executing the
         // same iteration pad each other out; a thread's own sequential
-        // iterations do not.
-        uint64_t key = static_cast<uint64_t>(site) * 31 +
-                       static_cast<uint64_t>(probe.warpTile);
-        key = key * 0x9e3779b97f4a7c15ULL + probe.sig;
+        // iterations do not. The key is exact — (site, tile) and
+        // signature compared verbatim — so distinct warps can never
+        // alias into one accumulator the way a hashed key could.
+        const DivKey key{static_cast<uint64_t>(site) * tilesPerBlock +
+                             static_cast<uint64_t>(probe.warpTile),
+                         probe.sig};
         DivAcc &acc = divergence[key];
         acc.sum += static_cast<double>(ops);
         acc.peak = std::max(acc.peak, static_cast<double>(ops));
@@ -1043,13 +1110,27 @@ class DeviceExecutor
     }
 
     /** SIMD semantics: the warp executes max-lane work, not mean-lane
-     *  work; charge the difference. */
+     *  work; charge the difference. Accumulation runs in sorted key
+     *  order so the double sum is identical across stdlib hash-table
+     *  implementations. */
     void
     settleDivergence()
     {
-        for (auto &[key, acc] : divergence) {
+        if (divergence.empty())
+            return;
+        std::vector<std::pair<DivKey, const DivAcc *>> entries;
+        entries.reserve(divergence.size());
+        for (const auto &[key, acc] : divergence)
+            entries.emplace_back(key, &acc);
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first.siteTile != b.first.siteTile)
+                          return a.first.siteTile < b.first.siteTile;
+                      return a.first.sig < b.first.sig;
+                  });
+        for (const auto &[key, acc] : entries) {
             stats.warpInstructions +=
-                (acc.peak * acc.count - acc.sum) / device.warpSize;
+                (acc->peak * acc->count - acc->sum) / device.warpSize;
         }
         divergence.clear();
     }
@@ -1290,9 +1371,12 @@ class DeviceExecutor
     EvalCtx ctx;
     KernelStats stats;
     CoalesceProbe probe;
-    /** Per-site traffic buckets while running (siteStats mode); sorted
-     *  into stats.siteTraffic at the end of run(). */
-    std::unordered_map<int64_t, SiteTraffic> siteTrafficMap;
+    /** Per-site traffic while running (siteStats mode), direct-indexed
+     *  by trace-site id; nonzero slots are exported site-ordered into
+     *  stats.siteTraffic at the end of run(). */
+    std::vector<SiteTraffic> siteTrafficDense;
+    /** Dense trace-site id bound: maxTraceSite(root) + 1. */
+    int numSites = 0;
     /** spec.prefetchedSites translated to stable readSite ids for the
      *  probe's key space. */
     std::unordered_set<int64_t> prefetchSiteIds;
@@ -1306,6 +1390,8 @@ class DeviceExecutor
     int64_t dimBlock[4] = {1, 1, 1, 1};
     int64_t warpShape[4] = {1, 1, 1, 1};
     int64_t tilesPerDim[4] = {1, 1, 1, 1};
+    int64_t tileStrideOfDim[4] = {1, 1, 1, 1};
+    int64_t laneStrideOfDim[4] = {1, 1, 1, 1};
     int64_t tilesPerBlock = 1;
     int64_t laneCoord[4] = {-1, -1, -1, -1};
     int levelOfDim[4] = {-1, -1, -1, -1};
@@ -1324,7 +1410,33 @@ class DeviceExecutor
         double peak = 0.0;
         int count = 0;
     };
-    std::unordered_map<uint64_t, DivAcc> divergence;
+
+    /** Exact divergence-accumulator key: dense (site, tile) id plus the
+     *  full iteration signature. */
+    struct DivKey
+    {
+        uint64_t siteTile = 0;
+        uint64_t sig = 0;
+
+        bool operator==(const DivKey &o) const
+        {
+            return siteTile == o.siteTile && sig == o.sig;
+        }
+    };
+
+    struct DivKeyHash
+    {
+        size_t operator()(const DivKey &k) const
+        {
+            uint64_t h = k.sig + 0x9e3779b97f4a7c15ULL * (k.siteTile + 1);
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 29;
+            return static_cast<size_t>(h);
+        }
+    };
+
+    std::unordered_map<DivKey, DivAcc, DivKeyHash> divergence;
 
     std::unordered_map<int, LocalState> locals;
     std::unordered_map<const Pattern *,

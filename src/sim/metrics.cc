@@ -89,6 +89,7 @@ SimReport::toJson(int64_t transactionBytes) const
     os << ",\"blocks_per_sm\":" << blocksPerSM;
     os << ",\"occupancy\":" << num(occupancy);
     os << ",\"coalescing_efficiency\":" << num(coalescingEfficiency);
+    os << ",\"coalesce_model\":\"" << kCoalesceModelVersion << "\"";
     os << ",\"stats\":{";
     os << "\"warp_instructions\":" << num(stats.warpInstructions);
     os << ",\"transactions\":" << num(stats.transactions);

@@ -14,6 +14,16 @@
 namespace npp {
 
 /**
+ * Version tag of the transaction-counting model, exported in the stats
+ * JSON so archived figure rows record which model produced them. Bump on
+ * any change that alters transaction counts: "relative-base-v2" counts a
+ * warp group's segments against a base at the group's minimum lane
+ * address (shift-invariant); v1 counted absolute address / transaction
+ * size.
+ */
+inline constexpr const char *kCoalesceModelVersion = "relative-base-v2";
+
+/**
  * Global-memory traffic attributed to one static access site (trace-site
  * id), collected when ExecOptions::siteStats is set. Per-site coalescing
  * efficiency is usefulBytes / (transactions x transaction size) — 1.0

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Shift-invariance property suite for the relative-base coalescing
+ * model. The probe counts memory transactions against each warp
+ * group's minimum address, so translating every array's simulated
+ * device address space by a uniform delta — any delta, aligned to the
+ * transaction size or not — must leave the whole report bit-identical:
+ * aggregate KernelStats, derived timing, and per-site attribution.
+ *
+ * The suite exercises both simulator paths (exact every-block and
+ * block-equivalence classed) and pins the regressions that motivated
+ * the model: the dense shapes whose classing used to be refused by the
+ * spread probe ("block N diverged") now verify and merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/sums.h"
+#include "classed_fixture.h"
+#include "sim/metrics.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+using difftest::DiffCase;
+
+/** Same fixed two-level mapping the differential suite uses: outer
+ *  partitioned across blocks, inner span-all — many more blocks than
+ *  classes, so classable programs must actually merge. */
+CompileOptions
+partitionedOuter(int64_t outerBs = 16, int64_t innerBs = 32)
+{
+    CompileOptions copts;
+    copts.strategy = Strategy::Fixed;
+    copts.fixedMapping.levels = {{0, outerBs, SpanType::one()},
+                                 {1, innerBs, SpanType::all()}};
+    return copts;
+}
+
+std::vector<double>
+signedData(int64_t n, uint64_t seed)
+{
+    std::vector<double> m(std::max<int64_t>(n, 1));
+    Rng rng(seed);
+    for (auto &x : m)
+        x = rng.uniform(-1, 1);
+    return m;
+}
+
+/** Dense sum kernel (classes under partitionedOuter). */
+DiffCase
+sumCase(bool byCols, bool weighted, int64_t R, int64_t C)
+{
+    SumsProgram sp = buildSum(byCols, weighted);
+    DiffCase c;
+    c.name = sp.prog->name();
+    c.prog = sp.prog;
+    auto mData = std::make_shared<std::vector<double>>(
+        signedData(R * C, 0xfeedULL));
+    auto vData = std::make_shared<std::vector<double>>(
+        signedData(std::max(R, C), 0xbeefULL));
+    c.bindInputs = [=](Bindings &args) {
+        args.scalar(sp.r, static_cast<double>(R));
+        args.scalar(sp.c, static_cast<double>(C));
+        args.array(sp.m, *mData);
+        if (sp.weighted)
+            args.array(sp.v, *vData);
+    };
+    c.outputs = {{sp.out, sp.outputSize(R, C)}};
+    return c;
+}
+
+/** Data-dependent filter kernel: never classes, so the classed run
+ *  falls back to the exact path — covering shift invariance of the
+ *  fallback (prefetch accounting, divergence settling and all). */
+DiffCase
+sumPositivesCase(bool byCols, int64_t R, int64_t C)
+{
+    SumsProgram sp = buildSumPositives(byCols);
+    DiffCase c;
+    c.name = sp.prog->name();
+    c.prog = sp.prog;
+    auto mData = std::make_shared<std::vector<double>>(
+        signedData(R * C, 0xfeedULL));
+    c.bindInputs = [=](Bindings &args) {
+        args.scalar(sp.r, static_cast<double>(R));
+        args.scalar(sp.c, static_cast<double>(C));
+        args.array(sp.m, *mData);
+    };
+    c.outputs = {{sp.out, sp.outputSize(R, C)}};
+    return c;
+}
+
+/** One uncached metrics-only simulation with every bound array's
+ *  address space translated by deltaElems after binding. Per-site
+ *  attribution is always on (the stricter comparison). */
+SimReport
+runShifted(const Gpu &gpu, const KernelSpec &spec, const DiffCase &c,
+           std::vector<std::vector<double>> &outStorage, bool classed,
+           int64_t deltaElems)
+{
+    Bindings args(*c.prog);
+    c.bindInputs(args);
+    for (size_t i = 0; i < c.outputs.size(); i++)
+        args.array(c.outputs[i].first, outStorage[i]);
+    args.shiftAddrBases(deltaElems);
+    ExecOptions eopts;
+    eopts.metricsOnly = true;
+    eopts.blockClasses = classed;
+    eopts.siteStats = true;
+    return gpu.run(spec, args, eopts);
+}
+
+/** Translation deltas in elements (8 bytes each here). Covers one whole
+ *  transaction (16 x 8B = 128B), sub-transaction and odd misaligned
+ *  shifts, a negative shift, and a large one that crosses every
+ *  power-of-two boundary the address math might care about. */
+constexpr int64_t kDeltas[] = {16, 1, 163, -37, 1000003};
+
+void
+expectShiftInvariant(const DiffCase &c, const CompileOptions &copts)
+{
+    SCOPED_TRACE(c.name);
+    Gpu gpu;
+    CompileResult compiled = compileProgram(*c.prog, gpu.config(), copts);
+    std::vector<std::vector<double>> outStorage;
+    for (const auto &[arr, size] : c.outputs)
+        outStorage.emplace_back(std::max<int64_t>(size, 1), 0.0);
+
+    for (const bool classed : {false, true}) {
+        SCOPED_TRACE(classed ? "classed" : "exact");
+        const SimReport base =
+            runShifted(gpu, compiled.spec, c, outStorage, classed, 0);
+        for (const int64_t delta : kDeltas) {
+            SCOPED_TRACE("delta " + std::to_string(delta));
+            const SimReport shifted = runShifted(gpu, compiled.spec, c,
+                                                 outStorage, classed, delta);
+            difftest::expectBitIdentical(base, shifted,
+                                         "shifted vs unshifted");
+            EXPECT_EQ(base.stats.classedBlocks, shifted.stats.classedBlocks);
+            EXPECT_EQ(base.stats.classReason, shifted.stats.classReason);
+        }
+    }
+}
+
+TEST(CoalesceInvariance, DenseSumsUnderTranslation)
+{
+    expectShiftInvariant(sumCase(false, false, 192, 160),
+                         partitionedOuter());
+    expectShiftInvariant(sumCase(false, true, 192, 160), partitionedOuter());
+    expectShiftInvariant(sumCase(true, false, 160, 192), partitionedOuter());
+}
+
+TEST(CoalesceInvariance, ExactFallbackUnderTranslation)
+{
+    expectShiftInvariant(sumPositivesCase(false, 96, 96), partitionedOuter());
+}
+
+TEST(CoalesceInvariance, DefaultMappingUnderTranslation)
+{
+    // Searched mapping instead of the fixed fixture one: whatever the
+    // optimizer picks must also be translation-invariant.
+    expectShiftInvariant(sumCase(false, true, 128, 128), CompileOptions{});
+}
+
+//
+// Regressions: shapes the old absolute-address model refused to class
+// ("block N diverged" from the spread probe) now verify and merge.
+//
+
+SimReport
+runClassed(const DiffCase &c, const CompileOptions &copts)
+{
+    Gpu gpu;
+    CompileResult compiled = compileProgram(*c.prog, gpu.config(), copts);
+    std::vector<std::vector<double>> outStorage;
+    for (const auto &[arr, size] : c.outputs)
+        outStorage.emplace_back(std::max<int64_t>(size, 1), 0.0);
+    return runShifted(gpu, compiled.spec, c, outStorage, /*classed=*/true, 0);
+}
+
+TEST(CoalesceInvariance, FormerAnomalyShapesNowClass)
+{
+    {
+        // sumWeightedRows @ 512^2: used to refuse with "block 11
+        // diverged" and fall back to exact simulation (~1x in
+        // BENCH_classing).
+        const SimReport rep =
+            runClassed(sumCase(false, true, 512, 512), partitionedOuter());
+        EXPECT_TRUE(rep.stats.classReason.empty()) << rep.stats.classReason;
+        EXPECT_GT(rep.stats.classedBlocks, 0);
+    }
+    {
+        // sumCols @ 1024^2: used to refuse with "block 2 diverged".
+        const SimReport rep =
+            runClassed(sumCase(true, false, 1024, 1024), partitionedOuter());
+        EXPECT_TRUE(rep.stats.classReason.empty()) << rep.stats.classReason;
+        EXPECT_GT(rep.stats.classedBlocks, 0);
+    }
+}
+
+TEST(CoalesceInvariance, ModelVersionExported)
+{
+    const SimReport rep =
+        runClassed(sumCase(false, false, 64, 64), partitionedOuter());
+    const std::string json = rep.toJson();
+    EXPECT_NE(json.find(std::string("\"coalesce_model\":\"") +
+                        kCoalesceModelVersion + "\""),
+              std::string::npos)
+        << json;
+}
+
+} // namespace
+} // namespace npp

@@ -7,12 +7,17 @@
 #   tools/check.sh tsan         # ThreadSanitizer build + ctest
 #   tools/check.sh ubsan        # UBSan-only build + ctest
 #   tools/check.sh differential # build + classed-vs-full suite only
+#   tools/check.sh coalesce     # asan build + shift-invariance and
+#                               # differential suites
 #   tools/check.sh all          # all four builds, in order
 #
 # Every ctest invocation runs the full suite, including the classed
-# differential tests (labeled `differential`); the `differential` job
-# builds the default tree and runs just that label for a quick check of
-# the block-classing bit-exactness contract.
+# differential tests (labeled `differential`) and the coalescing-model
+# suite (labeled `coalesce`); the `differential` job builds the default
+# tree and runs just that label for a quick check of the block-classing
+# bit-exactness contract, and the `coalesce` job runs the
+# coalescing-model contracts (shift invariance, classing regressions,
+# classed-vs-full bit identity) under AddressSanitizer.
 #
 # Each job uses its own build directory (build/, build-asan/,
 # build-tsan/, build-ubsan/) so sanitizer and plain objects never mix.
@@ -51,6 +56,13 @@ differential)
     cmake --build build -j
     ctest --test-dir build --output-on-failure -j "$(nproc)" -L differential
     ;;
+coalesce)
+    echo "== check: coalesce (build-asan) =="
+    cmake -B build-asan -S . -DNPP_ASAN=ON
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+        -L 'coalesce|differential'
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
@@ -58,7 +70,7 @@ all)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|all]" >&2
     exit 2
     ;;
 esac
