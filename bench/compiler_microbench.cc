@@ -13,7 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <stdlib.h> // mkdtemp
 
 #include "apps/sums.h"
 #include "ir/builder.h"
@@ -124,6 +126,13 @@ BENCHMARK(BM_SimulatorThroughput)->Arg(256)->Arg(1024)
  *   - parallel_warm:  task-pool sweep against the warm cache.
  * Every configuration recomputes the same rows (checked bitwise at the
  * end), so the timings compare equal work.
+ *
+ * A fifth pair of rows measures the disk tier on fig12 alone:
+ * disk_cold populates a fresh NPP_EVAL_CACHE_DIR-style directory (empty
+ * memory + empty disk), then disk_warm drops the memory tier — what a
+ * freshly started process sees — and replays the whole sweep from disk.
+ * The warm rows must be bit-identical to the cold ones and every
+ * evaluation must come from a disk hit.
  * @{
  */
 
@@ -209,6 +218,53 @@ runPipelineBench(const char *outPath)
     std::printf("rows identical across configs: %s\n",
                 identical ? "yes" : "NO");
 
+    // Disk tier, fig12 only: cold pass fills an empty cache directory,
+    // then the memory tier is dropped (a fresh process) and the warm
+    // pass replays the sweep from disk alone.
+    double diskColdMs = 0, diskWarmMs = 0;
+    uint64_t diskStores = 0, diskHits = 0, diskRejects = 0;
+    std::vector<Row> diskColdRows, diskWarmRows;
+    {
+        char dirTemplate[] = "/tmp/npp_bench_evc_XXXXXX";
+        const char *dir = mkdtemp(dirTemplate);
+        if (!dir) {
+            std::fprintf(stderr, "mkdtemp failed\n");
+            return 1;
+        }
+        cache.setCapacityBytes(4096ll * 1024 * 1024);
+        cache.setDiskDir(dir);
+
+        cache.clear();
+        cache.resetCounters();
+        std::printf("== disk_cold (threads=1, dir=%s)\n", dir);
+        diskColdMs = wallMs([&] { diskColdRows = fig12Sweep(gpu, false); });
+        diskStores = cache.stats().diskStores;
+        std::printf("   %-16s %9.1f ms  (disk stores %llu)\n", figs[0].name,
+                    diskColdMs, static_cast<unsigned long long>(diskStores));
+
+        cache.clear(); // drop the memory tier; the files survive
+        cache.resetCounters();
+        std::printf("== disk_warm (threads=1)\n");
+        diskWarmMs = wallMs([&] { diskWarmRows = fig12Sweep(gpu, false); });
+        diskHits = cache.stats().diskHits;
+        diskRejects = cache.stats().diskRejects;
+        std::printf("   %-16s %9.1f ms  (disk hits %llu, rejects %llu)\n",
+                    figs[0].name, diskWarmMs,
+                    static_cast<unsigned long long>(diskHits),
+                    static_cast<unsigned long long>(diskRejects));
+
+        cache.setDiskDir("");
+        std::string rm = "rm -rf ";
+        rm += dir;
+        std::system(rm.c_str());
+    }
+    const bool diskIdentical = rowsEqual(results[0].rows[0], diskColdRows) &&
+                               rowsEqual(results[0].rows[0], diskWarmRows);
+    std::printf("fig12 rows identical cold vs disk-warm: %s\n",
+                diskIdentical ? "yes" : "NO");
+    if (diskHits == 0)
+        std::printf("WARNING: disk-warm pass took no disk hits\n");
+
     FILE *out = std::fopen(outPath, "w");
     if (!out) {
         std::fprintf(stderr, "cannot write %s\n", outPath);
@@ -220,6 +276,8 @@ runPipelineBench(const char *outPath)
     std::fprintf(out, "  \"threads\": %d,\n", parallelThreadCount());
     std::fprintf(out, "  \"rows_identical_across_configs\": %s,\n",
                  identical ? "true" : "false");
+    std::fprintf(out, "  \"fig12_rows_identical_cold_vs_disk_warm\": %s,\n",
+                 diskIdentical ? "true" : "false");
     std::fprintf(out, "  \"figures\": {\n");
     for (int f = 0; f < 3; f++) {
         std::fprintf(out, "    \"%s\": {\n", figs[f].name);
@@ -229,6 +287,23 @@ runPipelineBench(const char *outPath)
                          "\"cache_hit_rate\": %.4f},\n",
                          configs[c].name, results[c].ms[f],
                          results[c].hitRate[f]);
+        }
+        if (f == 0) {
+            std::fprintf(out,
+                         "      \"disk_cold\": {\"wall_ms\": %.1f, "
+                         "\"disk_stores\": %llu},\n",
+                         diskColdMs,
+                         static_cast<unsigned long long>(diskStores));
+            std::fprintf(out,
+                         "      \"disk_warm\": {\"wall_ms\": %.1f, "
+                         "\"disk_hits\": %llu, \"disk_rejects\": %llu},\n",
+                         diskWarmMs,
+                         static_cast<unsigned long long>(diskHits),
+                         static_cast<unsigned long long>(diskRejects));
+            std::fprintf(out,
+                         "      \"speedup_disk_warm_vs_disk_cold\": "
+                         "%.2f,\n",
+                         diskColdMs / diskWarmMs);
         }
         std::fprintf(out,
                      "      \"speedup_parallel_warm_vs_serial_cold\": "
@@ -249,7 +324,7 @@ runPipelineBench(const char *outPath)
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", outPath);
-    return identical ? 0 : 2;
+    return identical && diskIdentical ? 0 : 2;
 }
 
 /** @} */

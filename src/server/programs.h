@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Named demo-program registry shared by the nppc CLI and the mapping
+ * service: each entry builds a pattern program plus deterministic
+ * synthetic inputs, parameterized by caller-supplied size hints. A
+ * DemoProgram owns its input storage (no function-local statics), so
+ * concurrent service requests each bind their own buffers race-free;
+ * two instances built with the same name and sizes produce identical
+ * binding fingerprints (seeded RNG), which is what makes request
+ * coalescing and the cross-process eval cache effective.
+ *
+ * programs and their size keys (every key optional):
+ *   sumrows / sumcols / weightedrows / weightedcols — rows, cols
+ *   pagerank   — nodes
+ *   mandelbrot — height, width
+ */
+
+#ifndef NPP_SERVER_PROGRAMS_H
+#define NPP_SERVER_PROGRAMS_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/gpu.h"
+
+namespace npp {
+
+/** One buildable demo program: the IR, compile parameters, and a binder
+ *  that attaches this instance's own input/output storage. */
+struct DemoProgram
+{
+    std::shared_ptr<Program> prog;
+    std::unordered_map<int, double> params;
+    bool fuse = false;
+    std::function<void(Bindings &)> bind;
+};
+
+/** Names accepted by buildDemoProgram, in presentation order. */
+const std::vector<std::string> &demoProgramNames();
+
+/**
+ * Build a demo program by name with optional size overrides. Unknown
+ * names, unknown size keys, non-positive sizes, and sizes whose element
+ * count exceeds the service's admission bound are rejected: returns
+ * nullptr and fills `error` — a malformed request must produce an error
+ * response, never an aborted process.
+ */
+std::unique_ptr<DemoProgram>
+buildDemoProgram(const std::string &name,
+                 const std::map<std::string, int64_t> &sizes,
+                 std::string *error);
+
+} // namespace npp
+
+#endif // NPP_SERVER_PROGRAMS_H

@@ -1,5 +1,10 @@
 #include "sim/evalcache.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <list>
@@ -10,6 +15,7 @@
 
 #include "ir/printer.h"
 #include "support/env.h"
+#include "support/logging.h"
 #include "support/strings.h"
 #include "support/trace.h"
 
@@ -62,39 +68,317 @@ mixMap(uint64_t h, const std::unordered_map<int, double> &m)
 int64_t
 readCapacityBytes()
 {
-    if (const char *off = std::getenv("NPP_EVAL_CACHE"))
-        if (std::strcmp(off, "0") == 0)
-            return 0;
+    // NPP_EVAL_CACHE=0/false/off/no disables the cache entirely (any
+    // other spelling warns and keeps it enabled).
+    if (!parseEnvBool("NPP_EVAL_CACHE", true))
+        return 0;
     // Upper bound keeps mb * 2^20 comfortably inside int64 (8 EB would
-    // overflow); use NPP_EVAL_CACHE=0 — not a zero/negative size — to
+    // overflow); use NPP_EVAL_CACHE=off — not a zero/negative size — to
     // disable the cache.
     const int64_t mb =
         parseEnvInt("NPP_EVAL_CACHE_MB", 4096, 1, int64_t(1) << 32);
     return mb * 1024 * 1024;
 }
 
+std::string
+readDiskDirEnv()
+{
+    const char *dir = std::getenv("NPP_EVAL_CACHE_DIR");
+    if (!dir || !dir[0])
+        return {};
+    // NPP_EVAL_CACHE_DISK=off keeps the memory tier but detaches the
+    // directory (e.g. to quarantine a shared cache without losing the
+    // in-process one).
+    if (!parseEnvBool("NPP_EVAL_CACHE_DISK", true))
+        return {};
+    return dir;
+}
+
+/** Best-effort single-level mkdir; existing directory is fine. */
+void
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        NPP_WARN("eval cache: cannot create {} ({}); disk tier will "
+                 "miss/fail open",
+                 dir, std::strerror(errno));
+}
+
+/** @name Disk-entry serialization
+ *
+ * One file per entry:
+ *
+ *     magic[8] "NPPEVC1\n"
+ *     u32 format version (kEvalCacheDiskFormatVersion)
+ *     u32 coalesce-model tag length, then the tag bytes
+ *     u64 key (must match the probe key — guards renamed files)
+ *     u64 payload byte count
+ *     u64 payload FNV-1a checksum (guards torn/bit-rotted payloads)
+ *     payload: serialized SimReport + optional output arrays
+ *
+ * Numbers are raw little-endian host encoding (the cache directory is a
+ * same-machine artifact, not an interchange format); doubles travel as
+ * their bit patterns, so replayed reports are bit-identical. Any header
+ * or payload mismatch rejects the file as a miss — never trusts it.
+ * @{
+ */
+
+constexpr char kDiskMagic[8] = {'N', 'P', 'P', 'E', 'V', 'C', '1', '\n'};
+
+struct ByteWriter
+{
+    std::string buf;
+
+    void
+    u64(uint64_t v)
+    {
+        buf.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        buf.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void u8(uint8_t v) { buf.push_back(static_cast<char>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf.append(s);
+    }
+};
+
+/** Bounds-checked reader: any overrun latches ok=false and returns
+ *  zeros, so a truncated payload can never index out of range. */
+struct ByteReader
+{
+    const char *p;
+    size_t n;
+    size_t off = 0;
+    bool ok = true;
+
+    bool
+    take(void *out, size_t count)
+    {
+        if (!ok || n - off < count) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(out, p + off, count);
+        off += count;
+        return true;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    uint8_t
+    u8()
+    {
+        uint8_t v = 0;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const uint64_t len = u64();
+        if (!ok || n - off < len) {
+            ok = false;
+            return {};
+        }
+        std::string s(p + off, len);
+        off += len;
+        return s;
+    }
+
+    bool exhausted() const { return ok && off == n; }
+};
+
+void
+putReport(ByteWriter &w, const SimReport &r)
+{
+    w.f64(r.totalMs);
+    w.f64(r.computeMs);
+    w.f64(r.memoryMs);
+    w.f64(r.launchMs);
+    w.f64(r.blockOverheadMs);
+    w.f64(r.mallocMs);
+    w.f64(r.combinerMs);
+    w.f64(r.compactionMs);
+    w.f64(r.achievedBandwidth);
+    w.f64(r.residentWarps);
+    w.i64(r.blocksPerSM);
+    w.f64(r.occupancy);
+    w.f64(r.coalescingEfficiency);
+
+    const KernelStats &s = r.stats;
+    w.f64(s.warpInstructions);
+    w.f64(s.transactions);
+    w.f64(s.usefulBytes);
+    w.f64(s.smemAccesses);
+    w.f64(s.syncs);
+    w.f64(s.mallocs);
+    w.i64(s.totalBlocks);
+    w.i64(s.threadsPerBlock);
+    w.i64(s.sharedMemPerBlock);
+    w.u8(s.hasCombiner ? 1 : 0);
+    w.f64(s.combinerTransactions);
+    w.f64(s.combinerOps);
+    w.i64(s.combinerThreads);
+    w.u8(s.hasCompaction ? 1 : 0);
+    w.f64(s.compactionTransactions);
+    w.f64(s.compactionOps);
+    w.i64(s.compactionThreads);
+    w.f64(s.sampledFraction);
+    w.i64(s.classedBlocks);
+    w.str(s.classReason);
+    w.u64(s.siteTraffic.size());
+    for (const SiteTraffic &st : s.siteTraffic) {
+        w.i64(st.site);
+        w.f64(st.transactions);
+        w.f64(st.usefulBytes);
+        w.f64(st.accesses);
+    }
+}
+
+SimReport
+getReport(ByteReader &r)
+{
+    SimReport rep;
+    rep.totalMs = r.f64();
+    rep.computeMs = r.f64();
+    rep.memoryMs = r.f64();
+    rep.launchMs = r.f64();
+    rep.blockOverheadMs = r.f64();
+    rep.mallocMs = r.f64();
+    rep.combinerMs = r.f64();
+    rep.compactionMs = r.f64();
+    rep.achievedBandwidth = r.f64();
+    rep.residentWarps = r.f64();
+    rep.blocksPerSM = r.i64();
+    rep.occupancy = r.f64();
+    rep.coalescingEfficiency = r.f64();
+
+    KernelStats &s = rep.stats;
+    s.warpInstructions = r.f64();
+    s.transactions = r.f64();
+    s.usefulBytes = r.f64();
+    s.smemAccesses = r.f64();
+    s.syncs = r.f64();
+    s.mallocs = r.f64();
+    s.totalBlocks = r.i64();
+    s.threadsPerBlock = r.i64();
+    s.sharedMemPerBlock = r.i64();
+    s.hasCombiner = r.u8() != 0;
+    s.combinerTransactions = r.f64();
+    s.combinerOps = r.f64();
+    s.combinerThreads = r.i64();
+    s.hasCompaction = r.u8() != 0;
+    s.compactionTransactions = r.f64();
+    s.compactionOps = r.f64();
+    s.compactionThreads = r.i64();
+    s.sampledFraction = r.f64();
+    s.classedBlocks = r.i64();
+    s.classReason = r.str();
+    const uint64_t sites = r.u64();
+    if (r.ok && sites <= (r.n - r.off) / (4 * sizeof(uint64_t))) {
+        s.siteTraffic.resize(sites);
+        for (uint64_t i = 0; i < sites; i++) {
+            s.siteTraffic[i].site = r.i64();
+            s.siteTraffic[i].transactions = r.f64();
+            s.siteTraffic[i].usefulBytes = r.f64();
+            s.siteTraffic[i].accesses = r.f64();
+        }
+    } else {
+        r.ok = false;
+    }
+    return rep;
+}
+
+} // namespace
+
+const char *
+evalTierName(EvalTier tier)
+{
+    switch (tier) {
+    case EvalTier::Simulated: return "simulated";
+    case EvalTier::Memory: return "memory";
+    case EvalTier::Disk: return "disk";
+    }
+    return "?";
+}
+
+namespace {
+
+/** One memoized evaluation (either tier). */
+struct CacheEntry
+{
+    uint64_t key = 0;
+    SimReport report;
+    bool hasOutputs = false;
+    /** (varId, contents) per output array, captured from a functional
+     *  run so wantOutputs hits can replay them. */
+    std::vector<std::pair<int, std::vector<double>>> outputs;
+    uint64_t bytes = 0;
+};
+
 } // namespace
 
 struct EvalCache::Impl
 {
-    struct Entry
-    {
-        uint64_t key = 0;
-        SimReport report;
-        bool hasOutputs = false;
-        /** (varId, contents) per output array, captured from a
-         *  functional run so wantOutputs hits can replay them. */
-        std::vector<std::pair<int, std::vector<double>>> outputs;
-        uint64_t bytes = 0;
-    };
+    using Entry = CacheEntry;
 
     mutable std::mutex mu;
     std::list<Entry> lru; // front = most recent
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    std::string diskDir; // empty = no disk tier
     uint64_t bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t diskHits = 0;
+    uint64_t diskMisses = 0;
+    uint64_t diskStores = 0;
+    uint64_t diskRejects = 0;
 
     void
     evictTo(uint64_t capacity)
@@ -108,12 +392,222 @@ struct EvalCache::Impl
             NPP_TRACE_COUNT("evalcache.evictions", 1);
         }
     }
+
+    /** Insert (or refresh) an entry; caller holds mu. */
+    void
+    insertLocked(Entry &&entry, uint64_t capacity)
+    {
+        auto it = index.find(entry.key);
+        if (it != index.end()) {
+            // Concurrent misses can race to store the same evaluation;
+            // keep whichever entry carries outputs (otherwise equal).
+            if (it->second->hasOutputs && !entry.hasOutputs) {
+                lru.splice(lru.begin(), lru, it->second);
+                return;
+            }
+            bytes -= it->second->bytes;
+            lru.erase(it->second);
+            index.erase(it);
+        }
+        const uint64_t key = entry.key;
+        bytes += entry.bytes;
+        lru.push_front(std::move(entry));
+        index[key] = lru.begin();
+        evictTo(capacity);
+    }
 };
+
+namespace {
+
+/** Actual footprint of a cache entry: struct + index/list overhead, the
+ *  report's heap payload (per-site traffic tables, diagnostics), and the
+ *  captured output arrays. The old estimate (sizeof(Entry) + 64) let a
+ *  stats-heavy sweep blow far past the byte budget before any eviction
+ *  fired. */
+uint64_t
+entryFootprint(const CacheEntry &entry)
+{
+    uint64_t b = sizeof(CacheEntry) + 64;
+    b += entry.report.heapBytes();
+    b += entry.outputs.capacity() *
+         sizeof(std::pair<int, std::vector<double>>);
+    for (const auto &[varId, contents] : entry.outputs) {
+        (void)varId;
+        b += contents.capacity() * sizeof(double);
+    }
+    return b;
+}
+
+std::string
+diskPathFor(const std::string &dir, uint64_t key)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return dir + "/" + name + ".nppeval";
+}
+
+std::string
+serializeEntry(const CacheEntry &entry)
+{
+    ByteWriter w;
+    putReport(w, entry.report);
+    w.u8(entry.hasOutputs ? 1 : 0);
+    w.u64(entry.outputs.size());
+    for (const auto &[varId, contents] : entry.outputs) {
+        w.i64(varId);
+        w.u64(contents.size());
+        w.buf.append(reinterpret_cast<const char *>(contents.data()),
+                     contents.size() * sizeof(double));
+    }
+    return std::move(w.buf);
+}
+
+bool
+deserializeEntry(const std::string &payload, CacheEntry *out)
+{
+    ByteReader r{payload.data(), payload.size()};
+    out->report = getReport(r);
+    out->hasOutputs = r.u8() != 0;
+    const uint64_t count = r.u64();
+    if (!r.ok || count > (r.n - r.off) / (2 * sizeof(uint64_t)))
+        return false;
+    out->outputs.clear();
+    out->outputs.reserve(count);
+    for (uint64_t i = 0; i < count; i++) {
+        const int64_t varId = r.i64();
+        const uint64_t elems = r.u64();
+        if (!r.ok || elems > (r.n - r.off) / sizeof(double))
+            return false;
+        std::vector<double> contents(elems);
+        if (!r.take(contents.data(), elems * sizeof(double)))
+            return false;
+        out->outputs.emplace_back(static_cast<int>(varId),
+                                  std::move(contents));
+    }
+    return r.exhausted();
+}
+
+enum class DiskRead { Ok, NotFound, Reject };
+
+/** Read + validate one disk entry. Every failure mode past "file does
+ *  not exist" — short header, bad magic, version or model-tag mismatch,
+ *  key mismatch (renamed file), size or checksum mismatch, payload that
+ *  under- or over-runs — is a Reject: counted, treated as a miss, and
+ *  never allowed to crash or corrupt the caller. */
+DiskRead
+readDiskEntry(const std::string &path, uint64_t key, CacheEntry *out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return DiskRead::NotFound;
+    std::string data;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        data.append(buf, got);
+    const bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr)
+        return DiskRead::Reject;
+
+    ByteReader r{data.data(), data.size()};
+    char magic[sizeof kDiskMagic];
+    if (!r.take(magic, sizeof magic) ||
+        std::memcmp(magic, kDiskMagic, sizeof magic) != 0)
+        return DiskRead::Reject;
+    if (r.u32() != kEvalCacheDiskFormatVersion)
+        return DiskRead::Reject;
+    const uint32_t tagLen = r.u32();
+    const std::string tag = kCoalesceModelVersion;
+    if (!r.ok || tagLen != tag.size() || r.n - r.off < tagLen ||
+        std::memcmp(r.p + r.off, tag.data(), tagLen) != 0)
+        return DiskRead::Reject;
+    r.off += tagLen;
+    if (r.u64() != key)
+        return DiskRead::Reject;
+    const uint64_t payloadSize = r.u64();
+    const uint64_t payloadFnv = r.u64();
+    if (!r.ok || r.n - r.off != payloadSize)
+        return DiskRead::Reject;
+    if (fnvBytes(r.p + r.off, payloadSize) != payloadFnv)
+        return DiskRead::Reject;
+
+    std::string payload(r.p + r.off, payloadSize);
+    if (!deserializeEntry(payload, out))
+        return DiskRead::Reject;
+    out->key = key;
+    out->bytes = entryFootprint(*out);
+    return DiskRead::Ok;
+}
+
+/** Write one disk entry via temp file + atomic rename: a concurrent
+ *  reader either sees no file or a complete one, never a partial
+ *  write. Returns false (with a one-line warning) on I/O failure. */
+bool
+writeDiskEntry(const std::string &dir, uint64_t key,
+               const std::string &payload)
+{
+    ByteWriter header;
+    header.buf.append(kDiskMagic, sizeof kDiskMagic);
+    header.u32(kEvalCacheDiskFormatVersion);
+    const std::string tag = kCoalesceModelVersion;
+    header.u32(static_cast<uint32_t>(tag.size()));
+    header.buf.append(tag);
+    header.u64(key);
+    header.u64(payload.size());
+    header.u64(fnvBytes(payload.data(), payload.size()));
+
+    std::string tmpPath = dir + "/.nppeval.XXXXXX";
+    const int fd = ::mkstemp(tmpPath.data());
+    if (fd < 0) {
+        NPP_WARN("eval cache: cannot create temp file in {} ({})", dir,
+                 std::strerror(errno));
+        return false;
+    }
+    const auto writeAll = [&](const char *p, size_t n) {
+        while (n > 0) {
+            const ssize_t w = ::write(fd, p, n);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            p += w;
+            n -= static_cast<size_t>(w);
+        }
+        return true;
+    };
+    const bool wrote = writeAll(header.buf.data(), header.buf.size()) &&
+                       writeAll(payload.data(), payload.size());
+    ::close(fd);
+    if (!wrote || std::rename(tmpPath.c_str(),
+                              diskPathFor(dir, key).c_str()) != 0) {
+        NPP_WARN("eval cache: cannot write entry under {} ({})", dir,
+                 std::strerror(errno));
+        ::unlink(tmpPath.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
 
 EvalCache::EvalCache()
     : impl_(new Impl),
       capacityBytes_(readCapacityBytes())
-{}
+{
+    impl_->diskDir = readDiskDirEnv();
+    if (!impl_->diskDir.empty())
+        ensureDir(impl_->diskDir);
+}
 
 EvalCache &
 EvalCache::instance()
@@ -209,44 +703,115 @@ EvalCache::combine(uint64_t a, uint64_t b)
 }
 
 std::optional<SimReport>
-EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args)
+EvalCache::find(uint64_t key, bool wantOutputs, const Bindings *args,
+                EvalTier *tierOut)
 {
     if (!enabled())
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    auto it = impl_->index.find(key);
-    if (it == impl_->index.end()) {
-        impl_->misses++;
-        NPP_TRACE_COUNT("evalcache.misses", 1);
-        return std::nullopt;
-    }
-    Impl::Entry &entry = *it->second;
-    if (wantOutputs) {
-        // A report-only entry cannot satisfy a functional request.
-        if (!entry.hasOutputs) {
-            impl_->misses++;
-            NPP_TRACE_COUNT("evalcache.misses", 1);
-            return std::nullopt;
-        }
-        for (const auto &[varId, contents] : entry.outputs) {
-            const ArraySlot &slot = args->arraySlot(varId);
-            if (!slot.data ||
-                slot.physSize != static_cast<int64_t>(contents.size())) {
-                impl_->misses++;
-                NPP_TRACE_COUNT("evalcache.misses", 1);
-                return std::nullopt;
+
+    std::string diskDir;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        auto it = impl_->index.find(key);
+        if (it != impl_->index.end()) {
+            Impl::Entry &entry = *it->second;
+            bool usable = true;
+            if (wantOutputs) {
+                // A report-only entry cannot satisfy a functional
+                // request; neither can one whose captured outputs no
+                // longer match the bound storage shape.
+                usable = entry.hasOutputs;
+                for (const auto &[varId, contents] : entry.outputs) {
+                    if (!usable)
+                        break;
+                    const ArraySlot &slot = args->arraySlot(varId);
+                    usable = slot.data &&
+                             slot.physSize ==
+                                 static_cast<int64_t>(contents.size());
+                }
+            }
+            if (usable) {
+                if (wantOutputs) {
+                    for (const auto &[varId, contents] : entry.outputs) {
+                        const ArraySlot &slot = args->arraySlot(varId);
+                        std::memcpy(const_cast<double *>(slot.data),
+                                    contents.data(),
+                                    contents.size() * sizeof(double));
+                    }
+                }
+                impl_->hits++;
+                NPP_TRACE_COUNT("evalcache.hits", 1);
+                impl_->lru.splice(impl_->lru.begin(), impl_->lru,
+                                  it->second);
+                if (tierOut)
+                    *tierOut = EvalTier::Memory;
+                return entry.report;
             }
         }
+        impl_->misses++;
+        NPP_TRACE_COUNT("evalcache.misses", 1);
+        diskDir = impl_->diskDir;
+    }
+
+    if (diskDir.empty())
+        return std::nullopt;
+
+    // Memory missed: probe the disk tier outside the lock (atomic
+    // renames guarantee any file we open is complete).
+    CacheEntry entry;
+    const DiskRead rd = readDiskEntry(diskPathFor(diskDir, key), key,
+                                      &entry);
+    if (rd != DiskRead::Ok) {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        if (rd == DiskRead::Reject) {
+            impl_->diskRejects++;
+            NPP_TRACE_COUNT("evalcache.disk_rejects", 1);
+        }
+        impl_->diskMisses++;
+        NPP_TRACE_COUNT("evalcache.disk_misses", 1);
+        return std::nullopt;
+    }
+
+    bool usable = true;
+    if (wantOutputs) {
+        usable = entry.hasOutputs;
         for (const auto &[varId, contents] : entry.outputs) {
+            if (!usable)
+                break;
             const ArraySlot &slot = args->arraySlot(varId);
-            std::memcpy(const_cast<double *>(slot.data), contents.data(),
-                        contents.size() * sizeof(double));
+            usable = slot.data &&
+                     slot.physSize == static_cast<int64_t>(contents.size());
+        }
+        if (usable) {
+            for (const auto &[varId, contents] : entry.outputs) {
+                const ArraySlot &slot = args->arraySlot(varId);
+                std::memcpy(const_cast<double *>(slot.data),
+                            contents.data(),
+                            contents.size() * sizeof(double));
+            }
         }
     }
-    impl_->hits++;
-    NPP_TRACE_COUNT("evalcache.hits", 1);
-    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
-    return entry.report;
+
+    SimReport report = entry.report;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        // Promote into memory either way — a later metrics-only probe
+        // of the same key should not pay the disk read again.
+        impl_->insertLocked(std::move(entry),
+                            static_cast<uint64_t>(capacityBytes_));
+        if (usable) {
+            impl_->diskHits++;
+            NPP_TRACE_COUNT("evalcache.disk_hits", 1);
+        } else {
+            impl_->diskMisses++;
+            NPP_TRACE_COUNT("evalcache.disk_misses", 1);
+        }
+    }
+    if (!usable)
+        return std::nullopt;
+    if (tierOut)
+        *tierOut = EvalTier::Disk;
+    return report;
 }
 
 void
@@ -255,10 +820,9 @@ EvalCache::store(uint64_t key, const SimReport &report,
 {
     if (!enabled())
         return;
-    Impl::Entry entry;
+    CacheEntry entry;
     entry.key = key;
     entry.report = report;
-    entry.bytes = sizeof(Impl::Entry) + 64; // index/list overhead estimate
     if (outputsOf) {
         entry.hasOutputs = true;
         const Program &prog = outputsOf->program();
@@ -271,27 +835,34 @@ EvalCache::store(uint64_t key, const SimReport &report,
             entry.outputs.emplace_back(
                 v.id,
                 std::vector<double>(slot.data, slot.data + slot.physSize));
-            entry.bytes += slot.physSize * sizeof(double);
         }
+    }
+    entry.bytes = entryFootprint(entry);
+
+    std::string diskDir;
+    std::string payload;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        diskDir = impl_->diskDir;
+        if (!diskDir.empty())
+            payload = serializeEntry(entry);
+        impl_->insertLocked(std::move(entry),
+                            static_cast<uint64_t>(capacityBytes_));
     }
 
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    auto it = impl_->index.find(key);
-    if (it != impl_->index.end()) {
-        // Concurrent misses can race to store the same evaluation; keep
-        // whichever entry carries outputs (they are otherwise equal).
-        if (it->second->hasOutputs && !entry.hasOutputs) {
-            impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
-            return;
-        }
-        impl_->bytes -= it->second->bytes;
-        impl_->lru.erase(it->second);
-        impl_->index.erase(it);
+    if (diskDir.empty())
+        return;
+    // Write-through. A report-only evaluation never clobbers an existing
+    // file (it might carry outputs from a functional run); an evaluation
+    // with outputs always refreshes it.
+    const std::string path = diskPathFor(diskDir, key);
+    if (!outputsOf && fileExists(path))
+        return;
+    if (writeDiskEntry(diskDir, key, payload)) {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->diskStores++;
+        NPP_TRACE_COUNT("evalcache.disk_stores", 1);
     }
-    impl_->bytes += entry.bytes;
-    impl_->lru.push_front(std::move(entry));
-    impl_->index[key] = impl_->lru.begin();
-    impl_->evictTo(static_cast<uint64_t>(capacityBytes_));
 }
 
 EvalCacheStats
@@ -304,6 +875,10 @@ EvalCache::stats() const
     s.evictions = impl_->evictions;
     s.entries = impl_->lru.size();
     s.bytes = impl_->bytes;
+    s.diskHits = impl_->diskHits;
+    s.diskMisses = impl_->diskMisses;
+    s.diskStores = impl_->diskStores;
+    s.diskRejects = impl_->diskRejects;
     return s;
 }
 
@@ -311,9 +886,12 @@ std::string
 EvalCacheStats::toJson() const
 {
     return fmt("{\"hits\":{},\"misses\":{},\"evictions\":{},"
-               "\"entries\":{},\"bytes\":{},\"hit_rate\":{}}",
+               "\"entries\":{},\"bytes\":{},\"hit_rate\":{},"
+               "\"disk_hits\":{},\"disk_misses\":{},\"disk_stores\":{},"
+               "\"disk_rejects\":{}}",
                hits, misses, evictions, entries, bytes,
-               fixed(hitRate(), 6));
+               fixed(hitRate(), 6), diskHits, diskMisses, diskStores,
+               diskRejects);
 }
 
 void
@@ -326,6 +904,10 @@ EvalCache::clear()
     impl_->hits = 0;
     impl_->misses = 0;
     impl_->evictions = 0;
+    impl_->diskHits = 0;
+    impl_->diskMisses = 0;
+    impl_->diskStores = 0;
+    impl_->diskRejects = 0;
 }
 
 void
@@ -337,21 +919,48 @@ EvalCache::setCapacityBytes(int64_t bytes)
 }
 
 void
+EvalCache::setDiskDir(const std::string &dir)
+{
+    if (!dir.empty())
+        ensureDir(dir);
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->diskDir = dir;
+}
+
+std::string
+EvalCache::diskDir() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->diskDir;
+}
+
+void
 EvalCache::resetCounters()
 {
+    // Every effectiveness counter resets together: a per-phase report
+    // must not show phase N's evictions or disk traffic next to phase
+    // N+1's hit rate.
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->hits = 0;
     impl_->misses = 0;
+    impl_->evictions = 0;
+    impl_->diskHits = 0;
+    impl_->diskMisses = 0;
+    impl_->diskStores = 0;
+    impl_->diskRejects = 0;
 }
 
 SimReport
 cachedCompileAndRun(const Gpu &gpu, const Program &prog,
                     const Bindings &args, const CompileOptions &copts,
-                    const ExecOptions &eopts, bool wantOutputs)
+                    const ExecOptions &eopts, bool wantOutputs,
+                    EvalTier *tierOut)
 {
     EvalCache &cache = EvalCache::instance();
     ExecOptions eo = eopts;
     eo.metricsOnly = !wantOutputs;
+    if (tierOut)
+        *tierOut = EvalTier::Simulated;
     if (!cache.enabled())
         return gpu.compileAndRun(prog, args, copts, eo);
 
@@ -362,7 +971,7 @@ cachedCompileAndRun(const Gpu &gpu, const Program &prog,
     const uint64_t key = EvalCache::combine(
         EvalCache::combine(specSeed, EvalCache::hashBindings(args)),
         EvalCache::hashExec(eo));
-    if (auto hit = cache.find(key, wantOutputs, &args))
+    if (auto hit = cache.find(key, wantOutputs, &args, tierOut))
         return *hit;
     SimReport report = gpu.compileAndRun(prog, args, copts, eo);
     cache.store(key, report, wantOutputs ? &args : nullptr);
@@ -371,18 +980,21 @@ cachedCompileAndRun(const Gpu &gpu, const Program &prog,
 
 SimReport
 cachedRun(const Gpu &gpu, const KernelSpec &spec, const Bindings &args,
-          const ExecOptions &eopts, uint64_t specSeed, bool wantOutputs)
+          const ExecOptions &eopts, uint64_t specSeed, bool wantOutputs,
+          EvalTier *tierOut)
 {
     EvalCache &cache = EvalCache::instance();
     ExecOptions eo = eopts;
     eo.metricsOnly = !wantOutputs;
+    if (tierOut)
+        *tierOut = EvalTier::Simulated;
     if (!cache.enabled())
         return gpu.run(spec, args, eo);
 
     const uint64_t key = EvalCache::combine(
         EvalCache::combine(specSeed, EvalCache::hashBindings(args)),
         EvalCache::hashExec(eo));
-    if (auto hit = cache.find(key, wantOutputs, &args))
+    if (auto hit = cache.find(key, wantOutputs, &args, tierOut))
         return *hit;
     SimReport report = gpu.run(spec, args, eo);
     cache.store(key, report, wantOutputs ? &args : nullptr);

@@ -1,27 +1,43 @@
 /**
  * @file
- * Memoization cache for compile-and-simulate evaluations. Autotune picks,
- * figure sweeps, and repeated Runner launches frequently re-evaluate the
- * exact same (program, mapping/options, bindings) triple; the cache keys
- * evaluations by structural program hash, compile-option hash (including
- * the MappingDecision), binding fingerprint (scalar values, array sizes
- * and contents), and execution-option hash, and returns the memoized
+ * Tiered memoization cache for compile-and-simulate evaluations. Autotune
+ * picks, figure sweeps, repeated Runner launches, and mapping-service
+ * requests frequently re-evaluate the exact same (program,
+ * mapping/options, bindings) triple; the cache keys evaluations by
+ * structural program hash, compile-option hash (including the
+ * MappingDecision), binding fingerprint (scalar values, array sizes and
+ * contents), and execution-option hash, and returns the memoized
  * SimReport — skipping both compileProgram and the simulated run.
  *
- * Invalidation rules (see DESIGN.md "Performance architecture"):
+ * Two tiers (see DESIGN.md "Tiered eval cache + mapping service"):
+ *  - an in-process, mutex-guarded, LRU byte-capped memory tier (default
+ *    4 GB; NPP_EVAL_CACHE_MB overrides, NPP_EVAL_CACHE=off disables);
+ *  - an optional on-disk, content-addressed tier shared across
+ *    processes: one file per entry under NPP_EVAL_CACHE_DIR, named by
+ *    the 64-bit key, with a versioned binary header (magic, format
+ *    version, coalesce-model tag, key, payload checksum). Memory misses
+ *    fall through to disk; disk hits promote into memory; stores
+ *    write through via temp-file + atomic rename, so concurrent
+ *    processes never observe a partial entry. Truncated, corrupt,
+ *    wrong-version, or wrong-model files are rejected as misses (and
+ *    counted), never trusted. NPP_EVAL_CACHE_DISK=off keeps the memory
+ *    tier but ignores the directory.
+ *
+ * Invalidation rules:
  *  - any change to the program text, size hints, compile options, device
  *    parameters, bound scalars, or bound array contents changes the key
- *    (there is no in-place invalidation — stale entries age out via LRU);
+ *    (there is no in-place invalidation — stale memory entries age out
+ *    via LRU; stale disk entries are unreachable garbage);
+ *  - a change to the coalescing model (kCoalesceModelVersion) or the
+ *    serialized report layout (bump kEvalCacheDiskFormatVersion)
+ *    invalidates every disk entry via the header check;
  *  - metricsOnly/blockClasses execution modes are excluded from the key
  *    because they are report-identical by construction (enforced by the
  *    determinism test), so metrics-only autotune trials warm the cache
  *    for later functional runs;
  *  - entries carry output-array contents only when stored from a
- *    functional run; a wantOutputs lookup ignores report-only entries.
- *
- * The cache is process-global, mutex-guarded, and LRU-bounded by bytes
- * (default 4 GB — one full figure sweep stores ~0.7 GB of memoized
- * outputs; NPP_EVAL_CACHE_MB overrides, NPP_EVAL_CACHE=0 disables).
+ *    functional run; a wantOutputs lookup ignores report-only entries
+ *    in both tiers.
  */
 
 #ifndef NPP_SIM_EVALCACHE_H
@@ -29,12 +45,29 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "sim/gpu.h"
 
 namespace npp {
 
-/** Cache occupancy and effectiveness counters. */
+/** Bump on any change to the serialized disk-entry layout. */
+inline constexpr uint32_t kEvalCacheDiskFormatVersion = 1;
+
+/** Where an evaluation's report came from (cache-tier provenance,
+ *  reported per request by the mapping service). */
+enum class EvalTier {
+    Simulated, //!< both tiers missed; the simulator ran
+    Memory,    //!< in-process LRU hit
+    Disk       //!< on-disk entry hit (promoted into memory)
+};
+
+const char *evalTierName(EvalTier tier);
+
+/** Cache occupancy and effectiveness counters. hits/misses count
+ *  memory-tier probes; the disk counters record what happened when a
+ *  memory miss fell through to a configured disk tier (they stay zero
+ *  without one). */
 struct EvalCacheStats
 {
     uint64_t hits = 0;
@@ -42,6 +75,15 @@ struct EvalCacheStats
     uint64_t evictions = 0;
     uint64_t entries = 0;
     uint64_t bytes = 0;
+
+    /** @name Disk tier (all zero when NPP_EVAL_CACHE_DIR is unset)
+     *  @{
+     */
+    uint64_t diskHits = 0;    //!< valid entry served from disk
+    uint64_t diskMisses = 0;  //!< no usable file for the key
+    uint64_t diskStores = 0;  //!< entries written (atomic rename done)
+    uint64_t diskRejects = 0; //!< corrupt/truncated/wrong-version files
+    /** @} */
 
     double
     hitRate() const
@@ -72,28 +114,46 @@ class EvalCache
 
     bool enabled() const { return capacityBytes_ > 0; }
 
-    /** Probe the cache. On a hit with wantOutputs, the memoized output
-     *  arrays are copied into `args`'s bound storage (a report-only
-     *  entry is treated as a miss). */
+    /** Probe the tiers in order (memory, then disk when configured). On
+     *  a hit with wantOutputs, the memoized output arrays are copied
+     *  into `args`'s bound storage (a report-only entry is treated as a
+     *  miss). When `tierOut` is non-null it reports where the hit came
+     *  from (unchanged on a miss). */
     std::optional<SimReport> find(uint64_t key, bool wantOutputs,
-                                  const Bindings *args);
+                                  const Bindings *args,
+                                  EvalTier *tierOut = nullptr);
 
-    /** Insert an evaluation. When `outputsOf` is non-null the current
-     *  contents of its output arrays are captured so later wantOutputs
-     *  lookups can replay them. */
+    /** Insert an evaluation into both tiers (write-through when a disk
+     *  directory is configured). When `outputsOf` is non-null the
+     *  current contents of its output arrays are captured so later
+     *  wantOutputs lookups can replay them. */
     void store(uint64_t key, const SimReport &report,
                const Bindings *outputsOf);
 
     EvalCacheStats stats() const;
+
+    /** Drop every memory-tier entry and reset all counters. Disk-tier
+     *  files are untouched (they are the point: a cleared or restarted
+     *  process re-hits them). */
     void clear();
-    /** Reset the hit/miss counters without dropping entries. */
+
+    /** Reset every effectiveness counter (hits, misses, evictions, and
+     *  the disk-tier counters) without dropping entries — per-phase
+     *  bench reports must not carry one phase's counts into the next. */
     void resetCounters();
 
-    /** Override the byte budget (0 disables). Used by benches/tests to
+    /** Override the byte budget of the memory tier (0 disables the
+     *  whole cache, disk tier included). Used by benches/tests to
      *  compare cached vs uncached pipelines in one process; evicts down
      *  to the new budget immediately. */
     void setCapacityBytes(int64_t bytes);
     int64_t capacityBytes() const { return capacityBytes_; }
+
+    /** Point the disk tier at a directory (created if missing), or
+     *  detach it with an empty string. Programmatic override of
+     *  NPP_EVAL_CACHE_DIR for tests and benches. */
+    void setDiskDir(const std::string &dir);
+    std::string diskDir() const;
 
   private:
     EvalCache();
@@ -106,12 +166,15 @@ class EvalCache
 /**
  * Memoized Gpu::compileAndRun. `wantOutputs` selects functional fidelity:
  * true runs (and stores) full outputs; false runs metrics-only, which is
- * cheaper (block classing) and race-free under concurrency.
+ * cheaper (block classing) and race-free under concurrency. `tierOut`
+ * (optional) reports the cache-tier provenance of the returned report;
+ * EvalTier::Simulated when both tiers missed or the cache is disabled.
  */
 SimReport cachedCompileAndRun(const Gpu &gpu, const Program &prog,
                               const Bindings &args,
                               const CompileOptions &copts,
-                              const ExecOptions &eopts, bool wantOutputs);
+                              const ExecOptions &eopts, bool wantOutputs,
+                              EvalTier *tierOut = nullptr);
 
 /**
  * Memoized Gpu::run for an already-compiled spec. `specSeed` must
@@ -120,7 +183,8 @@ SimReport cachedCompileAndRun(const Gpu &gpu, const Program &prog,
  */
 SimReport cachedRun(const Gpu &gpu, const KernelSpec &spec,
                     const Bindings &args, const ExecOptions &eopts,
-                    uint64_t specSeed, bool wantOutputs);
+                    uint64_t specSeed, bool wantOutputs,
+                    EvalTier *tierOut = nullptr);
 
 } // namespace npp
 

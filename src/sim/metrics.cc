@@ -53,6 +53,13 @@ jsonEscape(const std::string &s)
 
 } // namespace
 
+uint64_t
+SimReport::heapBytes() const
+{
+    return stats.siteTraffic.capacity() * sizeof(SiteTraffic) +
+           stats.classReason.capacity();
+}
+
 std::string
 SimReport::toString() const
 {

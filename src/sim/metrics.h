@@ -165,6 +165,12 @@ struct SimReport
 
     KernelStats stats;
 
+    /** Heap bytes owned by this report beyond sizeof(SimReport): the
+     *  per-site traffic table (siteStats runs) and the classing
+     *  diagnostic string. Used by the EvalCache byte accounting so a
+     *  stats-heavy entry is charged what it actually costs. */
+    uint64_t heapBytes() const;
+
     std::string toString() const;
 
     /** Machine-readable export (--stats): every field of the report and

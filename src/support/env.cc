@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <string>
 
 #include "support/logging.h"
 
@@ -34,6 +35,37 @@ parseEnvInt(const char *name, int64_t fallback, int64_t lo, int64_t hi)
         return fallback;
     }
     return parsed;
+}
+
+bool
+parseEnvBool(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+
+    const char *begin = env;
+    while (std::isspace(static_cast<unsigned char>(*begin)))
+        begin++;
+    const char *end = begin;
+    while (*end && !std::isspace(static_cast<unsigned char>(*end)))
+        end++;
+    std::string word(begin, end);
+    while (*end && std::isspace(static_cast<unsigned char>(*end)))
+        end++;
+    for (char &c : word)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+    if (*end == '\0') {
+        if (word == "1" || word == "true" || word == "on" || word == "yes")
+            return true;
+        if (word == "0" || word == "false" || word == "off" || word == "no")
+            return false;
+    }
+    NPP_WARN("{}={} is not a boolean (1/true/on/yes or 0/false/off/no); "
+             "using {}",
+             name, env, fallback ? "true" : "false");
+    return fallback;
 }
 
 } // namespace npp

@@ -1,10 +1,11 @@
 /**
  * @file
- * Hardened environment-variable parsing. Every numeric NPP_* knob goes
- * through parseEnvInt so that garbage, zero/negative, and out-of-range
- * values produce one logged warning and a sane fallback instead of a
- * silent misconfiguration (NPP_THREADS=abc used to mean "1 thread",
- * NPP_EVAL_CACHE_MB=-1 used to mean "cache disabled by overflow").
+ * Hardened environment-variable parsing. Every NPP_* knob goes through
+ * parseEnvInt / parseEnvBool so that garbage, zero/negative, and
+ * out-of-range values produce one logged warning and a sane fallback
+ * instead of a silent misconfiguration (NPP_THREADS=abc used to mean
+ * "1 thread", NPP_EVAL_CACHE_MB=-1 used to mean "cache disabled by
+ * overflow", NPP_EVAL_CACHE=off used to mean "cache enabled").
  */
 
 #ifndef NPP_SUPPORT_ENV_H
@@ -25,6 +26,18 @@ namespace npp {
  */
 int64_t parseEnvInt(const char *name, int64_t fallback, int64_t lo,
                     int64_t hi);
+
+/**
+ * Read a boolean environment variable with validation (same
+ * warn+fallback contract as parseEnvInt).
+ *
+ * Returns `fallback` (without a warning) when the variable is unset.
+ * Accepted spellings, case-insensitive and whitespace-trimmed:
+ * "1"/"true"/"on"/"yes" for true, "0"/"false"/"off"/"no" for false.
+ * Anything else ("00", "disable", "2", "") logs one NPP_WARN naming the
+ * variable and the accepted spellings, then returns `fallback`.
+ */
+bool parseEnvBool(const char *name, bool fallback);
 
 } // namespace npp
 

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/env.h"
 #include "support/logging.h"
 
 namespace npp {
@@ -98,10 +99,8 @@ struct Trace::Impl
 Trace::Trace()
     : impl_(new Impl)
 {
-    if (const char *env = std::getenv("NPP_TRACE")) {
-        if (env[0] && !(env[0] == '0' && env[1] == '\0'))
-            enabled_.store(true, std::memory_order_relaxed);
-    }
+    if (parseEnvBool("NPP_TRACE", false))
+        enabled_.store(true, std::memory_order_relaxed);
 }
 
 Trace &

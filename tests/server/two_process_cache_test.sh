@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Two-process disk-tier test: the first nppc process populates
+# NPP_EVAL_CACHE_DIR, a second (fresh) process must replay the
+# evaluation from disk — provenance "disk", disk_hits > 0 — and its
+# simulated-timing report must be bit-identical to the first one's.
+set -euo pipefail
+
+NPPC="$1"
+WORK="$(mktemp -d /tmp/npp_twoproc_XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+export NPP_EVAL_CACHE_DIR="$WORK/cache"
+
+run_nppc() {
+    "$NPPC" sumrows --size=rows=256 --size=cols=256 --run "--stats=$1"
+}
+
+run_nppc "$WORK/cold.json" > "$WORK/cold.out"
+grep -q "eval cache: simulated" "$WORK/cold.out" || {
+    echo "FAIL: cold run should have simulated"; cat "$WORK/cold.out"; exit 1; }
+ls "$NPP_EVAL_CACHE_DIR"/*.nppeval > /dev/null || {
+    echo "FAIL: no disk entry written"; exit 1; }
+
+run_nppc "$WORK/warm.json" > "$WORK/warm.out"
+grep -q "eval cache: disk" "$WORK/warm.out" || {
+    echo "FAIL: warm run should have hit the disk tier"; cat "$WORK/warm.out"; exit 1; }
+
+python3 - "$WORK/cold.json" "$WORK/warm.json" <<'EOF'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert cold["provenance"] == "simulated", cold["provenance"]
+assert warm["provenance"] == "disk", warm["provenance"]
+assert warm["eval_cache"]["disk_hits"] > 0, warm["eval_cache"]
+assert cold["eval_cache"]["disk_stores"] > 0, cold["eval_cache"]
+# Bit-identical replay: the simulated-timing report of the warm process
+# must match the cold one exactly (doubles round-trip as bit patterns).
+assert cold["report"] == warm["report"], "reports differ across processes"
+print("two-process disk cache round trip OK")
+EOF

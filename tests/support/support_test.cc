@@ -167,6 +167,39 @@ TEST(ParseEnvInt, NegativeValuesAllowedWhenRangeAllows)
     unsetenv("NPP_TEST_KNOB");
 }
 
+TEST(ParseEnvBool, UnsetReturnsFallbackSilently)
+{
+    unsetenv("NPP_TEST_FLAG");
+    EXPECT_TRUE(parseEnvBool("NPP_TEST_FLAG", true));
+    EXPECT_FALSE(parseEnvBool("NPP_TEST_FLAG", false));
+}
+
+TEST(ParseEnvBool, AcceptedSpellings)
+{
+    for (const char *on : {"1", "true", "on", "yes", "TRUE", "On", " 1 "}) {
+        setenv("NPP_TEST_FLAG", on, 1);
+        EXPECT_TRUE(parseEnvBool("NPP_TEST_FLAG", false)) << on;
+    }
+    for (const char *off :
+         {"0", "false", "off", "no", "FALSE", "Off", "  no  "}) {
+        setenv("NPP_TEST_FLAG", off, 1);
+        EXPECT_FALSE(parseEnvBool("NPP_TEST_FLAG", true)) << off;
+    }
+    unsetenv("NPP_TEST_FLAG");
+}
+
+TEST(ParseEnvBool, GarbageFallsBack)
+{
+    // The NPP_EVAL_CACHE=0 disable switch used to match only the literal
+    // string "0"; every spelling here silently left the cache enabled.
+    for (const char *bad : {"00", "disable", "2", "", "o ff", "falsey"}) {
+        setenv("NPP_TEST_FLAG", bad, 1);
+        EXPECT_TRUE(parseEnvBool("NPP_TEST_FLAG", true)) << bad;
+        EXPECT_FALSE(parseEnvBool("NPP_TEST_FLAG", false)) << bad;
+    }
+    unsetenv("NPP_TEST_FLAG");
+}
+
 TEST(Strings, Join)
 {
     std::vector<std::string> parts = {"a", "b", "c"};

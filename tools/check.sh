@@ -9,15 +9,23 @@
 #   tools/check.sh differential # build + classed-vs-full suite only
 #   tools/check.sh coalesce     # asan build + shift-invariance and
 #                               # differential suites
+#   tools/check.sh server       # mapping-service + disk-cache suite in
+#                               # the default AND asan trees
 #   tools/check.sh all          # all four builds, in order
 #
 # Every ctest invocation runs the full suite, including the classed
-# differential tests (labeled `differential`) and the coalescing-model
-# suite (labeled `coalesce`); the `differential` job builds the default
-# tree and runs just that label for a quick check of the block-classing
-# bit-exactness contract, and the `coalesce` job runs the
-# coalescing-model contracts (shift invariance, classing regressions,
-# classed-vs-full bit identity) under AddressSanitizer.
+# differential tests (labeled `differential`), the coalescing-model
+# suite (labeled `coalesce`), and the mapping-service suite (labeled
+# `server`); the `differential` job builds the default tree and runs
+# just that label for a quick check of the block-classing bit-exactness
+# contract, the `coalesce` job runs the coalescing-model contracts
+# (shift invariance, classing regressions, classed-vs-full bit
+# identity) under AddressSanitizer, and the `server` job runs the
+# mapping-service protocol, request-coalescing, and hostile-disk-entry
+# tests twice — default build for speed, asan build so corrupt cache
+# files and malformed requests exercise the deserializer under
+# sanitizers. Each server-suite test creates its own temp
+# NPP_EVAL_CACHE_DIR, so parallel jobs never share cache state.
 #
 # Each job uses its own build directory (build/, build-asan/,
 # build-tsan/, build-ubsan/) so sanitizer and plain objects never mix.
@@ -63,6 +71,16 @@ coalesce)
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
         -L 'coalesce|differential'
     ;;
+server)
+    echo "== check: server (build) =="
+    cmake -B build -S .
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L server
+    echo "== check: server (build-asan) =="
+    cmake -B build-asan -S . -DNPP_ASAN=ON
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L server
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
@@ -70,7 +88,7 @@ all)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|all]" >&2
     exit 2
     ;;
 esac

@@ -5,10 +5,12 @@
  * the generated constraints, the candidate search outcome, the selected
  * mapping, the generated CUDA, and a simulated run.
  *
- *     nppc <program> [--strategy=multidim|1d|tbt|warp]
+ *     nppc <program> [--strategy=multidim|1d|tbt|warp] [--size=key=N]...
  *                    [--ir] [--constraints] [--mapping] [--cuda]
  *                    [--run] [--explain] [--trace=FILE] [--stats=FILE]
  *                    [--all]
+ *     nppc serve --socket=PATH [--hold-eval-ms=N]
+ *     nppc <program|ping|stats|shutdown> --client=PATH [...]
  *
  * --explain prints the mapping-decision report (why this dim/block/span:
  * hard-filter verdicts, per-constraint score contributions, tie-breaks)
@@ -22,161 +24,40 @@
  * (coalescing efficiency per trace site, occupancy, overhead shares,
  * EvalCache counters) as JSON.
  *
+ * Simulated runs are memoized through the tiered EvalCache: point
+ * NPP_EVAL_CACHE_DIR at a directory and a second nppc process replays
+ * the first one's evaluation from disk (the --stats export's
+ * "eval_cache" object reports the tier counters).
+ *
+ * `serve` turns the same pipeline into a long-lived mapping service on
+ * a Unix socket (newline-delimited JSON requests; see src/server/
+ * server.h for the protocol). `--client=PATH` sends the request to a
+ * running server instead of evaluating locally: a program name becomes
+ * an eval request (honoring --strategy/--size/--explain), and the
+ * pseudo-programs ping / stats / shutdown become typed requests.
+ *
  * programs: sumrows, sumcols, weightedrows, weightedcols, pagerank,
  *           mandelbrot
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
-#include "apps/sums.h"
-#include "ir/builder.h"
 #include "ir/printer.h"
+#include "server/json.h"
+#include "server/programs.h"
+#include "server/server.h"
 #include "sim/evalcache.h"
 #include "sim/gpu.h"
-#include "support/rng.h"
+#include "support/strings.h"
 #include "support/trace.h"
 
 using namespace npp;
 
 namespace {
-
-struct Demo
-{
-    std::shared_ptr<Program> prog;
-    std::function<void(Bindings &)> bind;
-    std::unordered_map<int, double> params;
-    bool fuse = false;
-};
-
-Demo
-sumDemo(bool byCols, bool weighted)
-{
-    SumsProgram sp = buildSum(byCols, weighted);
-    const int64_t R = 2048, C = 2048;
-    Demo d;
-    d.prog = sp.prog;
-    d.params = {{sp.r.ref()->varId, static_cast<double>(R)},
-                {sp.c.ref()->varId, static_cast<double>(C)}};
-    d.bind = [sp, R, C](Bindings &args) {
-        static std::vector<double> m, v, out;
-        Rng rng(1);
-        m.assign(R * C, 0.0);
-        for (auto &x : m)
-            x = rng.uniform(0, 1);
-        args.scalar(sp.r, static_cast<double>(R));
-        args.scalar(sp.c, static_cast<double>(C));
-        args.array(sp.m, m);
-        if (sp.weighted) {
-            v.assign(std::max(R, C), 1.0);
-            args.array(sp.v, v);
-        }
-        out.assign(sp.outputSize(R, C), 0.0);
-        args.array(sp.out, out);
-    };
-    return d;
-}
-
-Demo
-pagerankDemo()
-{
-    ProgramBuilder b("pagerank_step");
-    Arr start = b.inI64("rowStart");
-    Arr nbrs = b.inI64("nbrs");
-    Arr deg = b.inF64("degree");
-    Arr prev = b.inF64("prev");
-    Ex n = b.paramI64("numNodes");
-    Ex damp = b.paramF64("damp");
-    Arr out = b.outF64("rank");
-    Arr st = start, nb = nbrs, dg = deg, pv = prev;
-    Ex np = n, dp = damp;
-    b.map(np, out, [&](Body &fn, Ex v) {
-        Ex begin = fn.let("begin", st(v));
-        Ex cnt = fn.let("cnt", st(v + 1) - begin);
-        Arr weights = fn.map(cnt, [&](Body &, Ex e) {
-            return pv(nb(begin + e)) / dg(nb(begin + e));
-        });
-        Ex sum = fn.reduce(cnt, Op::Add,
-                           [&](Body &, Ex e) { return weights(e); });
-        return (1.0 - dp) / np + dp * sum;
-    });
-    Demo d;
-    d.prog = std::make_shared<Program>(b.build());
-    d.fuse = true;
-    const int64_t N = 8192;
-    d.params = {{n.ref()->varId, static_cast<double>(N)}};
-    d.bind = [=](Bindings &args) {
-        static std::vector<double> startD, nbrD, degD, prevD, rankD;
-        if (startD.empty()) {
-            Rng rng(3);
-            startD.push_back(0);
-            for (int64_t v = 0; v < N; v++) {
-                const int64_t degN = 1 + rng.below(16);
-                for (int64_t e = 0; e < degN; e++)
-                    nbrD.push_back(static_cast<double>(rng.below(N)));
-                startD.push_back(static_cast<double>(nbrD.size()));
-            }
-            degD.assign(N, 1.0);
-            for (double x : nbrD)
-                degD[static_cast<int64_t>(x)] += 1.0;
-            prevD.assign(N, 1.0 / N);
-        }
-        rankD.assign(N, 0.0);
-        args.scalar(n, static_cast<double>(N));
-        args.scalar(damp, 0.85);
-        args.array(start, startD);
-        args.array(nbrs, nbrD);
-        args.array(deg, degD);
-        args.array(prev, prevD);
-        args.array(out, rankD);
-    };
-    return d;
-}
-
-Demo
-mandelDemo()
-{
-    ProgramBuilder b("mandelbrot");
-    Ex h = b.paramI64("H"), w = b.paramI64("W");
-    Arr img = b.outF64("img");
-    Ex hp = h, wp = w;
-    Arr im = img;
-    b.foreach(hp, [&](Body &outer, Ex y) {
-        outer.foreach(wp, [&](Body &fn, Ex x) {
-            Ex cr = fn.let("cr", (Ex(x) * 3.5) / wp - 2.5);
-            Ex ci = fn.let("ci", (Ex(y) * 2.0) / hp - 1.0);
-            Mut zr = fn.mut("zr", Ex(0.0));
-            Mut zi = fn.mut("zi", Ex(0.0));
-            Mut steps = fn.mut("steps", Ex(0.0));
-            fn.seqLoop(
-                Ex(24),
-                [&](Body &body, Ex) {
-                    Ex nzr = body.let(
-                        "nzr", zr.ex() * zr.ex() - zi.ex() * zi.ex() + cr);
-                    Ex nzi = body.let("nzi", zr.ex() * zi.ex() * 2.0 + ci);
-                    body.assign(zr, nzr);
-                    body.assign(zi, nzi);
-                    body.assign(steps, steps.ex() + 1.0);
-                },
-                zr.ex() * zr.ex() + zi.ex() * zi.ex() > 4.0);
-            fn.store(im, y * wp + x, steps.ex());
-        });
-    });
-    Demo d;
-    d.prog = std::make_shared<Program>(b.build());
-    const int64_t H = 256, W = 1024;
-    d.params = {{h.ref()->varId, static_cast<double>(H)},
-                {w.ref()->varId, static_cast<double>(W)}};
-    d.bind = [=](Bindings &args) {
-        static std::vector<double> imgD;
-        imgD.assign(H * W, 0.0);
-        args.scalar(h, static_cast<double>(H));
-        args.scalar(w, static_cast<double>(W));
-        args.array(img, imgD);
-    };
-    return d;
-}
 
 /** One-line block-classing verdict for --run/--stats/--explain output. */
 std::string
@@ -196,12 +77,80 @@ usage()
     std::fprintf(
         stderr,
         "usage: nppc <program> [options]\n"
-        "  programs: sumrows sumcols weightedrows weightedcols pagerank "
-        "mandelbrot\n"
-        "  options:  --strategy=multidim|1d|tbt|warp\n"
+        "       nppc serve --socket=PATH [--hold-eval-ms=N]\n"
+        "       nppc <program|ping|stats|shutdown> --client=PATH [...]\n"
+        "  programs: %s\n"
+        "  options:  --strategy=multidim|1d|tbt|warp --size=key=N\n"
         "            --ir --constraints --mapping --cuda --run --all\n"
-        "            --explain --trace=FILE --stats=FILE\n");
+        "            --explain --trace=FILE --stats=FILE\n",
+        join(demoProgramNames(), " ").c_str());
     return 2;
+}
+
+int
+runServe(int argc, char **argv)
+{
+    ServeOptions opts;
+    for (int i = 2; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0)
+            opts.socketPath = arg.substr(std::strlen("--socket="));
+        else if (arg.rfind("--hold-eval-ms=", 0) == 0)
+            opts.holdEvalMs =
+                std::atoi(arg.c_str() + std::strlen("--hold-eval-ms="));
+        else
+            return usage();
+    }
+    if (opts.socketPath.empty()) {
+        std::fprintf(stderr, "nppc serve: --socket=PATH is required\n");
+        return 2;
+    }
+    MappingServer server(opts);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "nppc serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("serving on %s (send {\"type\":\"shutdown\"} to stop)\n",
+                opts.socketPath.c_str());
+    std::fflush(stdout);
+    server.wait();
+    const ServerStats stats = server.stats();
+    std::printf("served %llu requests (%llu evaluations, %llu simulated, "
+                "%llu coalesced, %llu errors)\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.evaluations),
+                static_cast<unsigned long long>(stats.simulations),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.errors));
+    return 0;
+}
+
+/** Build the request JSON for client mode out of the CLI arguments. */
+std::string
+clientRequest(const std::string &name, const std::string &strategy,
+              const std::map<std::string, int64_t> &sizes, bool explain)
+{
+    if (name == "ping" || name == "stats" || name == "shutdown")
+        return fmt("{\"type\":\"{}\"}", name);
+    std::string req = fmt("{\"type\":\"eval\",\"program\":\"{}\"",
+                          jsonEscape(name));
+    if (!strategy.empty())
+        req += fmt(",\"strategy\":\"{}\"", strategy);
+    if (!sizes.empty()) {
+        req += ",\"sizes\":{";
+        bool first = true;
+        for (const auto &[key, val] : sizes) {
+            if (!first)
+                req += ",";
+            req += fmt("\"{}\":{}", jsonEscape(key), val);
+            first = false;
+        }
+        req += "}";
+    }
+    if (explain)
+        req += ",\"explain\":true";
+    return req + "}";
 }
 
 } // namespace
@@ -213,25 +162,13 @@ main(int argc, char **argv)
         return usage();
 
     const std::string name = argv[1];
-    Demo demo;
-    if (name == "sumrows")
-        demo = sumDemo(false, false);
-    else if (name == "sumcols")
-        demo = sumDemo(true, false);
-    else if (name == "weightedrows")
-        demo = sumDemo(false, true);
-    else if (name == "weightedcols")
-        demo = sumDemo(true, true);
-    else if (name == "pagerank")
-        demo = pagerankDemo();
-    else if (name == "mandelbrot")
-        demo = mandelDemo();
-    else
-        return usage();
+    if (name == "serve")
+        return runServe(argc, argv);
 
     bool showIr = false, showConstraints = false, showMapping = false,
          showCuda = false, doRun = false, explain = false;
-    std::string tracePath, statsPath;
+    std::string tracePath, statsPath, clientSocket, strategyStr;
+    std::map<std::string, int64_t> sizes;
     Strategy strategy = Strategy::MultiDim;
     for (int i = 2; i < argc; i++) {
         const std::string arg = argv[i];
@@ -251,20 +188,54 @@ main(int argc, char **argv)
             tracePath = arg.substr(std::strlen("--trace="));
         else if (arg.rfind("--stats=", 0) == 0)
             statsPath = arg.substr(std::strlen("--stats="));
-        else if (arg == "--all")
+        else if (arg.rfind("--client=", 0) == 0)
+            clientSocket = arg.substr(std::strlen("--client="));
+        else if (arg.rfind("--size=", 0) == 0) {
+            const std::string kv = arg.substr(std::strlen("--size="));
+            const size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                return usage();
+            sizes[kv.substr(0, eq)] =
+                std::atoll(kv.c_str() + eq + 1);
+        } else if (arg == "--all")
             showIr = showConstraints = showMapping = showCuda = doRun =
                 explain = true;
         else if (arg == "--strategy=multidim")
-            strategy = Strategy::MultiDim;
+            strategy = Strategy::MultiDim, strategyStr = "multidim";
         else if (arg == "--strategy=1d")
-            strategy = Strategy::OneD;
+            strategy = Strategy::OneD, strategyStr = "1d";
         else if (arg == "--strategy=tbt")
-            strategy = Strategy::ThreadBlockThread;
+            strategy = Strategy::ThreadBlockThread, strategyStr = "tbt";
         else if (arg == "--strategy=warp")
-            strategy = Strategy::WarpBased;
+            strategy = Strategy::WarpBased, strategyStr = "warp";
         else
             return usage();
     }
+
+    if (!clientSocket.empty()) {
+        const std::string request =
+            clientRequest(name, strategyStr, sizes, explain);
+        std::string response, error;
+        if (!serveRoundTrip(clientSocket, request, &response, &error)) {
+            std::fprintf(stderr, "nppc --client: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", response.c_str());
+        std::optional<JsonValue> parsed = parseJson(response);
+        return parsed && parsed->get("ok") &&
+                       parsed->get("ok")->asBool()
+                   ? 0
+                   : 1;
+    }
+
+    std::string demoError;
+    std::unique_ptr<DemoProgram> demo =
+        buildDemoProgram(name, sizes, &demoError);
+    if (!demo) {
+        std::fprintf(stderr, "nppc: %s\n", demoError.c_str());
+        return usage();
+    }
+
     if (!showIr && !showConstraints && !showMapping && !showCuda &&
         !doRun && !explain && statsPath.empty())
         showMapping = showCuda = true; // sensible default
@@ -277,18 +248,23 @@ main(int argc, char **argv)
     Gpu gpu;
     CompileOptions copts;
     copts.strategy = strategy;
-    copts.paramValues = demo.params;
-    copts.fuseMapReduce = demo.fuse;
+    copts.paramValues = demo->params;
+    copts.fuseMapReduce = demo->fuse;
     copts.explainSearch = explain;
     CompileResult compiled =
-        compileProgram(*demo.prog, gpu.config(), copts);
+        compileProgram(*demo->prog, gpu.config(), copts);
+    // Seed for cachedRun: identifies how the spec above was produced.
+    const uint64_t specSeed = EvalCache::combine(
+        EvalCache::combine(EvalCache::hashProgram(*demo->prog),
+                           EvalCache::hashCompileOptions(copts)),
+        EvalCache::hashDevice(gpu.config()));
 
     if (showIr)
-        std::printf("== IR ==\n%s\n", printProgram(*demo.prog).c_str());
+        std::printf("== IR ==\n%s\n", printProgram(*demo->prog).c_str());
     if (showConstraints) {
         AnalysisEnv env;
         env.prog = compiled.spec.prog;
-        env.paramValues = demo.params;
+        env.paramValues = demo->params;
         ConstraintSet cs =
             buildConstraints(*compiled.spec.prog, env, gpu.config());
         std::printf("== Constraints ==\n");
@@ -313,33 +289,39 @@ main(int argc, char **argv)
             // The classing verdict comes from execution, not from the
             // mapping search; a metrics-only run is cheap and shows
             // whether the simulator will merge equivalent blocks.
-            Bindings args(*demo.prog);
-            demo.bind(args);
+            Bindings args(*demo->prog);
+            demo->bind(args);
             ExecOptions eopts;
             eopts.metricsOnly = true;
-            SimReport verdict = gpu.run(compiled.spec, args, eopts);
+            SimReport verdict = cachedRun(gpu, compiled.spec, args, eopts,
+                                          specSeed, /*wantOutputs=*/false);
             std::printf("%s\n\n", classingLine(verdict.stats).c_str());
         }
     }
     if (showCuda)
         std::printf("== CUDA ==\n%s\n", compiled.spec.cudaSource.c_str());
     if (doRun) {
-        Bindings args(*demo.prog);
-        demo.bind(args);
+        Bindings args(*demo->prog);
+        demo->bind(args);
         ExecOptions eopts;
         eopts.siteStats = !statsPath.empty();
         // The counter export never reads the output arrays, so it can run
         // metrics-only and let block-equivalence classing replicate the
         // per-site buckets instead of simulating every block.
         eopts.metricsOnly = !statsPath.empty();
-        SimReport report = gpu.run(compiled.spec, args, eopts);
-        std::printf("== Simulated run (%s) ==\n%s\n%s\n",
+        EvalTier tier = EvalTier::Simulated;
+        SimReport report =
+            cachedRun(gpu, compiled.spec, args, eopts, specSeed,
+                      /*wantOutputs=*/!eopts.metricsOnly, &tier);
+        std::printf("== Simulated run (%s) ==\n%s\n%s\neval cache: %s\n",
                     gpu.config().name.c_str(), report.toString().c_str(),
-                    classingLine(report.stats).c_str());
+                    classingLine(report.stats).c_str(),
+                    evalTierName(tier));
         if (!statsPath.empty()) {
             std::string json =
                 "{\"program\":\"" + name + "\",\"device\":\"" +
-                gpu.config().name + "\",\"report\":" +
+                gpu.config().name + "\",\"provenance\":\"" +
+                evalTierName(tier) + "\",\"report\":" +
                 report.toJson(gpu.config().transactionBytes) +
                 ",\"eval_cache\":" + EvalCache::instance().stats().toJson() +
                 "}\n";
