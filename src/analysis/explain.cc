@@ -201,6 +201,8 @@ formatSearchExplanation(const SearchExplanation &ex)
        << (ex.controlDopNote.empty() ? "no adjustment"
                                      : ex.controlDopNote)
        << "\n";
+    if (!ex.fleetNote.empty())
+        os << ex.fleetNote;
     return os.str();
 }
 
@@ -245,6 +247,8 @@ searchExplanationJson(const SearchExplanation &ex)
     os << ",\"at_best_capped_dop\":" << ex.atBestCappedDop;
     os << ",\"at_best_blocks\":" << ex.atBestBlocks;
     os << ",\"control_dop\":" << jsonStr(ex.controlDopNote);
+    if (!ex.fleetJson.empty())
+        os << ",\"fleet\":" << ex.fleetJson;
     os << "}";
     return os.str();
 }

@@ -1,0 +1,173 @@
+#include "analysis/partition.h"
+
+#include <algorithm>
+
+#include "ir/traverse.h"
+#include "support/strings.h"
+
+namespace npp {
+
+const char *
+crossOuterDependence(const Program &prog)
+{
+    switch (prog.root().kind) {
+      case PatternKind::Filter:
+        return "cross-outer dependence: root filter compacts through "
+               "one global cursor, so every output position depends on "
+               "all earlier outer indices";
+      case PatternKind::GroupBy:
+        return "cross-outer dependence: root groupBy scatters by key "
+               "into the whole output, so shards would race on shared "
+               "bins";
+      default:
+        return nullptr;
+    }
+}
+
+bool
+outerSizeKnownAtLaunch(const Program &prog)
+{
+    bool known = true;
+    walkExpr(prog.root().size, [&](const Expr &e) {
+        if (e.kind == ExprKind::Read)
+            known = false;
+        if (e.kind == ExprKind::Var &&
+            prog.var(e.varId).role != VarRole::ScalarParam) {
+            known = false;
+        }
+    });
+    return known;
+}
+
+int64_t
+outerShardUnit(const MappingDecision &decision)
+{
+    if (decision.levels.empty())
+        return 1;
+    const LevelMapping &root = decision.levels[0];
+    switch (root.span.kind) {
+      case SpanKind::One:
+        return std::max<int64_t>(root.blockSize, 1);
+      case SpanKind::N:
+        return std::max<int64_t>(
+            root.blockSize * std::max<int64_t>(root.span.factor, 1), 1);
+      case SpanKind::All:
+      case SpanKind::Split:
+        return 1;
+    }
+    return 1;
+}
+
+namespace {
+
+/** Spread `size` elements over `parts` contiguous ranges starting at
+ *  `base`, leading ranges one element larger when it does not divide. */
+void
+appendBalanced(std::vector<ShardRange> &out, int64_t base, int64_t size,
+               int parts)
+{
+    const int64_t each = size / parts;
+    const int64_t rem = size % parts;
+    int64_t lo = base;
+    for (int p = 0; p < parts; p++) {
+        const int64_t span = each + (p < rem ? 1 : 0);
+        out.push_back({lo, lo + span});
+        lo += span;
+    }
+}
+
+} // namespace
+
+ShardPlan
+partitionOuter(const Program &prog, const MappingDecision &decision,
+               int64_t outerSize, int deviceCount, int64_t splitPoint)
+{
+    ShardPlan plan;
+    plan.deviceCount = deviceCount;
+    plan.outerSize = outerSize;
+    plan.unit = outerShardUnit(decision);
+    plan.splitPoint = splitPoint;
+
+    if (deviceCount < 1) {
+        plan.verdict = fmt("invalid device count {}", deviceCount);
+        return plan;
+    }
+    if (outerSize < 1) {
+        plan.verdict = fmt("empty outer domain ({})", outerSize);
+        return plan;
+    }
+    if (deviceCount == 1) {
+        // The degenerate plan: one full-domain shard, no split knob.
+        plan.valid = true;
+        plan.verdict = "ok (single device)";
+        plan.splitPoint = outerSize;
+        plan.shards.push_back({0, outerSize});
+        return plan;
+    }
+    if (const char *reason = crossOuterDependence(prog)) {
+        plan.verdict = reason;
+        return plan;
+    }
+    if (!outerSizeKnownAtLaunch(prog)) {
+        plan.verdict = "outer domain size is not known at launch "
+                       "(depends on array data), so it cannot be split";
+        return plan;
+    }
+    if (outerSize < static_cast<int64_t>(deviceCount) * plan.unit) {
+        plan.verdict = fmt(
+            "outer domain too small: {} elements across {} devices "
+            "leaves less than one root block ({} elements) per device",
+            outerSize, deviceCount, plan.unit);
+        return plan;
+    }
+
+    if (splitPoint < 0) {
+        appendBalanced(plan.shards, 0, outerSize, deviceCount);
+        plan.splitPoint = plan.shards[0].size();
+    } else {
+        if (splitPoint < plan.unit) {
+            plan.verdict = fmt("split point {} starves device 0 below "
+                               "one root block ({} elements)",
+                               splitPoint, plan.unit);
+            return plan;
+        }
+        const int64_t rest = outerSize - splitPoint;
+        if (rest < static_cast<int64_t>(deviceCount - 1) * plan.unit) {
+            plan.verdict = fmt(
+                "split point {} leaves {} elements for {} devices — "
+                "less than one root block ({} elements) each",
+                splitPoint, rest, deviceCount - 1, plan.unit);
+            return plan;
+        }
+        plan.shards.push_back({0, splitPoint});
+        appendBalanced(plan.shards, splitPoint, rest, deviceCount - 1);
+    }
+    plan.valid = true;
+    plan.verdict = "ok";
+    return plan;
+}
+
+std::vector<int64_t>
+splitPointCandidates(int64_t outerSize, int deviceCount, int64_t unit)
+{
+    std::vector<int64_t> points;
+    points.push_back(-1);
+    if (deviceCount < 2 || unit < 2)
+        return points;
+    const int64_t balanced =
+        outerSize / deviceCount + (outerSize % deviceCount ? 1 : 0);
+    const int64_t down = (balanced / unit) * unit;
+    const int64_t up = down + unit;
+    for (int64_t p : {down, up}) {
+        if (p < unit)
+            continue;
+        if (outerSize - p <
+            static_cast<int64_t>(deviceCount - 1) * unit)
+            continue;
+        if (std::find(points.begin(), points.end(), p) == points.end())
+            points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace npp

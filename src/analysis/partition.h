@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Outer-dimension partitioner for the multi-device layer. Splits the
+ * root pattern's index domain into contiguous per-device shards and
+ * answers the feasibility questions the fleet search needs: does the
+ * program carry a cross-outer dependence (root Filter/GroupBy), is the
+ * outer size known at launch, and is the domain large enough to give
+ * every device at least one root-level block of work. Pure geometry —
+ * simulation-backed scoring of the resulting shards lives in
+ * sim/fleet.h.
+ */
+
+#ifndef NPP_ANALYSIS_PARTITION_H
+#define NPP_ANALYSIS_PARTITION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/mapping.h"
+#include "ir/program.h"
+
+namespace npp {
+
+/** Half-open root-domain sub-range [lo, hi) owned by one device. */
+struct ShardRange
+{
+    int64_t lo = 0;
+    int64_t hi = 0;
+
+    int64_t size() const { return hi - lo; }
+};
+
+/**
+ * A partition of the root domain across a fleet, or the reason there
+ * is none. `verdict` is always set: the explain output prints it for
+ * infeasible candidates ("cross-outer dependence: root filter ...",
+ * "outer domain too small ...") and "ok" for feasible ones.
+ */
+struct ShardPlan
+{
+    bool valid = false;
+    std::string verdict;
+    int deviceCount = 1;
+    int64_t outerSize = 0;
+    /** Minimum useful outer granule per device (one root-level block's
+     *  coverage under the mapping). */
+    int64_t unit = 1;
+    /** Size of the first device's shard (the search's split knob);
+     *  recorded even when the caller asked for the balanced split. */
+    int64_t splitPoint = -1;
+    std::vector<ShardRange> shards;
+};
+
+/**
+ * Why the program's root cannot shard across devices, or nullptr when
+ * it can. Root Filter compacts survivors through one global cursor and
+ * root GroupBy scatters arbitrary keys into the whole output — both
+ * make every output element depend on the whole outer domain. Map,
+ * ZipWith, and Foreach roots write disjoint per-index results; Reduce
+ * roots shard into partials that the fleet combines host-side.
+ */
+const char *crossOuterDependence(const Program &prog);
+
+/** True when the root size is a launch-time constant (literals and
+ *  scalar params only) — an unknown outer extent cannot be split. */
+bool outerSizeKnownAtLaunch(const Program &prog);
+
+/** Minimum outer elements one device must receive so its root level
+ *  fills at least one block: blockSize (span One), blockSize * factor
+ *  (span N), 1 otherwise (All/Split trim freely). */
+int64_t outerShardUnit(const MappingDecision &decision);
+
+/**
+ * Partition `outerSize` across `deviceCount` devices. splitPoint is
+ * the first shard's size; pass -1 for the balanced split (remainders
+ * go to the leading devices, one extra element each). Hard filters —
+ * cross-outer dependence, unknown outer size, outerSize < deviceCount
+ * * unit, a splitPoint that starves the first or the remaining
+ * devices below one unit — return an invalid plan whose verdict names
+ * the reason.
+ */
+ShardPlan partitionOuter(const Program &prog,
+                         const MappingDecision &decision,
+                         int64_t outerSize, int deviceCount,
+                         int64_t splitPoint = -1);
+
+/**
+ * Split-point candidates for the fleet search at a given device count:
+ * the balanced split (-1) plus the balanced first-shard size rounded
+ * down and up to the mapping's unit, deduplicated and pre-filtered to
+ * values partitionOuter would accept.
+ */
+std::vector<int64_t> splitPointCandidates(int64_t outerSize,
+                                          int deviceCount, int64_t unit);
+
+} // namespace npp
+
+#endif // NPP_ANALYSIS_PARTITION_H

@@ -124,6 +124,21 @@ struct SearchExplanation
 
     /** The selected (post-ControlDOP) mapping, fully explained. */
     MappingExplanation selected;
+
+    /** @name Multi-device extension
+     * The (deviceCount, splitPoint) sweep runs above the per-device
+     * search — scoring shards needs the simulator, which analysis/
+     * cannot depend on — but its verdicts are part of this decision
+     * report. The fleet layer (sim/fleet.h) fills these after the
+     * sweep; formatSearchExplanation / searchExplanationJson render
+     * them alongside the per-device parameters when non-empty.
+     *  @{
+     */
+    /** formatFleetChoice() text: per-candidate times + hard filters. */
+    std::string fleetNote;
+    /** fleetChoiceJson() object for the machine-readable export. */
+    std::string fleetJson;
+    /** @} */
 };
 
 /** Search outcome. */

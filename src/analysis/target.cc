@@ -23,4 +23,13 @@ teslaC2050()
     return dev;
 }
 
+FleetConfig
+fleetK20c(int deviceCount)
+{
+    FleetConfig fleet;
+    fleet.device = teslaK20c();
+    fleet.deviceCount = deviceCount < 1 ? 1 : deviceCount;
+    return fleet;
+}
+
 } // namespace npp

@@ -105,6 +105,33 @@ DeviceConfig teslaK20c();
  *  tests to check that mapping decisions adapt to the target. */
 DeviceConfig teslaC2050();
 
+/**
+ * A homogeneous fleet of simulated devices. The multi-device layer
+ * (analysis/partition.h, sim/fleet.h) shards one program's root domain
+ * across `deviceCount` copies of `device`; shard results travel over a
+ * peer link (NVLink/PCIe-P2P class) modeled as bandwidth + fixed
+ * per-transfer latency, and reduction roots pay a device-count-sized
+ * combine on top.
+ */
+struct FleetConfig
+{
+    DeviceConfig device;
+
+    /** Number of identical devices (1 = today's single-device path). */
+    int deviceCount = 1;
+
+    /** Peer-to-peer link bandwidth between devices. The K20c-era
+     *  default is PCIe P2P through a shared switch: a bit above the
+     *  host link's effective 6 GB/s but far below DRAM. */
+    double peerBandwidthGBs = 10.0;
+
+    /** Fixed per-transfer latency on the peer link (DMA setup + sync). */
+    double peerLatencyUs = 8.0;
+};
+
+/** N simulated K20c devices with the default peer link. */
+FleetConfig fleetK20c(int deviceCount);
+
 } // namespace npp
 
 #endif // NPP_ANALYSIS_TARGET_H

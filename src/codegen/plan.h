@@ -92,6 +92,17 @@ struct KernelSpec
     /** Generated CUDA source for all kernels of this program. */
     std::string cudaSource;
 
+    /** Multi-device placement chosen by the fleet search (sim/fleet.h);
+     *  deviceCount 1 is the ordinary single-device launch. Carried on
+     *  the spec so tools can print where the program would run. */
+    struct FleetPlacement
+    {
+        int deviceCount = 1;
+        int64_t splitPoint = -1;
+        std::string verdict = "single device";
+    };
+    FleetPlacement fleet;
+
     /** Find the plan for a local array var (nullptr if none). */
     const LocalArrayPlan *localPlan(int varId) const;
 };

@@ -20,6 +20,7 @@
 #include "server/json.h"
 #include "server/programs.h"
 #include "sim/evalcache.h"
+#include "sim/fleet.h"
 #include "sim/gpu.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -47,6 +48,9 @@ struct EvalOutcome
     std::string explanation;
     SimReport report;
     EvalTier tier = EvalTier::Simulated;
+    /** Multi-device sweep result (requests with "devices" > 1). */
+    int devices = 1;
+    std::string fleetJson;
 };
 
 bool
@@ -139,7 +143,7 @@ struct MappingServer::Impl
     std::shared_ptr<const EvalOutcome>
     evaluate(const DemoProgram &demo, const CompileOptions &copts,
              const Bindings &args, const ExecOptions &eopts,
-             uint64_t specSeed)
+             uint64_t specSeed, int devices)
     {
         auto out = std::make_shared<EvalOutcome>();
 
@@ -159,6 +163,17 @@ struct MappingServer::Impl
         out->score = compiled.spec.score;
         out->dop = compiled.spec.dop;
         out->fusedPatterns = compiled.fusedPatterns;
+        if (devices > 1) {
+            // Score (deviceCount, splitPoint) across the fleet and fold
+            // the verdicts into the decision report.
+            const FleetChoice choice =
+                searchFleet(gpu, compiled.spec, args, fleetK20c(devices),
+                            eopts, specSeed);
+            out->devices = devices;
+            out->fleetJson = fleetChoiceJson(choice);
+            compiled.explanation.fleetNote = formatFleetChoice(choice);
+            compiled.explanation.fleetJson = out->fleetJson;
+        }
         out->explanation = formatSearchExplanation(compiled.explanation);
         return out;
     }
@@ -219,15 +234,33 @@ struct MappingServer::Impl
         copts.explainSearch = true;
         Bindings args(*demo->prog);
         demo->bind(args);
+        int devices = 1;
+        if (const JsonValue *dv = req.get("devices")) {
+            if (!dv->isNumber() || dv->asInt() < 1 || dv->asInt() > 32) {
+                errors.fetch_add(1);
+                return errorResponse(
+                    &req, "\"devices\" must be an integer in [1, 32]");
+            }
+            devices = static_cast<int>(dv->asInt());
+        }
+
         ExecOptions eopts;
         eopts.metricsOnly = true; // report-only: race-free, classed speed
         const uint64_t specSeed = EvalCache::combine(
             EvalCache::combine(EvalCache::hashProgram(*demo->prog),
                                EvalCache::hashCompileOptions(copts)),
             EvalCache::hashDevice(gpu.config()));
-        const uint64_t key = EvalCache::combine(
+        uint64_t key = EvalCache::combine(
             EvalCache::combine(specSeed, EvalCache::hashBindings(args)),
             EvalCache::hashExec(eopts));
+        // The fleet joins the fingerprint only when requested, so
+        // single-device fingerprints — and what coalesces with what —
+        // are unchanged, while evaluations against different fleet
+        // sizes can never share one leader.
+        if (devices > 1) {
+            key = EvalCache::combine(
+                key, EvalCache::hashFleet(fleetK20c(devices)));
+        }
 
         bool leader = false;
         std::shared_future<std::shared_ptr<const EvalOutcome>> future;
@@ -246,7 +279,7 @@ struct MappingServer::Impl
 
         if (leader) {
             std::shared_ptr<const EvalOutcome> outcome =
-                evaluate(*demo, copts, args, eopts, specSeed);
+                evaluate(*demo, copts, args, eopts, specSeed, devices);
             promise.set_value(outcome);
             std::lock_guard<std::mutex> lock(inflightMutex);
             inflight.erase(key);
@@ -281,6 +314,10 @@ struct MappingServer::Impl
             resp += fmt("\"explanation\":\"{}\",",
                         jsonEscape(outcome->explanation));
         resp += fmt("\"provenance\":\"{}\",", evalTierName(outcome->tier));
+        if (outcome->devices > 1) {
+            resp += fmt("\"devices\":{},", outcome->devices);
+            resp += "\"fleet\":" + outcome->fleetJson + ",";
+        }
         resp += fmt("\"coalesced\":{},", leader ? "false" : "true");
         resp += fmt("\"coalesce_model\":\"{}\",", kCoalesceModelVersion);
         resp += "\"report\":" +
@@ -418,8 +455,19 @@ struct MappingServer::Impl
             if (!(fds[0].revents & POLLIN))
                 continue;
             const int fd = ::accept(listenFd, nullptr, nullptr);
-            if (fd < 0)
+            if (fd < 0) {
+                // Transient conditions must not tear down the listener:
+                // a stray signal (EINTR), a client that gave up between
+                // poll and accept (ECONNABORTED), or a connection that
+                // vanished before accept could pick it up (EAGAIN —
+                // possible even on a blocking socket per accept(2)).
+                if (errno == EINTR || errno == ECONNABORTED ||
+                    errno == EAGAIN || errno == EWOULDBLOCK)
+                    continue;
+                NPP_WARN("serve: accept failed: {}; listener kept alive",
+                         std::strerror(errno));
                 continue;
+            }
             std::lock_guard<std::mutex> lock(connMutex);
             connFds.push_back(fd);
             connThreads.emplace_back(

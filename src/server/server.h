@@ -15,10 +15,14 @@
  *      "sizes":{"rows":512},     // optional, program-specific keys
  *      "strategy":"multidim",    // multidim | 1d | tbt | warp
  *      "explain":true,           // include the decision report text
+ *      "devices":4,              // optional fleet size in [1, 32]; when
+ *                                // > 1 the response gains "devices" and
+ *                                // a "fleet" object with the sharding
+ *                                // sweep (sim/fleet.h)
  *      "id":7}                   // echoed back verbatim
  *
  * Concurrency: one thread per connection. Identical in-flight requests
- * — same program, sizes, strategy, device — are coalesced onto a single
+ * — same program, sizes, strategy, device, fleet — are coalesced onto a single
  * evaluation keyed by the same fingerprint the EvalCache uses; the
  * waiters share the leader's outcome and their responses are marked
  * "coalesced":true. Per-request latency is recorded under the

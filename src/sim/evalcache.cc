@@ -83,8 +83,11 @@ readCapacityBytes()
 std::string
 readDiskDirEnv()
 {
-    const char *dir = std::getenv("NPP_EVAL_CACHE_DIR");
-    if (!dir || !dir[0])
+    // Hardened read: unset, empty, and whitespace-only all mean "no
+    // disk tier" (a raw getenv used to accept whitespace-only values
+    // and root the disk cache at a junk path).
+    const std::string dir = parseEnvString("NPP_EVAL_CACHE_DIR");
+    if (dir.empty())
         return {};
     // NPP_EVAL_CACHE_DISK=off keeps the memory tier but detaches the
     // directory (e.g. to quarantine a shared cache without losing the
@@ -693,7 +696,26 @@ EvalCache::hashExec(const ExecOptions &eopts)
     // siteStats is NOT report-identical (it adds the per-site table), so
     // it is keyed.
     uint64_t h = mix(kFnvBasis, static_cast<uint64_t>(eopts.maxSampledBlocks));
-    return mix(h, eopts.siteStats ? 1 : 0);
+    h = mix(h, eopts.siteStats ? 1 : 0);
+    // Root shards are mixed in only when requested so every key of an
+    // unsharded run — including all pre-existing disk-tier entries —
+    // stays byte-identical to before the multi-device layer existed.
+    if (eopts.sharded()) {
+        h = mix(h, 0x5da4dull); // shard tag: distinct from the flat tail
+        h = mix(h, static_cast<uint64_t>(eopts.rootShardLo));
+        h = mix(h, static_cast<uint64_t>(eopts.rootShardHi));
+    }
+    return h;
+}
+
+uint64_t
+EvalCache::hashFleet(const FleetConfig &fleet)
+{
+    uint64_t h = mix(kFnvBasis, hashDevice(fleet.device));
+    h = mix(h, static_cast<uint64_t>(fleet.deviceCount));
+    h = mixDouble(h, fleet.peerBandwidthGBs);
+    h = mixDouble(h, fleet.peerLatencyUs);
+    return h;
 }
 
 uint64_t

@@ -109,6 +109,11 @@ class EvalCache
     static uint64_t hashDevice(const DeviceConfig &device);
     static uint64_t hashBindings(const Bindings &args);
     static uint64_t hashExec(const ExecOptions &eopts);
+    /** Fleet description hash for multi-device keys (device config,
+     *  count, peer link): mixed into serve-protocol fingerprints so
+     *  evaluations against different fleets can never coalesce or
+     *  satisfy one another. */
+    static uint64_t hashFleet(const FleetConfig &fleet);
     static uint64_t combine(uint64_t a, uint64_t b);
     /** @} */
 

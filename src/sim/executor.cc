@@ -358,9 +358,15 @@ class DeviceExecutor
     prepareClassSizes()
     {
         levelPatSizes.assign(geom.levels.size(), {});
-        for (const auto &[pattern, level] : collectPatterns(prog.root()))
-            levelPatSizes[level].push_back(
-                asIndex(evalExpr(pattern->size, ctx)));
+        for (const auto &[pattern, level] : collectPatterns(prog.root())) {
+            // Level 0 holds only the root; under a shard its extent is
+            // the shard size (matching the launch geometry), so class
+            // keys — and therefore replication — stay per-shard exact.
+            const int64_t s = level == 0 && shardSize >= 0
+                                  ? shardSize
+                                  : asIndex(evalExpr(pattern->size, ctx));
+            levelPatSizes[level].push_back(s);
+        }
     }
 
     /** Equivalence-class key of a block: the per-pattern index extents it
@@ -540,6 +546,23 @@ class DeviceExecutor
                 levelSizes[lv] = std::max<int64_t>(
                     levelSizes[lv], spec.mapping.levels[lv].blockSize);
             }
+        }
+        if (options.sharded()) {
+            NPP_ASSERT(!levelDynamic[0],
+                       "cannot shard a dynamic root domain");
+            const int64_t full = levelSizes[0];
+            const int64_t hi = options.rootShardHi < 0
+                                   ? full
+                                   : std::min(options.rootShardHi, full);
+            shardLo = std::min(std::max<int64_t>(options.rootShardLo, 0),
+                               hi);
+            NPP_ASSERT(hi > shardLo,
+                       "empty root shard [{}, {}) of domain {}",
+                       options.rootShardLo, options.rootShardHi, full);
+            shardSize = hi - shardLo;
+            // Geometry, classing, and local layouts all see the shard
+            // as this device's whole root domain.
+            levelSizes[0] = shardSize;
         }
     }
 
@@ -725,7 +748,13 @@ class DeviceExecutor
                 int countVar = -1)
     {
         const auto &g = geom.levels[lv];
-        const int64_t size = asIndex(evalExpr(p.size, ctx));
+        // The root shard's coverage is computed in shard-local
+        // coordinates (geometry was built from the shard size) and its
+        // indices are offset to true root-domain positions below.
+        const bool rootShard = isRoot && shardSize >= 0;
+        const int64_t size =
+            rootShard ? shardSize : asIndex(evalExpr(p.size, ctx));
+        const int64_t rootOff = rootShard ? shardLo : 0;
         const int64_t b = blockCoord[lv];
 
         // Coverage of this block at this level.
@@ -783,7 +812,7 @@ class DeviceExecutor
              base += lanes, k++) {
             setSig(sigSave * 1000003ull + static_cast<uint64_t>(k) + 1);
             for (int64_t t = 0; t < lanes && base + t < hi; t++) {
-                const int64_t idx = base + t;
+                const int64_t idx = base + t + rootOff;
                 bindLane(g.dim, t % g.blockSize);
                 laneBound = true;
                 ctx.scalars[p.indexVar] = static_cast<double>(idx);
@@ -1182,8 +1211,14 @@ class DeviceExecutor
                    "split of a nested reduce requires a map root");
         combinerReplay = true;
         ctx.probe = nullptr;
-        const int64_t size = asIndex(evalExpr(root.size, ctx));
-        for (int64_t i = 0; i < size; i++) {
+        // Under a root shard the split partials exist only for this
+        // shard's outer tuples; replay exactly those.
+        const int64_t size = shardSize >= 0
+                                 ? shardSize
+                                 : asIndex(evalExpr(root.size, ctx));
+        const int64_t off = shardSize >= 0 ? shardLo : 0;
+        for (int64_t local = 0; local < size; local++) {
+            const int64_t i = off + local;
             ctx.scalars[root.indexVar] = static_cast<double>(i);
             curLevelIndex[0] = i;
             replayStmts(root.body, 1);
@@ -1399,6 +1434,11 @@ class DeviceExecutor
     int64_t blockLinear = 0;
     int64_t blockCoord[4] = {0, 0, 0, 0};
     int64_t curLevelIndex[4] = {0, 0, 0, 0};
+
+    /** Root-domain shard (ExecOptions::rootShard*), resolved against the
+     *  launch-known root size; shardSize < 0 means unsharded. */
+    int64_t shardLo = 0;
+    int64_t shardSize = -1;
 
     uint64_t curSig = 0;
     uint64_t lastOpCount = 0;

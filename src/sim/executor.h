@@ -50,6 +50,27 @@ struct ExecOptions
      *  of the EvalCache key (a site-less cached report must not satisfy
      *  a siteStats request). */
     bool siteStats = false;
+
+    /** Root-domain shard [rootShardLo, rootShardHi): simulate only this
+     *  sub-range of the root pattern's index domain, as one device of a
+     *  multi-device fleet would (see sim/fleet.h). The launch geometry
+     *  is built from the shard's size, but every index the kernel sees
+     *  — the root index variable, stores into the root output — is the
+     *  true (unsharded) index, so functional outputs land where the
+     *  full program would put them and the shift-invariant coalescing
+     *  model (relative-base-v2) charges the same traffic a real
+     *  per-device launch would. rootShardHi < 0 means "full domain"
+     *  (the default; keeps EvalCache keys for unsharded runs
+     *  unchanged). Requires a launch-known root size. */
+    int64_t rootShardLo = 0;
+    int64_t rootShardHi = -1;
+
+    /** True when a proper shard is requested. */
+    bool
+    sharded() const
+    {
+        return rootShardLo > 0 || rootShardHi >= 0;
+    }
 };
 
 /** Execute the spec with the given bindings; returns the stats needed by

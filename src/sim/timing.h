@@ -12,6 +12,8 @@
 #ifndef NPP_SIM_TIMING_H
 #define NPP_SIM_TIMING_H
 
+#include <vector>
+
 #include "analysis/target.h"
 #include "sim/metrics.h"
 
@@ -23,6 +25,20 @@ SimReport computeTiming(const KernelStats &stats,
 
 /** Host-to-device transfer time for `bytes` over PCIe. */
 double transferMs(double bytes, const DeviceConfig &device);
+
+/** Transfer time for `bytes` over an arbitrary link: bandwidth plus a
+ *  fixed per-transfer latency. The PCIe overload above and the fleet
+ *  layer's peer-link cost (sim/fleet.h) both funnel through this. */
+double transferMs(double bytes, double bandwidthGBs, double latencyUs);
+
+/**
+ * Inter-device cost of collecting a fleet's shard results onto one
+ * device over the peer link (sim/fleet.h): one serialized transfer of
+ * `bytesPerDevice[d]` for every non-root device d, plus — when the
+ * root is a reduction — a device-count-sized combine of the partials.
+ */
+double interDeviceMs(const std::vector<double> &bytesPerDevice,
+                     const FleetConfig &fleet, bool reduceRoot);
 
 /**
  * Multi-core CPU roofline used as the Fig 14 baseline: the reference

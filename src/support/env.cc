@@ -68,4 +68,22 @@ parseEnvBool(const char *name, bool fallback)
     return fallback;
 }
 
+std::string
+parseEnvString(const char *name, const std::string &fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    const char *begin = env;
+    while (std::isspace(static_cast<unsigned char>(*begin)))
+        begin++;
+    const char *end = begin + std::string::traits_type::length(begin);
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(end[-1])))
+        end--;
+    if (end == begin)
+        return fallback;
+    return std::string(begin, end);
+}
+
 } // namespace npp

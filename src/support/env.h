@@ -12,6 +12,7 @@
 #define NPP_SUPPORT_ENV_H
 
 #include <cstdint>
+#include <string>
 
 namespace npp {
 
@@ -38,6 +39,18 @@ int64_t parseEnvInt(const char *name, int64_t fallback, int64_t lo,
  * variable and the accepted spellings, then returns `fallback`.
  */
 bool parseEnvBool(const char *name, bool fallback);
+
+/**
+ * Read a string environment variable with hardening.
+ *
+ * Returns the value with leading/trailing whitespace trimmed. Unset,
+ * empty, and whitespace-only values all return `fallback` — an exported
+ * `NPP_EVAL_CACHE_DIR=""` must mean "unset", not "disk cache rooted at
+ * the current directory". No warning is logged: an empty string is a
+ * legitimate way to clear a knob.
+ */
+std::string parseEnvString(const char *name,
+                           const std::string &fallback = {});
 
 } // namespace npp
 

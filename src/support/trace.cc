@@ -17,10 +17,11 @@ namespace npp {
 
 namespace {
 
-/** Span cap: ~48 MB of event storage at worst; beyond it spans are
- *  counted as dropped instead of growing without bound (a sweep over a
- *  large figure can emit millions of cache-probe spans). */
-constexpr size_t kMaxSpans = 1u << 20;
+/** Default span cap: ~48 MB of event storage at worst; beyond it spans
+ *  are counted as dropped instead of growing without bound (a sweep over
+ *  a large figure can emit millions of cache-probe spans). Long
+ *  multi-device sweeps can raise it with NPP_TRACE_MAX_SPANS. */
+constexpr int64_t kDefaultMaxSpans = int64_t(1) << 20;
 
 std::string
 jsonEscape(const std::string &s)
@@ -91,6 +92,7 @@ struct Trace::Impl
 
     mutable std::mutex mu;
     std::vector<Span> spans;
+    size_t maxSpans = static_cast<size_t>(kDefaultMaxSpans);
     uint64_t dropped = 0;
     bool warnedDrop = false;
     std::map<std::string, double> counters;
@@ -101,6 +103,10 @@ Trace::Trace()
 {
     if (parseEnvBool("NPP_TRACE", false))
         enabled_.store(true, std::memory_order_relaxed);
+    // Cap bounded below by 1 (a zero cap would make every span a drop
+    // warning) and above well short of vector-capacity overflow.
+    impl_->maxSpans = static_cast<size_t>(parseEnvInt(
+        "NPP_TRACE_MAX_SPANS", kDefaultMaxSpans, 1, int64_t(1) << 31));
 }
 
 Trace &
@@ -138,14 +144,15 @@ Trace::span(const char *name, double beginUs, double endUs)
 {
     const int tid = currentThreadId();
     std::lock_guard<std::mutex> lock(impl_->mu);
-    if (impl_->spans.size() >= kMaxSpans) {
+    if (impl_->spans.size() >= impl_->maxSpans) {
         impl_->dropped++;
         if (!impl_->warnedDrop) {
             impl_->warnedDrop = true;
             NPP_WARN("trace span cap ({}) reached; further spans are "
                      "dropped and counted as droppedSpans "
-                     "(dropped_spans in the flat-JSON export)",
-                     kMaxSpans);
+                     "(dropped_spans in the flat-JSON export; raise the "
+                     "cap with NPP_TRACE_MAX_SPANS)",
+                     impl_->maxSpans);
         }
         return;
     }
@@ -211,7 +218,9 @@ Trace::flatJson() const
            << ",\"min_us\":" << jsonNumber(t.minUs)
            << ",\"max_us\":" << jsonNumber(t.maxUs) << "}";
     }
-    os << "},\"dropped_spans\":" << impl_->dropped << "}";
+    os << "},\"span_count\":" << impl_->spans.size()
+       << ",\"max_spans\":" << impl_->maxSpans
+       << ",\"dropped_spans\":" << impl_->dropped << "}";
     return os.str();
 }
 
@@ -288,6 +297,13 @@ Trace::droppedSpans() const
 {
     std::lock_guard<std::mutex> lock(impl_->mu);
     return impl_->dropped;
+}
+
+uint64_t
+Trace::maxSpans() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->maxSpans;
 }
 
 void

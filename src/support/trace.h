@@ -100,6 +100,8 @@ class Trace
     TraceTimerStat timerStat(const std::string &name) const;
     uint64_t spanCount() const;
     uint64_t droppedSpans() const;
+    /** Span cap in effect (NPP_TRACE_MAX_SPANS, default 1<<20). */
+    uint64_t maxSpans() const;
     /** @} */
 
     /** Drop all recorded spans and counters (keeps the enabled state). */

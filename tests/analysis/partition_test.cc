@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Outer-dimension partitioner (analysis/partition.h): shard geometry,
+ * balanced-split remainders, the hard filters (cross-outer dependence,
+ * unknown outer size, too-small domains, starving split points), and
+ * the split-point candidate generator. Pure geometry — the fleet-level
+ * bit-identity contract is covered by tests/sim/multidev_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/partition.h"
+#include "ir/builder.h"
+
+namespace npp {
+namespace {
+
+Program
+mapRoot()
+{
+    ProgramBuilder b("shardMap");
+    Arr m = b.inF64("m");
+    Ex n = b.paramI64("N");
+    Arr out = b.outF64("out");
+    b.map(n, out, [&](Body &, Ex i) { return m(i) * 2.0; });
+    return b.build();
+}
+
+Program
+filterRoot()
+{
+    ProgramBuilder b("shardFilter");
+    Arr m = b.inF64("m");
+    Ex n = b.paramI64("N");
+    Arr out = b.outF64("out");
+    Arr cnt = b.outF64("count");
+    b.filter(n, out, cnt,
+             [&](Body &, Ex i) { return FilterItem{m(i) > 0.0, m(i)}; });
+    return b.build();
+}
+
+Program
+groupByRoot()
+{
+    ProgramBuilder b("shardGroupBy");
+    Arr m = b.inF64("m");
+    Ex n = b.paramI64("N");
+    Arr out = b.outF64("out");
+    b.groupBy(n, Op::Add, out,
+              [&](Body &, Ex i) { return KeyedValue{m(i), 1.0}; });
+    return b.build();
+}
+
+/** Root size read from array data: unknowable at launch. */
+Program
+dataSizedRoot()
+{
+    ProgramBuilder b("shardDataSized");
+    Arr m = b.inF64("m");
+    Arr out = b.outF64("out");
+    b.map(m(Ex(0)), out, [&](Body &, Ex i) { return m(i); });
+    return b.build();
+}
+
+MappingDecision
+decisionWithRootSpan(int64_t blockSize, SpanType span)
+{
+    MappingDecision d;
+    d.levels = {{0, blockSize, span}};
+    return d;
+}
+
+void
+expectContiguousCover(const ShardPlan &plan)
+{
+    ASSERT_FALSE(plan.shards.empty());
+    EXPECT_EQ(plan.shards.front().lo, 0);
+    EXPECT_EQ(plan.shards.back().hi, plan.outerSize);
+    for (size_t i = 1; i < plan.shards.size(); i++)
+        EXPECT_EQ(plan.shards[i].lo, plan.shards[i - 1].hi);
+    for (const ShardRange &s : plan.shards)
+        EXPECT_GT(s.size(), 0);
+}
+
+TEST(OuterShardUnit, FollowsRootSpan)
+{
+    EXPECT_EQ(outerShardUnit(decisionWithRootSpan(16, SpanType::one())),
+              16);
+    EXPECT_EQ(outerShardUnit(decisionWithRootSpan(16, SpanType::n(4))),
+              64);
+    EXPECT_EQ(outerShardUnit(decisionWithRootSpan(16, SpanType::all())),
+              1);
+    EXPECT_EQ(outerShardUnit(decisionWithRootSpan(16, SpanType::split(8))),
+              1);
+    EXPECT_EQ(outerShardUnit(MappingDecision{}), 1);
+}
+
+TEST(PartitionOuter, SingleDeviceIsTheFullDomain)
+{
+    const Program prog = mapRoot();
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(16, SpanType::one()), 1000, 1);
+    ASSERT_TRUE(plan.valid);
+    EXPECT_EQ(plan.verdict, "ok (single device)");
+    ASSERT_EQ(plan.shards.size(), 1u);
+    EXPECT_EQ(plan.shards[0].lo, 0);
+    EXPECT_EQ(plan.shards[0].hi, 1000);
+    EXPECT_EQ(plan.splitPoint, 1000);
+}
+
+TEST(PartitionOuter, BalancedSplitSpreadsRemainders)
+{
+    const Program prog = mapRoot();
+    // 1000 over 3: 334 + 333 + 333, leading shard takes the remainder.
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(1, SpanType::all()), 1000, 3);
+    ASSERT_TRUE(plan.valid);
+    ASSERT_EQ(plan.shards.size(), 3u);
+    EXPECT_EQ(plan.shards[0].size(), 334);
+    EXPECT_EQ(plan.shards[1].size(), 333);
+    EXPECT_EQ(plan.shards[2].size(), 333);
+    EXPECT_EQ(plan.splitPoint, 334);
+    expectContiguousCover(plan);
+}
+
+TEST(PartitionOuter, OddRemaindersGoToLeadingDevices)
+{
+    const Program prog = mapRoot();
+    // 10 over 4: 3 + 3 + 2 + 2.
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(1, SpanType::all()), 10, 4);
+    ASSERT_TRUE(plan.valid);
+    ASSERT_EQ(plan.shards.size(), 4u);
+    EXPECT_EQ(plan.shards[0].size(), 3);
+    EXPECT_EQ(plan.shards[1].size(), 3);
+    EXPECT_EQ(plan.shards[2].size(), 2);
+    EXPECT_EQ(plan.shards[3].size(), 2);
+    expectContiguousCover(plan);
+}
+
+TEST(PartitionOuter, ExplicitSplitPointShapesTheFirstShard)
+{
+    const Program prog = mapRoot();
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(16, SpanType::one()), 1024, 2, 256);
+    ASSERT_TRUE(plan.valid);
+    ASSERT_EQ(plan.shards.size(), 2u);
+    EXPECT_EQ(plan.shards[0].size(), 256);
+    EXPECT_EQ(plan.shards[1].size(), 768);
+    EXPECT_EQ(plan.splitPoint, 256);
+    expectContiguousCover(plan);
+}
+
+TEST(PartitionOuter, TooSmallDomainIsHardFiltered)
+{
+    const Program prog = mapRoot();
+    // unit = 16, 4 devices need >= 64 outer elements; 40 < 64.
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(16, SpanType::one()), 40, 4);
+    EXPECT_FALSE(plan.valid);
+    EXPECT_NE(plan.verdict.find("outer domain too small"),
+              std::string::npos);
+    EXPECT_TRUE(plan.shards.empty());
+}
+
+TEST(PartitionOuter, RootFilterIsHardFiltered)
+{
+    const Program prog = filterRoot();
+    EXPECT_NE(crossOuterDependence(prog), nullptr);
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(1, SpanType::all()), 4096, 2);
+    EXPECT_FALSE(plan.valid);
+    EXPECT_NE(plan.verdict.find("cross-outer dependence"),
+              std::string::npos);
+    EXPECT_NE(plan.verdict.find("filter"), std::string::npos);
+}
+
+TEST(PartitionOuter, RootGroupByIsHardFiltered)
+{
+    const Program prog = groupByRoot();
+    EXPECT_NE(crossOuterDependence(prog), nullptr);
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(1, SpanType::all()), 4096, 2);
+    EXPECT_FALSE(plan.valid);
+    EXPECT_NE(plan.verdict.find("cross-outer dependence"),
+              std::string::npos);
+    EXPECT_NE(plan.verdict.find("groupBy"), std::string::npos);
+}
+
+TEST(PartitionOuter, DataDependentOuterSizeIsHardFiltered)
+{
+    const Program prog = dataSizedRoot();
+    EXPECT_FALSE(outerSizeKnownAtLaunch(prog));
+    EXPECT_TRUE(outerSizeKnownAtLaunch(mapRoot()));
+    const ShardPlan plan = partitionOuter(
+        prog, decisionWithRootSpan(1, SpanType::all()), 4096, 2);
+    EXPECT_FALSE(plan.valid);
+    EXPECT_NE(plan.verdict.find("not known at launch"),
+              std::string::npos);
+}
+
+TEST(PartitionOuter, StarvingSplitPointsAreRejected)
+{
+    const Program prog = mapRoot();
+    const MappingDecision d = decisionWithRootSpan(16, SpanType::one());
+    // Device 0 below one unit.
+    ShardPlan plan = partitionOuter(prog, d, 1024, 2, 8);
+    EXPECT_FALSE(plan.valid);
+    EXPECT_NE(plan.verdict.find("starves device 0"), std::string::npos);
+    // The remaining devices below one unit each.
+    plan = partitionOuter(prog, d, 1024, 2, 1020);
+    EXPECT_FALSE(plan.valid);
+    EXPECT_NE(plan.verdict.find("less than one root block"),
+              std::string::npos);
+    // Degenerate callers.
+    EXPECT_FALSE(partitionOuter(prog, d, 1024, 0).valid);
+    EXPECT_FALSE(partitionOuter(prog, d, 0, 2).valid);
+}
+
+TEST(SplitPointCandidates, BalancedOnlyWhenUnitIsOne)
+{
+    const std::vector<int64_t> pts = splitPointCandidates(1000, 4, 1);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0], -1);
+}
+
+TEST(SplitPointCandidates, UnitAlignedNeighborsOfTheBalancedSplit)
+{
+    // 1000 over 3 -> balanced first shard 334; unit 16 -> 320 and 336.
+    const std::vector<int64_t> pts = splitPointCandidates(1000, 3, 16);
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts[0], -1);
+    EXPECT_EQ(pts[1], 320);
+    EXPECT_EQ(pts[2], 336);
+    // Every explicit candidate must be accepted by partitionOuter.
+    const Program prog = mapRoot();
+    const MappingDecision d = decisionWithRootSpan(16, SpanType::one());
+    for (int64_t p : pts)
+        EXPECT_TRUE(partitionOuter(prog, d, 1000, 3, p).valid)
+            << "candidate " << p;
+}
+
+TEST(SplitPointCandidates, TightDomainsDropInvalidNeighbors)
+{
+    // 64 over 4 with unit 16: balanced is exactly 16; up-neighbor 32
+    // would leave 32 for 3 devices (< 48) and must be filtered.
+    const std::vector<int64_t> pts = splitPointCandidates(64, 4, 16);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0], -1);
+    EXPECT_EQ(pts[1], 16);
+}
+
+} // namespace
+} // namespace npp

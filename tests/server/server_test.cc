@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdlib>
@@ -250,6 +253,78 @@ TEST_F(ServerTest, StatsRequestReportsCountersAndLatency)
               0.0);
     ASSERT_NE(stats.get("eval_cache"), nullptr);
     EXPECT_GE(stats.get("eval_cache")->get("hits")->asInt(), 1);
+}
+
+TEST_F(ServerTest, DevicesFieldRunsTheFleetSweep)
+{
+    startServer();
+    const JsonValue resp = request(
+        "{\"program\":\"sumrows\",\"sizes\":{\"rows\":2048,"
+        "\"cols\":2048},\"devices\":4}");
+    ASSERT_TRUE(resp.get("ok") && resp.get("ok")->asBool());
+    ASSERT_NE(resp.get("devices"), nullptr);
+    EXPECT_EQ(resp.get("devices")->asInt(), 4);
+    const JsonValue *fleet = resp.get("fleet");
+    ASSERT_NE(fleet, nullptr);
+    EXPECT_GT(fleet->get("devices")->asInt(), 1);
+    EXPECT_GT(fleet->get("speedup")->asNumber(), 1.0);
+    EXPECT_LT(fleet->get("fleet_ms")->asNumber(),
+              fleet->get("single_ms")->asNumber());
+
+    // Requests without the field keep the pre-fleet response shape.
+    const JsonValue flat = request(kSmallEval);
+    ASSERT_TRUE(flat.get("ok") && flat.get("ok")->asBool());
+    EXPECT_EQ(flat.get("devices"), nullptr);
+    EXPECT_EQ(flat.get("fleet"), nullptr);
+
+    // Out-of-range fleet sizes are rejected with an error line.
+    const JsonValue bad =
+        request("{\"program\":\"sumrows\",\"devices\":99}");
+    ASSERT_TRUE(bad.get("ok"));
+    EXPECT_FALSE(bad.get("ok")->asBool());
+    EXPECT_NE(bad.get("error")->asString().find("devices"),
+              std::string::npos);
+}
+
+TEST_F(ServerTest, AcceptLoopSurvivesSignalsAndAbortedConnects)
+{
+    startServer();
+
+    // A no-op handler installed WITHOUT SA_RESTART: any syscall the
+    // signal lands in returns EINTR instead of restarting.
+    struct sigaction sa = {};
+    struct sigaction old = {};
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0;
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    // Pepper the process with signals while clients connect and
+    // abort instantly (SO_LINGER 0 close sends RST, so connections
+    // can die in the accept queue -> ECONNABORTED/EAGAIN paths).
+    for (int i = 0; i < 50; i++) {
+        ASSERT_EQ(::kill(::getpid(), SIGUSR1), 0);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        struct sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                      socket_.c_str());
+        if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof addr) == 0) {
+            struct linger lg = {1, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+        }
+        ::close(fd);
+        ASSERT_EQ(::kill(::getpid(), SIGUSR1), 0);
+    }
+
+    // The listener must still be alive and answering.
+    const JsonValue resp = request("{\"type\":\"ping\",\"id\":1}");
+    EXPECT_TRUE(resp.get("ok") && resp.get("ok")->asBool());
+    const JsonValue eval = request(kSmallEval);
+    EXPECT_TRUE(eval.get("ok") && eval.get("ok")->asBool());
+
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
 }
 
 TEST_F(ServerTest, ShutdownRequestStopsTheServer)

@@ -167,6 +167,30 @@ TEST(ParseEnvInt, NegativeValuesAllowedWhenRangeAllows)
     unsetenv("NPP_TEST_KNOB");
 }
 
+TEST(ParseEnvString, UnsetAndBlankReturnFallback)
+{
+    unsetenv("NPP_TEST_STR");
+    EXPECT_EQ(parseEnvString("NPP_TEST_STR"), "");
+    EXPECT_EQ(parseEnvString("NPP_TEST_STR", "dflt"), "dflt");
+    // Empty and whitespace-only values are indistinguishable from
+    // unset: NPP_EVAL_CACHE_DIR="" must not enable the disk tier with
+    // a relative-path-of-nothing directory.
+    setenv("NPP_TEST_STR", "", 1);
+    EXPECT_EQ(parseEnvString("NPP_TEST_STR", "dflt"), "dflt");
+    setenv("NPP_TEST_STR", "   \t  ", 1);
+    EXPECT_EQ(parseEnvString("NPP_TEST_STR", "dflt"), "dflt");
+    unsetenv("NPP_TEST_STR");
+}
+
+TEST(ParseEnvString, ValuesAreTrimmedNotRewritten)
+{
+    setenv("NPP_TEST_STR", "  /tmp/cache dir  ", 1);
+    EXPECT_EQ(parseEnvString("NPP_TEST_STR"), "/tmp/cache dir");
+    setenv("NPP_TEST_STR", "plain", 1);
+    EXPECT_EQ(parseEnvString("NPP_TEST_STR", "dflt"), "plain");
+    unsetenv("NPP_TEST_STR");
+}
+
 TEST(ParseEnvBool, UnsetReturnsFallbackSilently)
 {
     unsetenv("NPP_TEST_FLAG");

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * NPP_TRACE_MAX_SPANS: the span-buffer cap is read from the environment
+ * when the registry is first constructed, overflowing spans are dropped
+ * (and counted), and the flat-JSON export names the cap and the drop
+ * count. Runs as its own binary: the env var must be set before the
+ * first Trace::instance() call of the process, so this cannot ride in
+ * support_trace_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/trace.h"
+
+namespace npp {
+namespace {
+
+TEST(TraceCap, EnvCapDropsOverflowingSpansAndExportsThem)
+{
+    Trace &t = Trace::instance(); // env read happens here, cap = 8
+    ASSERT_EQ(t.maxSpans(), 8u);
+    t.setEnabled(true);
+
+    for (int i = 0; i < 20; i++) {
+        const double us = static_cast<double>(i);
+        t.span("cap.span", us, us + 0.5);
+    }
+    EXPECT_EQ(t.spanCount(), 8u);
+    EXPECT_EQ(t.droppedSpans(), 12u);
+
+    const std::string flat = t.flatJson();
+    EXPECT_NE(flat.find("\"span_count\":8"), std::string::npos);
+    EXPECT_NE(flat.find("\"max_spans\":8"), std::string::npos);
+    EXPECT_NE(flat.find("\"dropped_spans\":12"), std::string::npos);
+
+    // Timer statistics aggregate over the retained buffer only;
+    // dropped spans are visible solely through droppedSpans().
+    EXPECT_EQ(t.timerStat("cap.span").count, 8u);
+
+    // clear() frees the buffer but keeps the cap.
+    t.clear();
+    EXPECT_EQ(t.spanCount(), 0u);
+    EXPECT_EQ(t.droppedSpans(), 0u);
+    EXPECT_EQ(t.maxSpans(), 8u);
+    t.span("cap.span", 0.0, 1.0);
+    EXPECT_EQ(t.spanCount(), 1u);
+}
+
+} // namespace
+} // namespace npp
+
+int
+main(int argc, char **argv)
+{
+    // Before any Trace::instance() call in this process.
+    setenv("NPP_TRACE_MAX_SPANS", "8", /*overwrite=*/1);
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

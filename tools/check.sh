@@ -11,12 +11,14 @@
 #                               # differential suites
 #   tools/check.sh server       # mapping-service + disk-cache suite in
 #                               # the default AND asan trees
+#   tools/check.sh multidev     # multi-device sharding suite in the
+#                               # default AND asan trees
 #   tools/check.sh all          # all four builds, in order
 #
 # Every ctest invocation runs the full suite, including the classed
 # differential tests (labeled `differential`), the coalescing-model
-# suite (labeled `coalesce`), and the mapping-service suite (labeled
-# `server`); the `differential` job builds the default tree and runs
+# suite (labeled `coalesce`), the mapping-service suite (labeled
+# `server`), and the multi-device sharding suite (labeled `multidev`); the `differential` job builds the default tree and runs
 # just that label for a quick check of the block-classing bit-exactness
 # contract, the `coalesce` job runs the coalescing-model contracts
 # (shift invariance, classing regressions, classed-vs-full bit
@@ -24,7 +26,9 @@
 # mapping-service protocol, request-coalescing, and hostile-disk-entry
 # tests twice — default build for speed, asan build so corrupt cache
 # files and malformed requests exercise the deserializer under
-# sanitizers. Each server-suite test creates its own temp
+# sanitizers. The `multidev` job runs the outer-domain partitioner and
+# fleet-sharding contracts (N=1 bit identity, shard/fleet cache-key
+# separation) in the default and asan trees. Each server-suite test creates its own temp
 # NPP_EVAL_CACHE_DIR, so parallel jobs never share cache state.
 #
 # Each job uses its own build directory (build/, build-asan/,
@@ -81,6 +85,16 @@ server)
     cmake --build build-asan -j
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L server
     ;;
+multidev)
+    echo "== check: multidev (build) =="
+    cmake -B build -S .
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L multidev
+    echo "== check: multidev (build-asan) =="
+    cmake -B build-asan -S . -DNPP_ASAN=ON
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L multidev
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
@@ -88,7 +102,7 @@ all)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|multidev|all]" >&2
     exit 2
     ;;
 esac

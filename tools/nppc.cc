@@ -7,8 +7,8 @@
  *
  *     nppc <program> [--strategy=multidim|1d|tbt|warp] [--size=key=N]...
  *                    [--ir] [--constraints] [--mapping] [--cuda]
- *                    [--run] [--explain] [--trace=FILE] [--stats=FILE]
- *                    [--all]
+ *                    [--run] [--explain] [--devices=N] [--trace=FILE]
+ *                    [--stats=FILE] [--all]
  *     nppc serve --socket=PATH [--hold-eval-ms=N]
  *     nppc <program|ping|stats|shutdown> --client=PATH [...]
  *
@@ -51,6 +51,7 @@
 #include "server/programs.h"
 #include "server/server.h"
 #include "sim/evalcache.h"
+#include "sim/fleet.h"
 #include "sim/gpu.h"
 #include "support/strings.h"
 #include "support/trace.h"
@@ -82,7 +83,7 @@ usage()
         "  programs: %s\n"
         "  options:  --strategy=multidim|1d|tbt|warp --size=key=N\n"
         "            --ir --constraints --mapping --cuda --run --all\n"
-        "            --explain --trace=FILE --stats=FILE\n",
+        "            --explain --devices=N --trace=FILE --stats=FILE\n",
         join(demoProgramNames(), " ").c_str());
     return 2;
 }
@@ -129,7 +130,8 @@ runServe(int argc, char **argv)
 /** Build the request JSON for client mode out of the CLI arguments. */
 std::string
 clientRequest(const std::string &name, const std::string &strategy,
-              const std::map<std::string, int64_t> &sizes, bool explain)
+              const std::map<std::string, int64_t> &sizes, bool explain,
+              int devices)
 {
     if (name == "ping" || name == "stats" || name == "shutdown")
         return fmt("{\"type\":\"{}\"}", name);
@@ -150,6 +152,8 @@ clientRequest(const std::string &name, const std::string &strategy,
     }
     if (explain)
         req += ",\"explain\":true";
+    if (devices > 1)
+        req += fmt(",\"devices\":{}", devices);
     return req + "}";
 }
 
@@ -170,6 +174,7 @@ main(int argc, char **argv)
     std::string tracePath, statsPath, clientSocket, strategyStr;
     std::map<std::string, int64_t> sizes;
     Strategy strategy = Strategy::MultiDim;
+    int devices = 1;
     for (int i = 2; i < argc; i++) {
         const std::string arg = argv[i];
         if (arg == "--ir")
@@ -190,6 +195,11 @@ main(int argc, char **argv)
             statsPath = arg.substr(std::strlen("--stats="));
         else if (arg.rfind("--client=", 0) == 0)
             clientSocket = arg.substr(std::strlen("--client="));
+        else if (arg.rfind("--devices=", 0) == 0) {
+            devices = std::atoi(arg.c_str() + std::strlen("--devices="));
+            if (devices < 1 || devices > 64)
+                return usage();
+        }
         else if (arg.rfind("--size=", 0) == 0) {
             const std::string kv = arg.substr(std::strlen("--size="));
             const size_t eq = kv.find('=');
@@ -214,7 +224,7 @@ main(int argc, char **argv)
 
     if (!clientSocket.empty()) {
         const std::string request =
-            clientRequest(name, strategyStr, sizes, explain);
+            clientRequest(name, strategyStr, sizes, explain, devices);
         std::string response, error;
         if (!serveRoundTrip(clientSocket, request, &response, &error)) {
             std::fprintf(stderr, "nppc --client: %s\n", error.c_str());
@@ -259,6 +269,23 @@ main(int argc, char **argv)
                            EvalCache::hashCompileOptions(copts)),
         EvalCache::hashDevice(gpu.config()));
 
+    // Multi-device sweep: score (deviceCount, splitPoint) by fleet
+    // simulation and attach the verdicts to the decision report.
+    FleetChoice fleetChoice;
+    if (devices > 1) {
+        Bindings fleetArgs(*demo->prog);
+        demo->bind(fleetArgs);
+        ExecOptions fleetOpts;
+        fleetOpts.metricsOnly = true;
+        fleetChoice = searchFleet(gpu, compiled.spec, fleetArgs,
+                                  fleetK20c(devices), fleetOpts, specSeed);
+        compiled.spec.fleet.deviceCount = fleetChoice.deviceCount;
+        compiled.spec.fleet.splitPoint = fleetChoice.splitPoint;
+        compiled.spec.fleet.verdict = fleetChoice.best.plan.verdict;
+        compiled.explanation.fleetNote = formatFleetChoice(fleetChoice);
+        compiled.explanation.fleetJson = fleetChoiceJson(fleetChoice);
+    }
+
     if (showIr)
         std::printf("== IR ==\n%s\n", printProgram(*demo->prog).c_str());
     if (showConstraints) {
@@ -298,6 +325,12 @@ main(int argc, char **argv)
             std::printf("%s\n\n", classingLine(verdict.stats).c_str());
         }
     }
+    if (devices > 1 && !explain) {
+        // --explain prints the sweep inside the decision report; give
+        // everyone else a section of their own.
+        std::printf("== Multi-device ==\n%s\n",
+                    formatFleetChoice(fleetChoice).c_str());
+    }
     if (showCuda)
         std::printf("== CUDA ==\n%s\n", compiled.spec.cudaSource.c_str());
     if (doRun) {
@@ -324,6 +357,9 @@ main(int argc, char **argv)
                 evalTierName(tier) + "\",\"report\":" +
                 report.toJson(gpu.config().transactionBytes) +
                 ",\"eval_cache\":" + EvalCache::instance().stats().toJson() +
+                (devices > 1
+                     ? ",\"fleet\":" + fleetChoiceJson(fleetChoice)
+                     : std::string()) +
                 "}\n";
             FILE *f = std::fopen(statsPath.c_str(), "wb");
             if (!f) {
