@@ -1,0 +1,123 @@
+#include "analysis/consolidate.h"
+
+#include "ir/affine.h"
+#include "ir/traverse.h"
+#include "support/strings.h"
+
+namespace npp {
+
+const char *
+binGranularityName(BinGranularity g)
+{
+    switch (g) {
+      case BinGranularity::Warp: return "warp";
+      case BinGranularity::Block: return "block";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Any Nested statement anywhere in the list (including under control
+ *  flow)? */
+bool
+containsNested(const std::vector<StmtPtr> &stmts)
+{
+    for (const auto &s : stmts) {
+        if (s->kind == StmtKind::Nested)
+            return true;
+        if (containsNested(s->body) || containsNested(s->elseBody))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+consolidationEligibility(const Program &prog)
+{
+    const Pattern &root = prog.root();
+    if (prog.numLevels() != 2) {
+        return fmt("consolidation needs exactly two nesting levels "
+                   "(program has {})",
+                   prog.numLevels());
+    }
+    if (root.kind != PatternKind::Map &&
+        root.kind != PatternKind::ZipWith &&
+        root.kind != PatternKind::Foreach) {
+        return fmt("root {} has cross-parent output dependences; "
+                   "consolidation reorders parent work",
+                   patternKindName(root.kind));
+    }
+    if (!sizeKnownAtLaunch(root.size, prog)) {
+        return "root domain size is itself data-dependent; bins cannot "
+               "be laid out at launch";
+    }
+
+    // Root body shape: [Let* prologue, one Nested, nested-free epilogue].
+    const Stmt *nested = nullptr;
+    for (const auto &s : root.body) {
+        if (s->kind == StmtKind::Nested) {
+            if (nested)
+                return "root body holds more than one nested pattern; "
+                       "their queues would interleave";
+            nested = s.get();
+            continue;
+        }
+        if (!nested && s->kind != StmtKind::Let &&
+            s->kind != StmtKind::Assign) {
+            return "parent prologue before the nested pattern must be "
+                   "scalar lets (its values seed the queue entries)";
+        }
+        if (containsNested(s->body) || containsNested(s->elseBody)) {
+            return "nested pattern under control flow cannot be queued "
+                   "uniformly";
+        }
+    }
+    if (!nested)
+        return "no nested pattern to consolidate";
+
+    const Pattern &inner = *nested->pattern;
+    if (inner.kind != PatternKind::Reduce &&
+        inner.kind != PatternKind::Foreach) {
+        return fmt("inner {} materializes per-parent outputs; queue "
+                   "waves would interleave them",
+                   patternKindName(inner.kind));
+    }
+    if (sizeKnownAtLaunch(inner.size, prog)) {
+        return "inner extent is known at launch; the static mappings "
+               "already cover it";
+    }
+    return {};
+}
+
+MappingDecision
+consolidatedMapping(int64_t binLanes)
+{
+    MappingDecision m;
+    LevelMapping outer;
+    outer.dim = 0;
+    outer.blockSize = binLanes;
+    outer.span = SpanType::one();
+    m.levels.push_back(outer);
+    LevelMapping inner;
+    inner.dim = 1;
+    inner.blockSize = 1;
+    inner.span = SpanType::all();
+    m.levels.push_back(inner);
+    return m;
+}
+
+bool
+hasDynamicInnerExtent(const Program &prog)
+{
+    bool dynamic = false;
+    for (const auto &[pattern, level] : collectPatterns(prog.root())) {
+        if (level > 0 && !sizeKnownAtLaunch(pattern->size, prog))
+            dynamic = true;
+    }
+    return dynamic;
+}
+
+} // namespace npp

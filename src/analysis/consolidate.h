@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Consolidation mapping for runtime-sized nested domains. When an inner
+ * pattern's extent is data dependent (CSR row lengths, BFS frontier
+ * degrees), the paper's static mappings either serialize the children in
+ * one thread (load imbalance: the warp waits for its longest row) or tile
+ * them across a fixed inner dimension (partial warps on short rows). The
+ * dynamic-parallelism literature (arxiv 2201.02789, 1606.08150)
+ * consolidates instead: a group of L lanes serves L parents, concatenates
+ * their variable-length child domains into one work queue, and consumes
+ * the queue in full waves of L — uniform occupancy regardless of skew, at
+ * the price of building the queue.
+ */
+
+#ifndef NPP_ANALYSIS_CONSOLIDATE_H
+#define NPP_ANALYSIS_CONSOLIDATE_H
+
+#include <string>
+
+#include "analysis/mapping.h"
+#include "ir/program.h"
+
+namespace npp {
+
+/** Bin granularity: how many lanes cooperate on one work queue. */
+enum class BinGranularity {
+    Warp, //!< one queue per warp (L = warpSize)
+    Block //!< one queue per block (L = blockSize)
+};
+
+const char *binGranularityName(BinGranularity g);
+
+/**
+ * How a consolidated launch is organized; carried on the KernelSpec so
+ * the emitter renders the bin-build prologue and the simulator runs the
+ * queue-build + consumption phases.
+ */
+struct ConsolidationPlan
+{
+    bool enabled = false;
+
+    BinGranularity granularity = BinGranularity::Warp;
+
+    /** Lanes per bin group == parents per group (L). */
+    int64_t binLanes = 32;
+
+    /** Why consolidation engaged — or the named eligibility reason it
+     *  did not (surfaced through --explain). */
+    std::string verdict = "not requested";
+};
+
+/**
+ * Can this program be consolidated? Returns the empty string when
+ * eligible, otherwise a named reason (threaded verbatim into explain
+ * output). Eligible shape: a two-level nest whose root is a map-like
+ * pattern with a launch-known extent, a scalar-let prologue, exactly one
+ * nested Reduce/Foreach whose extent is NOT launch-known, and a
+ * nested-pattern-free epilogue.
+ */
+std::string consolidationEligibility(const Program &prog);
+
+/** The mapping a consolidated launch uses: level 0 gets `binLanes`
+ *  threads of dimension x with Span(1) (each block serves binLanes
+ *  parents); the dynamic inner level is sequential Span(all) — its work
+ *  is redistributed through the queue, not through the grid. */
+MappingDecision consolidatedMapping(int64_t binLanes);
+
+/** True when any nested (non-root) pattern has a data-dependent extent —
+ *  the programs whose mapping decision consolidation competes for. */
+bool hasDynamicInnerExtent(const Program &prog);
+
+} // namespace npp
+
+#endif // NPP_ANALYSIS_CONSOLIDATE_H

@@ -203,6 +203,8 @@ formatSearchExplanation(const SearchExplanation &ex)
        << "\n";
     if (!ex.fleetNote.empty())
         os << ex.fleetNote;
+    if (!ex.consolidationNote.empty())
+        os << ex.consolidationNote;
     return os.str();
 }
 
@@ -249,6 +251,8 @@ searchExplanationJson(const SearchExplanation &ex)
     os << ",\"control_dop\":" << jsonStr(ex.controlDopNote);
     if (!ex.fleetJson.empty())
         os << ",\"fleet\":" << ex.fleetJson;
+    if (!ex.consolidationJson.empty())
+        os << ",\"consolidation\":" << ex.consolidationJson;
     os << "}";
     return os.str();
 }

@@ -88,11 +88,19 @@ partitionOuter(const Program &prog, const MappingDecision &decision,
     plan.unit = outerShardUnit(decision);
     plan.splitPoint = splitPoint;
 
+    // A runtime-sized outer extent must be judged before any check that
+    // consumes `outerSize`: the caller's value for a data-dependent root
+    // domain may be a placeholder, and a fleet sweep that saw "empty
+    // outer domain" instead of the real reason would mis-explain the
+    // filter. Only the single-device degenerate plan skips the check —
+    // one device never shards, so the dynamic size is harmless there.
+    const bool sizeKnown = outerSizeKnownAtLaunch(prog);
+
     if (deviceCount < 1) {
         plan.verdict = fmt("invalid device count {}", deviceCount);
         return plan;
     }
-    if (outerSize < 1) {
+    if (sizeKnown && outerSize < 1) {
         plan.verdict = fmt("empty outer domain ({})", outerSize);
         return plan;
     }
@@ -108,7 +116,7 @@ partitionOuter(const Program &prog, const MappingDecision &decision,
         plan.verdict = reason;
         return plan;
     }
-    if (!outerSizeKnownAtLaunch(prog)) {
+    if (!sizeKnown) {
         plan.verdict = "outer domain size is not known at launch "
                        "(depends on array data), so it cannot be split";
         return plan;

@@ -139,6 +139,19 @@ struct SearchExplanation
     /** fleetChoiceJson() object for the machine-readable export. */
     std::string fleetJson;
     /** @} */
+
+    /** @name Consolidation sweep annotations
+     * Filled by the consolidation layer (sim/consolidation.h) when a
+     * program with runtime-sized inner domains is swept against the
+     * warp-/block-bin queue mappings; rendered alongside the search
+     * report when non-empty (same contract as the fleet annotations).
+     *  @{
+     */
+    /** formatConsolidationChoice() text: per-candidate verdicts. */
+    std::string consolidationNote;
+    /** consolidationChoiceJson() object for the JSON export. */
+    std::string consolidationJson;
+    /** @} */
 };
 
 /** Search outcome. */

@@ -7,6 +7,7 @@
 #include "opt/fusion.h"
 #include "opt/smem.h"
 #include "support/logging.h"
+#include "support/strings.h"
 #include "support/trace.h"
 
 namespace npp {
@@ -20,6 +21,7 @@ strategyName(Strategy strategy)
       case Strategy::ThreadBlockThread: return "ThreadBlock/Thread";
       case Strategy::WarpBased: return "Warp-based";
       case Strategy::Fixed: return "Fixed";
+      case Strategy::Consolidate: return "Consolidate";
     }
     return "?";
 }
@@ -107,6 +109,44 @@ compileProgram(const Program &sourceProg, const DeviceConfig &device,
       case Strategy::WarpBased:
         mapping = warpBasedMapping(levels, device);
         break;
+      case Strategy::Consolidate: {
+        // Run the full search first so an ineligible program still
+        // compiles to the best static mapping — the verdict names why
+        // consolidation did not engage.
+        SearchOptions sopts;
+        sopts.preallocLayouts = options.prealloc.enable &&
+                                options.prealloc.layoutFromMapping;
+        sopts.keepCandidates = options.keepCandidates;
+        sopts.objective = options.objective;
+        sopts.explain = options.explainSearch;
+        MappingSearch search(device, sopts);
+        SearchResult sres = search.search(result.constraints);
+        mapping = sres.best;
+        result.spec.score = sres.bestScore;
+        result.spec.dop = sres.bestDop;
+        result.candidates = std::move(sres.candidates);
+        result.explanation = std::move(sres.explanation);
+
+        ConsolidationPlan &plan = result.spec.consolidation;
+        const std::string reason = consolidationEligibility(prog);
+        if (reason.empty()) {
+            plan.enabled = true;
+            plan.granularity = options.binGranularity;
+            plan.binLanes = options.binGranularity == BinGranularity::Warp
+                                ? device.warpSize
+                                : 256;
+            plan.verdict = fmt("consolidated: {}-bin queues, {} lanes "
+                               "per group",
+                               binGranularityName(plan.granularity),
+                               plan.binLanes);
+            mapping = consolidatedMapping(plan.binLanes);
+            result.spec.dop =
+                mapping.dop(result.constraints.levelSizes);
+        } else {
+            plan.verdict = "not consolidated: " + reason;
+        }
+        break;
+      }
       case Strategy::Fixed:
         mapping = options.fixedMapping;
         // Applications mix programs of different depths (e.g. Gaussian's
@@ -136,7 +176,8 @@ compileProgram(const Program &sourceProg, const DeviceConfig &device,
         break;
     }
     if (options.strategy != Strategy::MultiDim &&
-        options.strategy != Strategy::OneD) {
+        options.strategy != Strategy::OneD &&
+        options.strategy != Strategy::Consolidate) {
         applyHardSpans(mapping, result.constraints);
         MappingSearch scorer(device);
         result.spec.score = scorer.score(mapping, result.constraints);

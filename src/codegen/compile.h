@@ -20,7 +20,8 @@ enum class Strategy {
     OneD,              //!< outer level only
     ThreadBlockThread, //!< Copperhead-style (Fig 7a)
     WarpBased,         //!< Hong et al. (Fig 7b)
-    Fixed              //!< caller-provided MappingDecision
+    Fixed,             //!< caller-provided MappingDecision
+    Consolidate        //!< runtime-sized inner domains via work queues
 };
 
 const char *strategyName(Strategy strategy);
@@ -32,6 +33,11 @@ struct CompileOptions
 
     /** Used when strategy == Fixed. */
     MappingDecision fixedMapping;
+
+    /** Used when strategy == Consolidate: one work queue per warp or per
+     *  block (analysis/consolidate.h). Part of the EvalCache spec key —
+     *  the two granularities launch different geometries. */
+    BinGranularity binGranularity = BinGranularity::Warp;
 
     /** Section V-A switches. */
     PreallocOptions prealloc;

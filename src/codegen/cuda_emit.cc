@@ -207,6 +207,8 @@ class Emitter
             os << "// shared-memory prefetch: " << spec.prefetchedSites.size()
                << " site(s)\n";
         }
+        if (spec.consolidation.enabled)
+            os << "// " << spec.consolidation.verdict << "\n";
         os << "\n";
     }
 
@@ -244,6 +246,10 @@ class Emitter
     void
     kernel()
     {
+        if (spec.consolidation.enabled) {
+            consolidatedKernel();
+            return;
+        }
         open(fmt("__global__ void {}_kernel({})", prog.name(),
                  paramList()));
 
@@ -257,6 +263,176 @@ class Emitter
         emitPrefetchDecls();
 
         emitPattern(prog.root(), 0, /*isRoot=*/true);
+        close();
+        os << "\n";
+    }
+
+    /**
+     * Consolidated emission for a runtime-sized inner domain. A group of
+     * L lanes serves L parents; their variable-length child domains
+     * concatenate into one parent-major queue consumed in full waves of
+     * L. Three phases, mirroring the exact simulator's consolidated
+     * path (sim/executor.cc): bin-build prologue (per-parent extent
+     * gather + exclusive scan laying out the queue offsets),
+     * consolidated consumption (every wave runs L contiguous queue
+     * entries, so no lane idles on a short parent), and a per-parent
+     * finalize that runs the epilogue and stores the root yield.
+     */
+    void
+    consolidatedKernel()
+    {
+        const Pattern &root = prog.root();
+        const int64_t L = spec.consolidation.binLanes;
+        const bool warpBin =
+            spec.consolidation.granularity == BinGranularity::Warp;
+
+        // Slice the root body the way the executor does: scalar
+        // prologue (queue-carried lets), the single dynamic nested
+        // pattern, epilogue.
+        std::vector<const Stmt *> prefix, suffix;
+        const Stmt *nestedStmt = nullptr;
+        for (const auto &s : root.body) {
+            if (s->kind == StmtKind::Nested)
+                nestedStmt = s.get();
+            else if (!nestedStmt)
+                prefix.push_back(s.get());
+            else
+                suffix.push_back(s.get());
+        }
+        NPP_ASSERT(nestedStmt,
+                   "consolidated kernel without a nested pattern");
+        const Pattern &inner = *nestedStmt->pattern;
+
+        // Prologue scalars the queue carries across phases.
+        std::vector<int> carried;
+        for (const Stmt *s : prefix)
+            if (s->kind == StmtKind::Let)
+                carried.push_back(s->var);
+
+        open(fmt("__global__ void {}_kernel({})", prog.name(),
+                 paramList()));
+        line(fmt("// consolidation: {}-bin queues, {} lanes per group",
+                 binGranularityName(spec.consolidation.granularity), L));
+        line(fmt("__shared__ long long __q_off[{}]; // exclusive scan "
+                 "of the group's extents",
+                 L + 1));
+        for (int v : carried) {
+            line(fmt("__shared__ {} __carry_{}[{}];",
+                     cudaTypeName(prog.var(v).kind), varName(v), L));
+        }
+        if (inner.kind == PatternKind::Reduce)
+            line(fmt("__shared__ double __bin_acc[{}];", L));
+        line(fmt("const long long __group_lo = (long long)blockIdx.x * "
+                 "{};",
+                 L));
+        line("const int __bin_lane = (int)threadIdx.x;");
+
+        line("// --- bin-build prologue: gather each parent's extent ---");
+        line("long long __extent = 0;");
+        open(fmt("if (__group_lo + __bin_lane < {})", expr(root.size)));
+        line(fmt("const long long {} = __group_lo + __bin_lane;",
+                 varName(root.indexVar)));
+        for (const Stmt *s : prefix)
+            emitStmt(*s, 0);
+        line(fmt("__extent = max(0LL, (long long)({}));",
+                 expr(inner.size)));
+        for (int v : carried) {
+            line(fmt("__carry_{}[__bin_lane] = {};", varName(v),
+                     varName(v)));
+        }
+        if (inner.kind == PatternKind::Reduce) {
+            line(fmt("__bin_acc[__bin_lane] = {};",
+                     combinerIdentity(inner.combiner)));
+        }
+        close();
+
+        if (warpBin) {
+            line("// queue offsets: warp-wide exclusive scan (shuffle)");
+            line("long long __incl = __extent;");
+            open(fmt("for (int __s = 1; __s < {}; __s <<= 1)", L));
+            line("const long long __up = __shfl_up_sync(0xffffffffu, "
+                 "__incl, __s);");
+            line("if (__bin_lane >= __s) __incl += __up;");
+            close();
+            line("__q_off[__bin_lane] = __incl - __extent;");
+            line(fmt("if (__bin_lane == {}) __q_off[{}] = __incl;", L - 1,
+                     L));
+            line("__syncwarp();");
+        } else {
+            line("// queue offsets: block-wide exclusive scan in shared "
+                 "memory");
+            line("__q_off[__bin_lane] = __extent;");
+            line("__syncthreads();");
+            open(fmt("for (int __s = 1; __s < {}; __s <<= 1)", L));
+            line("const long long __up = __bin_lane >= __s ? "
+                 "__q_off[__bin_lane - __s] : 0;");
+            line("__syncthreads();");
+            line("__q_off[__bin_lane] += __up;");
+            line("__syncthreads();");
+            close();
+            line("const long long __incl = __q_off[__bin_lane];");
+            line("__syncthreads();");
+            line("__q_off[__bin_lane] = __incl - __extent;");
+            line(fmt("if (__bin_lane == {}) __q_off[{}] = __incl;", L - 1,
+                     L));
+            line("__syncthreads();");
+        }
+        line(fmt("const long long __entries = __q_off[{}];", L));
+
+        line("// --- consolidated consumption: full waves of the queue "
+             "---");
+        open(fmt("for (long long __q = __bin_lane; __q < __entries; __q "
+                 "+= {})",
+                 L));
+        line("// owner search: the parent whose queue slice holds __q");
+        line(fmt("int __plo = 0, __phi = {};", L));
+        open("while (__phi - __plo > 1)");
+        line("const int __mid = (__plo + __phi) >> 1;");
+        line("if (__q_off[__mid] <= __q) __plo = __mid; else __phi = "
+             "__mid;");
+        close();
+        line(fmt("const long long {} = __group_lo + __plo;",
+                 varName(root.indexVar)));
+        for (int v : carried) {
+            const VarInfo &vi = prog.var(v);
+            line(fmt("{}{} {} = __carry_{}[__plo];",
+                     vi.isMutable ? "" : "const ",
+                     cudaTypeName(vi.kind), vi.name, vi.name));
+        }
+        line(fmt("const long long {} = __q - __q_off[__plo];",
+                 varName(inner.indexVar)));
+        emitStmts(inner.body, 1);
+        if (inner.kind == PatternKind::Reduce) {
+            line(fmt("atomic{}(&__bin_acc[__plo], {});",
+                     inner.combiner == Op::Add ? "Add" : "CombineCAS",
+                     expr(inner.yield)));
+        }
+        close();
+        line(warpBin ? "__syncwarp();" : "__syncthreads();");
+
+        line("// --- finalize: one lane per parent runs the epilogue ---");
+        open(fmt("if (__group_lo + __bin_lane < {})", expr(root.size)));
+        line(fmt("const long long {} = __group_lo + __bin_lane;",
+                 varName(root.indexVar)));
+        for (int v : carried) {
+            const VarInfo &vi = prog.var(v);
+            line(fmt("{}{} {} = __carry_{}[__bin_lane];",
+                     vi.isMutable ? "" : "const ",
+                     cudaTypeName(vi.kind), vi.name, vi.name));
+        }
+        if (inner.kind == PatternKind::Reduce && nestedStmt->var >= 0) {
+            line(fmt("const double {} = __bin_acc[__bin_lane];",
+                     varName(nestedStmt->var)));
+        }
+        for (const Stmt *s : suffix)
+            emitStmt(*s, 0);
+        if (root.kind == PatternKind::Map ||
+            root.kind == PatternKind::ZipWith) {
+            line(fmt("{}[{}] = {};", varName(prog.rootOutput()),
+                     varName(root.indexVar), expr(root.yield)));
+        }
+        close();
+
         close();
         os << "\n";
     }
@@ -520,53 +696,58 @@ class Emitter
     void
     emitStmts(const std::vector<StmtPtr> &stmts, int lv)
     {
-        for (const auto &s : stmts) {
-            switch (s->kind) {
-              case StmtKind::Let: {
-                const VarInfo &v = prog.var(s->var);
-                line(fmt("{}{} {} = {};", v.isMutable ? "" : "const ",
-                         cudaTypeName(v.kind), v.name, expr(s->value)));
-                break;
-              }
-              case StmtKind::Assign:
-                line(fmt("{} = {};", varName(s->var), expr(s->value)));
-                break;
-              case StmtKind::Store: {
-                const LocalArrayPlan *plan = spec.localPlan(s->array);
-                if (plan) {
-                    line(fmt("{}[{}] = {};", varName(s->array),
-                             localIndex(*plan, s->index), expr(s->value)));
-                } else {
-                    line(fmt("{}[{}] = {};", varName(s->array),
-                             fmt("(long long)({})", expr(s->index)),
-                             expr(s->value)));
-                }
-                break;
-              }
-              case StmtKind::If:
-                open(fmt("if ({})", expr(s->cond)));
-                emitStmts(s->body, lv);
-                if (!s->elseBody.empty()) {
-                    indent--;
-                    line("} else {");
-                    indent++;
-                    emitStmts(s->elseBody, lv);
-                }
-                close();
-                break;
-              case StmtKind::SeqLoop:
-                open(fmt("for (long long {} = 0; {} < {}; {}++)",
-                         varName(s->var), varName(s->var), expr(s->trip),
-                         varName(s->var)));
-                if (s->cond)
-                    line(fmt("if ({}) break;", expr(s->cond)));
-                emitStmts(s->body, lv);
-                close();
-                break;
-              case StmtKind::Nested:
-                emitNested(*s, lv + 1);
-                break;
+        for (const auto &s : stmts)
+            emitStmt(*s, lv);
+    }
+
+    void
+    emitStmt(const Stmt &s, int lv)
+    {
+        switch (s.kind) {
+          case StmtKind::Let: {
+            const VarInfo &v = prog.var(s.var);
+            line(fmt("{}{} {} = {};", v.isMutable ? "" : "const ",
+                     cudaTypeName(v.kind), v.name, expr(s.value)));
+            break;
+          }
+          case StmtKind::Assign:
+            line(fmt("{} = {};", varName(s.var), expr(s.value)));
+            break;
+          case StmtKind::Store: {
+            const LocalArrayPlan *plan = spec.localPlan(s.array);
+            if (plan) {
+                line(fmt("{}[{}] = {};", varName(s.array),
+                         localIndex(*plan, s.index), expr(s.value)));
+            } else {
+                line(fmt("{}[{}] = {};", varName(s.array),
+                         fmt("(long long)({})", expr(s.index)),
+                         expr(s.value)));
             }
+            break;
+          }
+          case StmtKind::If:
+            open(fmt("if ({})", expr(s.cond)));
+            emitStmts(s.body, lv);
+            if (!s.elseBody.empty()) {
+                indent--;
+                line("} else {");
+                indent++;
+                emitStmts(s.elseBody, lv);
+            }
+            close();
+            break;
+          case StmtKind::SeqLoop:
+            open(fmt("for (long long {} = 0; {} < {}; {}++)",
+                     varName(s.var), varName(s.var), expr(s.trip),
+                     varName(s.var)));
+            if (s.cond)
+                line(fmt("if ({}) break;", expr(s.cond)));
+            emitStmts(s.body, lv);
+            close();
+            break;
+          case StmtKind::Nested:
+            emitNested(s, lv + 1);
+            break;
         }
     }
 
@@ -837,6 +1018,12 @@ class Emitter
     {
         os << "// launch configuration (computed from actual sizes at "
               "runtime):\n";
+        if (spec.consolidation.enabled) {
+            os << "//   consolidated: grid(ceil(outer/"
+               << spec.consolidation.binLanes << ")), block("
+               << spec.consolidation.binLanes
+               << "); queue build and consumption fused in one kernel\n";
+        }
         os << "//   dim3 block(Bx, By, Bz), grid(Gx, Gy, Gz) per the "
               "mapping above;\n";
         os << "//   " << prog.name() << "_kernel<<<grid, block>>>(...);\n";

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/consolidate.h"
 #include "analysis/mapping.h"
 #include "analysis/search.h"
 #include "ir/program.h"
@@ -102,6 +103,12 @@ struct KernelSpec
         std::string verdict = "single device";
     };
     FleetPlacement fleet;
+
+    /** Consolidated-queue organization (Strategy::Consolidate). When
+     *  enabled, the emitter renders the bin-build prologue and the
+     *  simulator runs queue-build + consumption phases; when disabled,
+     *  verdict names why (eligibility reason). */
+    ConsolidationPlan consolidation;
 
     /** Find the plan for a local array var (nullptr if none). */
     const LocalArrayPlan *localPlan(int varId) const;

@@ -123,9 +123,14 @@ struct Pattern
     /** Induction variable id (role Index). */
     int indexVar = -1;
 
-    /** Domain size; may reference params and enclosing indices. A size
-     *  that depends on an enclosing index is "unknown at kernel launch"
-     *  (Section IV-A) and forces Span(all). */
+    /** Domain size; may reference params, enclosing indices, and reads
+     *  of bound *input* arrays (a runtime-sized domain: CSR row extents,
+     *  frontier degrees). A size that is not launch-known (ir/affine.h
+     *  sizeKnownAtLaunch) forces Span(all) on its level; such levels are
+     *  where the consolidation mapping (analysis/consolidate.h)
+     *  competes. Reading an output array in a size is rejected by
+     *  Program::validate() — an extent must never depend on the
+     *  launch's own stores. */
     ExprRef size;
 
     /** Auxiliary statements executed per iteration, before yield. */

@@ -67,6 +67,22 @@ validatePattern(const Program &prog, const Pattern &p, bool atRoot)
         NPP_FATAL("{}: pattern index var {} has wrong role", prog.name(),
                   prog.var(p.indexVar).name);
 
+    // A runtime-sized domain may read bound input data (CSR row extents,
+    // frontier degrees), but never an output array: the extent would
+    // then depend on the launch's own stores, and neither the mapping
+    // analysis nor the bin-build prologue could lay the domain out
+    // before the kernel runs.
+    walkExpr(p.size, [&](const Expr &e) {
+        if (e.kind == ExprKind::Read && e.varId >= 0 &&
+            prog.var(e.varId).role == VarRole::ArrayParam &&
+            prog.var(e.varId).isOutput) {
+            NPP_FATAL("{}: pattern size reads output array {} — a "
+                      "domain extent must be launch- or "
+                      "ancestor-determined, not a result of the launch",
+                      prog.name(), prog.var(e.varId).name);
+        }
+    });
+
     switch (p.kind) {
       case PatternKind::Map:
       case PatternKind::ZipWith:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "apps/dynsize.h"
 #include "apps/sums.h"
 #include "ir/builder.h"
 #include "support/rng.h"
@@ -213,6 +214,41 @@ mandelDemo(std::map<std::string, int64_t> sizes, std::string *error)
     return d;
 }
 
+std::unique_ptr<DemoProgram>
+spmvDemo(std::map<std::string, int64_t> sizes, std::string *error)
+{
+    // A runtime-sized program: the inner reduce extent is a CSR row
+    // length read from the bound rowStart array, so the consolidation
+    // sweep competes for its mapping. The skewed row distribution is
+    // the shape consolidation exists for.
+    int64_t rows = 4096, avgDeg = 8;
+    if (!takeSize(sizes, "rows", &rows, error) ||
+        !takeSize(sizes, "avgdeg", &avgDeg, error) ||
+        !checkNoLeftover(sizes, "spmv", error) ||
+        !checkTotal(rows * (4 * avgDeg + 2), error))
+        return nullptr;
+
+    SpmvProgram sp = buildSpmv();
+    auto d = std::make_unique<DemoProgram>();
+    d->prog = sp.prog;
+    d->params = {{sp.nParam.ref()->varId, static_cast<double>(rows)}};
+    auto m = std::make_shared<CsrMatrix>();
+    auto x = std::make_shared<std::vector<double>>();
+    auto y = std::make_shared<std::vector<double>>();
+    d->bind = [sp, rows, avgDeg, m, x, y](Bindings &args) {
+        if (m->rows == 0) {
+            *m = makeCsr(rows, avgDeg, RowDist::Skewed, /*seed=*/11);
+            x->assign(rows, 0.0);
+            Rng rng(7);
+            for (auto &v : *x)
+                v = rng.uniform(-1, 1);
+        }
+        y->assign(rows, 0.0);
+        args = sp.bind(*m, *x, *y);
+    };
+    return d;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -220,7 +256,7 @@ demoProgramNames()
 {
     static const std::vector<std::string> names = {
         "sumrows",    "sumcols",  "weightedrows",
-        "weightedcols", "pagerank", "mandelbrot"};
+        "weightedcols", "pagerank", "mandelbrot", "spmv"};
     return names;
 }
 
@@ -243,6 +279,8 @@ buildDemoProgram(const std::string &name,
         return pagerankDemo(sizes, &err);
     if (name == "mandelbrot")
         return mandelDemo(sizes, &err);
+    if (name == "spmv")
+        return spmvDemo(sizes, &err);
     err = fmt("unknown program \"{}\" (have: {})", name,
               join(demoProgramNames(), ", "));
     return nullptr;

@@ -16,9 +16,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/consolidate.h"
 #include "analysis/search.h"
 #include "server/json.h"
 #include "server/programs.h"
+#include "sim/consolidation.h"
 #include "sim/evalcache.h"
 #include "sim/fleet.h"
 #include "sim/gpu.h"
@@ -51,6 +53,9 @@ struct EvalOutcome
     /** Multi-device sweep result (requests with "devices" > 1). */
     int devices = 1;
     std::string fleetJson;
+    /** Consolidation sweep result (programs with a runtime-sized inner
+     *  domain); empty for static-shaped programs. */
+    std::string consolidationJson;
 };
 
 bool
@@ -64,8 +69,12 @@ parseStrategy(const std::string &name, Strategy *out, std::string *error)
         *out = Strategy::ThreadBlockThread;
     else if (name == "warp")
         *out = Strategy::WarpBased;
+    else if (name == "consolidate")
+        *out = Strategy::Consolidate;
     else {
-        *error = fmt("unknown strategy \"{}\" (multidim|1d|tbt|warp)", name);
+        *error = fmt("unknown strategy \"{}\" "
+                     "(multidim|1d|tbt|warp|consolidate)",
+                     name);
         return false;
     }
     return true;
@@ -173,6 +182,18 @@ struct MappingServer::Impl
             out->fleetJson = fleetChoiceJson(choice);
             compiled.explanation.fleetNote = formatFleetChoice(choice);
             compiled.explanation.fleetJson = out->fleetJson;
+        }
+        if (hasDynamicInnerExtent(*demo.prog)) {
+            // Runtime-sized inner domains: sweep the consolidation
+            // candidates so the response names why consolidation won
+            // or lost against the best static mapping.
+            const ConsolidationChoice choice = searchConsolidation(
+                gpu, *demo.prog, args, copts, eopts);
+            out->consolidationJson = consolidationChoiceJson(choice);
+            compiled.explanation.consolidationNote =
+                formatConsolidationChoice(choice);
+            compiled.explanation.consolidationJson =
+                out->consolidationJson;
         }
         out->explanation = formatSearchExplanation(compiled.explanation);
         return out;
@@ -317,6 +338,10 @@ struct MappingServer::Impl
         if (outcome->devices > 1) {
             resp += fmt("\"devices\":{},", outcome->devices);
             resp += "\"fleet\":" + outcome->fleetJson + ",";
+        }
+        if (!outcome->consolidationJson.empty()) {
+            resp += "\"consolidation\":" + outcome->consolidationJson +
+                    ",";
         }
         resp += fmt("\"coalesced\":{},", leader ? "false" : "true");
         resp += fmt("\"coalesce_model\":\"{}\",", kCoalesceModelVersion);

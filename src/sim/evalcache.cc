@@ -271,6 +271,16 @@ putReport(ByteWriter &w, const SimReport &r)
     w.f64(s.compactionTransactions);
     w.f64(s.compactionOps);
     w.i64(s.compactionThreads);
+    w.f64(r.queueBuildMs);
+    w.u8(s.hasConsolidation ? 1 : 0);
+    w.f64(s.queueBuildTransactions);
+    w.f64(s.queueBuildOps);
+    w.i64(s.queueBuildThreads);
+    w.i64(s.consolidationGroups);
+    w.i64(s.consolidationParents);
+    w.i64(s.consolidationEntries);
+    w.i64(s.consolidationWaves);
+    w.f64(s.binFill);
     w.f64(s.sampledFraction);
     w.i64(s.classedBlocks);
     w.str(s.classReason);
@@ -319,6 +329,16 @@ getReport(ByteReader &r)
     s.compactionTransactions = r.f64();
     s.compactionOps = r.f64();
     s.compactionThreads = r.i64();
+    rep.queueBuildMs = r.f64();
+    s.hasConsolidation = r.u8() != 0;
+    s.queueBuildTransactions = r.f64();
+    s.queueBuildOps = r.f64();
+    s.queueBuildThreads = r.i64();
+    s.consolidationGroups = r.i64();
+    s.consolidationParents = r.i64();
+    s.consolidationEntries = r.i64();
+    s.consolidationWaves = r.i64();
+    s.binFill = r.f64();
     s.sampledFraction = r.f64();
     s.classedBlocks = r.i64();
     s.classReason = r.str();
@@ -635,6 +655,9 @@ EvalCache::hashCompileOptions(const CompileOptions &copts)
     uint64_t h = kFnvBasis;
     h = mix(h, static_cast<uint64_t>(copts.strategy));
     h = mix(h, copts.fixedMapping.hashValue());
+    // Consolidation granularity changes the launch geometry (lanes per
+    // bin), so the two variants must never share an entry.
+    h = mix(h, static_cast<uint64_t>(copts.binGranularity));
     h = mix(h, copts.prealloc.enable ? 1 : 0);
     h = mix(h, copts.prealloc.layoutFromMapping ? 1 : 0);
     h = mix(h, copts.smemPrefetch ? 1 : 0);

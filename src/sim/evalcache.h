@@ -51,8 +51,9 @@
 
 namespace npp {
 
-/** Bump on any change to the serialized disk-entry layout. */
-inline constexpr uint32_t kEvalCacheDiskFormatVersion = 1;
+/** Bump on any change to the serialized disk-entry layout. v2 added the
+ *  consolidation stage (queueBuildMs + queue/bin counters). */
+inline constexpr uint32_t kEvalCacheDiskFormatVersion = 2;
 
 /** Where an evaluation's report came from (cache-tier provenance,
  *  reported per request by the mapping service). */

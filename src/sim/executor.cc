@@ -153,6 +153,14 @@ class DeviceExecutor
                           "block";
         else if (geom.totalBlocks <= 2)
             classReason = "too few blocks to merge";
+        if (spec.consolidation.enabled) {
+            // Queue contents are a function of the bound extents, so no
+            // two groups are provably equivalent without reading data.
+            classed = false;
+            classReason = "consolidated bins are data-dependent; every "
+                          "group simulated exactly";
+            prepareConsolidation();
+        }
         if (classed) {
             const BlockClassPlan plan =
                 analyzeBlockClasses(spec, geom, levelSizes, ctx, device);
@@ -183,13 +191,18 @@ class DeviceExecutor
                         divergedBlock);
             }
         }
-        if (!classed)
-            runBlocksExact(sampleStride, measured);
+        if (!classed) {
+            if (spec.consolidation.enabled)
+                runBlocksConsolidated(sampleStride, measured);
+            else
+                runBlocksExact(sampleStride, measured);
+        }
         stats.classReason = classed ? std::string() : classReason;
 
         finishSplit();
         finishFilterCount();
         finishCompaction();
+        finishConsolidation();
 
         if (options.siteStats) {
             // The dense vector is already site-ordered; untouched sites
@@ -256,6 +269,173 @@ class DeviceExecutor
                 measured++;
             simulateBlock(block, measure);
         }
+    }
+
+    /** Consolidated block loop (Strategy::Consolidate): each block is
+     *  one bin group of binLanes parents whose variable-length child
+     *  domains drain through a shared work queue. */
+    void
+    runBlocksConsolidated(int64_t sampleStride, int64_t &measured)
+    {
+        for (int64_t block = 0; block < geom.totalBlocks; block++) {
+            const bool measure = block % sampleStride == 0;
+            if (measure)
+                measured++;
+            decodeBlock(block);
+            probe.countTraffic = measure;
+            lastOpCount = ctx.opCount;
+            setSig(static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ULL);
+            execConsolidatedRoot();
+            flushOps(measure);
+            probe.finishBlock();
+            settleDivergence();
+        }
+    }
+
+    /**
+     * Execute one bin group of the consolidated mapping in three phases
+     * (mirroring the generated two-kernel structure):
+     *
+     *  A. queue build — every lane evaluates its parent's prologue lets
+     *     and the data-dependent inner extent at one shared signature,
+     *     so the extent gather coalesces across the group; the lets and
+     *     extents are snapshotted (the queue carries them).
+     *  B. consumption — the concatenated child work drains in full
+     *     waves of binLanes entries, parent-major, one signature per
+     *     wave: lane t of wave w executes queue entry w*L + t. Reduce
+     *     partials accumulate in queue order, which equals the
+     *     reference interpreter's ascending per-parent child order, so
+     *     outputs are bit-identical by construction.
+     *  C. finalize — every lane re-takes its parent, binds the nested
+     *     result, and runs the suffix statements plus the root yield.
+     *
+     * The queue round trip itself (entry writes + reads) is charged
+     * analytically in finishConsolidation from the whole-grid
+     * accumulators, like the compaction finalize kernel.
+     */
+    void
+    execConsolidatedRoot()
+    {
+        const Pattern &root = prog.root();
+        NPP_ASSERT(consNested && consNested->pattern,
+                   "consolidated spec without a nested pattern");
+        const Pattern &inner = *consNested->pattern;
+        const auto &g0 = geom.levels[0];
+        const bool rootShard = shardSize >= 0;
+        const int64_t size =
+            rootShard ? shardSize : asIndex(evalExpr(root.size, ctx));
+        const int64_t rootOff = rootShard ? shardLo : 0;
+        const int64_t L = std::max<int64_t>(g0.blockSize, 1);
+        const int64_t lo = blockCoord[0] * g0.blockSize;
+        const int64_t hi = std::min(size, lo + g0.blockSize);
+        if (lo >= hi)
+            return;
+        const int64_t parents = hi - lo;
+        const size_t numLets = consPrefixVars.size();
+        const uint64_t sigSave = curSig;
+
+        // Phase A: prologue + extent gather.
+        consParentExtent.assign(parents, 0);
+        consParentLets.assign(parents * numLets, 0.0);
+        setSig(sigSave * 1000003ull + 1);
+        for (int64_t t = 0; t < parents; t++) {
+            bindLane(g0.dim, t);
+            const int64_t idx = lo + t + rootOff;
+            ctx.scalars[root.indexVar] = static_cast<double>(idx);
+            curLevelIndex[0] = idx;
+            runStmtList(consPrefix, 0);
+            consParentExtent[t] = std::max<int64_t>(
+                0, asIndex(evalExpr(inner.size, ctx)));
+            for (size_t v = 0; v < numLets; v++)
+                consParentLets[t * numLets + v] =
+                    ctx.scalars[consPrefixVars[v]];
+        }
+
+        int64_t entries = 0;
+        for (int64_t n : consParentExtent)
+            entries += n;
+        const int64_t waves = ceilDiv(entries, L);
+        // Whole-grid exact (accrues on every block, like the compaction
+        // accumulators): feeds the analytic queue-build stage.
+        consGroups += 1;
+        consParents += parents;
+        consEntries += entries;
+        consWaves += waves;
+
+        // Phase B: wave consumption.
+        const bool isReduce = inner.kind == PatternKind::Reduce;
+        if (isReduce) {
+            consAcc.assign(parents, combinerIdentity(inner.combiner));
+        }
+        int64_t p = 0;        // current parent lane
+        int64_t consumed = 0; // children of parent p already drained
+        int64_t q = 0;        // queue cursor
+        for (int64_t w = 0; w < waves; w++) {
+            setSig(sigSave * 1000003ull + static_cast<uint64_t>(w) + 2);
+            for (int64_t t = 0; t < L && q < entries; t++, q++) {
+                while (consumed >= consParentExtent[p]) {
+                    p++;
+                    consumed = 0;
+                }
+                const int64_t j = consumed++;
+                bindLane(g0.dim, t);
+                restoreConsolidatedParent(p, lo, rootOff);
+                ctx.scalars[inner.indexVar] = static_cast<double>(j);
+                curLevelIndex[1] = j;
+                runStmts(inner.body, 1);
+                if (isReduce) {
+                    consAcc[p] = applyOp(inner.combiner, consAcc[p],
+                                         evalExpr(inner.yield, ctx));
+                }
+            }
+            // Per-wave segmented combine across the group's lanes: a
+            // log2 shuffle ladder per warp; block bins also cross warps
+            // through shared memory (same shape as finishReduce).
+            if (isReduce && probe.countTraffic) {
+                const double warpsPerPass = std::max(
+                    1.0, static_cast<double>(geom.threadsPerBlock) /
+                             device.warpSize);
+                stats.warpInstructions +=
+                    log2i(std::min<int64_t>(L, device.warpSize)) *
+                    warpsPerPass;
+                if (L > device.warpSize) {
+                    stats.smemAccesses += 2.0 * warpsPerPass;
+                    stats.syncs += 1.0;
+                }
+            }
+        }
+
+        // Phase C: finalize.
+        setSig(sigSave * 16777619ull + 1);
+        for (int64_t t = 0; t < parents; t++) {
+            bindLane(g0.dim, t);
+            restoreConsolidatedParent(t, lo, rootOff);
+            if (isReduce && consNested->var >= 0)
+                ctx.scalars[consNested->var] = consAcc[t];
+            runStmtList(consSuffix, 0);
+            if (root.kind == PatternKind::Map ||
+                root.kind == PatternKind::ZipWith) {
+                storeArray(root.site, prog.rootOutput(), lo + t + rootOff,
+                           evalExpr(root.yield, ctx), ctx);
+            }
+        }
+        unbindLane(g0.dim);
+        setSig(sigSave);
+    }
+
+    /** Re-take parent `p` of the current group: root index plus the
+     *  queue-carried prologue scalars (restored, not re-evaluated — the
+     *  entry reads are charged analytically in finishConsolidation). */
+    void
+    restoreConsolidatedParent(int64_t p, int64_t lo, int64_t rootOff)
+    {
+        const int64_t idx = lo + p + rootOff;
+        ctx.scalars[prog.root().indexVar] = static_cast<double>(idx);
+        curLevelIndex[0] = idx;
+        const size_t numLets = consPrefixVars.size();
+        for (size_t v = 0; v < numLets; v++)
+            ctx.scalars[consPrefixVars[v]] =
+                consParentLets[static_cast<size_t>(p) * numLets + v];
     }
 
     /** Everything one block contributes that must replicate across its
@@ -1007,43 +1187,57 @@ class DeviceExecutor
     void
     runStmts(const std::vector<StmtPtr> &stmts, int lv)
     {
-        for (const auto &s : stmts) {
-            switch (s->kind) {
-              case StmtKind::Let:
-              case StmtKind::Assign:
-                ctx.scalars[s->var] = evalExpr(s->value, ctx);
-                break;
-              case StmtKind::Store:
-                storeArray(s->site, s->array,
-                           asIndex(evalExpr(s->index, ctx)),
-                           evalExpr(s->value, ctx), ctx);
-                break;
-              case StmtKind::If:
-                if (evalExpr(s->cond, ctx) != 0.0)
-                    runStmts(s->body, lv);
-                else
-                    runStmts(s->elseBody, lv);
-                break;
-              case StmtKind::SeqLoop: {
-                const int64_t trip = asIndex(evalExpr(s->trip, ctx));
-                const uint64_t sigSave = curSig;
-                const uint64_t ops0 = ctx.opCount;
-                for (int64_t k = 0; k < trip; k++) {
-                    ctx.scalars[s->var] = static_cast<double>(k);
-                    if (s->cond && evalExpr(s->cond, ctx) != 0.0)
-                        break;
-                    setSig(sigSave * 16777619ull +
-                           static_cast<uint64_t>(k) + 1);
-                    runStmts(s->body, lv);
-                }
-                setSig(sigSave);
-                recordDivergence(s->site, ctx.opCount - ops0);
-                break;
-              }
-              case StmtKind::Nested:
-                execNested(*s, lv + 1);
-                break;
+        for (const auto &s : stmts)
+            runStmt(*s, lv);
+    }
+
+    /** The consolidated path executes prefix/suffix slices of the root
+     *  body as raw-pointer lists (they alias the owning vector). */
+    void
+    runStmtList(const std::vector<const Stmt *> &stmts, int lv)
+    {
+        for (const Stmt *s : stmts)
+            runStmt(*s, lv);
+    }
+
+    void
+    runStmt(const Stmt &s, int lv)
+    {
+        switch (s.kind) {
+          case StmtKind::Let:
+          case StmtKind::Assign:
+            ctx.scalars[s.var] = evalExpr(s.value, ctx);
+            break;
+          case StmtKind::Store:
+            storeArray(s.site, s.array,
+                       asIndex(evalExpr(s.index, ctx)),
+                       evalExpr(s.value, ctx), ctx);
+            break;
+          case StmtKind::If:
+            if (evalExpr(s.cond, ctx) != 0.0)
+                runStmts(s.body, lv);
+            else
+                runStmts(s.elseBody, lv);
+            break;
+          case StmtKind::SeqLoop: {
+            const int64_t trip = asIndex(evalExpr(s.trip, ctx));
+            const uint64_t sigSave = curSig;
+            const uint64_t ops0 = ctx.opCount;
+            for (int64_t k = 0; k < trip; k++) {
+                ctx.scalars[s.var] = static_cast<double>(k);
+                if (s.cond && evalExpr(s.cond, ctx) != 0.0)
+                    break;
+                setSig(sigSave * 16777619ull +
+                       static_cast<uint64_t>(k) + 1);
+                runStmts(s.body, lv);
             }
+            setSig(sigSave);
+            recordDivergence(s.site, ctx.opCount - ops0);
+            break;
+          }
+          case StmtKind::Nested:
+            execNested(s, lv + 1);
+            break;
         }
     }
 
@@ -1375,6 +1569,79 @@ class DeviceExecutor
     }
 
     //
+    // Consolidation (the bin-build prologue + queue finalize)
+    //
+
+    /** Slice the root body for the consolidated path: scalar prologue
+     *  statements before the single nested pattern, the nested statement
+     *  itself, and the suffix after it. Shapes that cannot be sliced
+     *  this way are rejected by consolidationEligibility at compile
+     *  time; these asserts are the executor's backstop. */
+    void
+    prepareConsolidation()
+    {
+        consNested = nullptr;
+        consPrefix.clear();
+        consSuffix.clear();
+        consPrefixVars.clear();
+        for (const auto &s : prog.root().body) {
+            if (s->kind == StmtKind::Nested) {
+                NPP_ASSERT(!consNested,
+                           "consolidation requires a single nested "
+                           "pattern in the root body");
+                consNested = s.get();
+                continue;
+            }
+            if (!consNested) {
+                NPP_ASSERT(s->kind == StmtKind::Let ||
+                               s->kind == StmtKind::Assign,
+                           "consolidated parent prologue must be scalar "
+                           "lets");
+                consPrefix.push_back(s.get());
+                if (std::find(consPrefixVars.begin(), consPrefixVars.end(),
+                              s->var) == consPrefixVars.end())
+                    consPrefixVars.push_back(s->var);
+            } else {
+                consSuffix.push_back(s.get());
+            }
+        }
+        NPP_ASSERT(consNested,
+                   "consolidated spec without a nested pattern");
+    }
+
+    /**
+     * Analytic cost of the queue round trip (an extra bin-build kernel
+     * in the plan, mirroring the compaction finalize accounting): one
+     * thread per parent gathers the extent and scan-offsets it, then
+     * writes one 8-byte entry per child; consumption reads every entry
+     * back. The accumulators accrue on every block, so the totals are
+     * whole-grid exact and are never extrapolated.
+     */
+    void
+    finishConsolidation()
+    {
+        if (!spec.consolidation.enabled)
+            return;
+        stats.hasConsolidation = true;
+        stats.consolidationGroups = consGroups;
+        stats.consolidationParents = consParents;
+        stats.consolidationEntries = consEntries;
+        stats.consolidationWaves = consWaves;
+        const int64_t L =
+            std::max<int64_t>(geom.levels[0].blockSize, 1);
+        stats.binFill =
+            consWaves > 0 ? static_cast<double>(consEntries) /
+                                static_cast<double>(consWaves * L)
+                          : 1.0;
+        stats.queueBuildTransactions +=
+            2.0 * ceilDiv(consEntries * 8, 128) +
+            ceilDiv(consParents * 8, 128);
+        stats.queueBuildOps +=
+            static_cast<double>(consEntries + consParents);
+        stats.queueBuildThreads = std::max<int64_t>(consParents, 1);
+    }
+
+    //
     // State
     //
 
@@ -1492,6 +1759,21 @@ class DeviceExecutor
     int64_t compactionKept = 0;
     int64_t compactionChunks = 0;
     int64_t divergedBlock = 0;
+
+    /** Consolidated-path state: the sliced root body, per-group parent
+     *  snapshots (reused across blocks), and the whole-grid queue
+     *  accumulators. */
+    const Stmt *consNested = nullptr;
+    std::vector<const Stmt *> consPrefix;
+    std::vector<const Stmt *> consSuffix;
+    std::vector<int> consPrefixVars;
+    std::vector<int64_t> consParentExtent;
+    std::vector<double> consParentLets;
+    std::vector<double> consAcc;
+    int64_t consGroups = 0;
+    int64_t consParents = 0;
+    int64_t consEntries = 0;
+    int64_t consWaves = 0;
 };
 
 } // namespace

@@ -64,12 +64,12 @@ std::string
 SimReport::toString() const
 {
     return fmt("total {} ms (compute {}, mem {}, launch {}, blocks {}, "
-               "malloc {}, combiner {}, compaction {}); bw {} GB/s, "
-               "warps {}, trans {}, warpInstr {}",
+               "malloc {}, combiner {}, compaction {}, queue {}); "
+               "bw {} GB/s, warps {}, trans {}, warpInstr {}",
                fixed(totalMs, 4), fixed(computeMs, 4), fixed(memoryMs, 4),
                fixed(launchMs, 4), fixed(blockOverheadMs, 4),
                fixed(mallocMs, 4), fixed(combinerMs, 4),
-               fixed(compactionMs, 4),
+               fixed(compactionMs, 4), fixed(queueBuildMs, 4),
                fixed(achievedBandwidth, 1), fixed(residentWarps, 0),
                fixed(stats.transactions, 0),
                fixed(stats.warpInstructions, 0));
@@ -89,6 +89,7 @@ SimReport::toJson(int64_t transactionBytes) const
     os << ",\"malloc_ms\":" << num(mallocMs);
     os << ",\"combiner_ms\":" << num(combinerMs);
     os << ",\"compaction_ms\":" << num(compactionMs);
+    os << ",\"queue_build_ms\":" << num(queueBuildMs);
     os << ",\"launch_share\":" << num(launchMs / total);
     os << ",\"block_overhead_share\":" << num(blockOverheadMs / total);
     os << ",\"achieved_bandwidth_gbs\":" << num(achievedBandwidth);
@@ -117,6 +118,17 @@ SimReport::toJson(int64_t transactionBytes) const
        << num(stats.compactionTransactions);
     os << ",\"compaction_ops\":" << num(stats.compactionOps);
     os << ",\"compaction_threads\":" << stats.compactionThreads;
+    os << ",\"has_consolidation\":"
+       << (stats.hasConsolidation ? "true" : "false");
+    os << ",\"queue_build_transactions\":"
+       << num(stats.queueBuildTransactions);
+    os << ",\"queue_build_ops\":" << num(stats.queueBuildOps);
+    os << ",\"queue_build_threads\":" << stats.queueBuildThreads;
+    os << ",\"consolidation_groups\":" << stats.consolidationGroups;
+    os << ",\"consolidation_parents\":" << stats.consolidationParents;
+    os << ",\"consolidation_entries\":" << stats.consolidationEntries;
+    os << ",\"consolidation_waves\":" << stats.consolidationWaves;
+    os << ",\"bin_fill\":" << num(stats.binFill);
     os << ",\"sampled_fraction\":" << num(stats.sampledFraction);
     os << ",\"classed_blocks\":" << stats.classedBlocks;
     os << ",\"class_reason\":\"" << jsonEscape(stats.classReason) << "\"";
@@ -175,6 +187,16 @@ reportsBitIdentical(const SimReport &a, const SimReport &b)
            s.compactionTransactions == t.compactionTransactions &&
            s.compactionOps == t.compactionOps &&
            s.compactionThreads == t.compactionThreads &&
+           a.queueBuildMs == b.queueBuildMs &&
+           s.hasConsolidation == t.hasConsolidation &&
+           s.queueBuildTransactions == t.queueBuildTransactions &&
+           s.queueBuildOps == t.queueBuildOps &&
+           s.queueBuildThreads == t.queueBuildThreads &&
+           s.consolidationGroups == t.consolidationGroups &&
+           s.consolidationParents == t.consolidationParents &&
+           s.consolidationEntries == t.consolidationEntries &&
+           s.consolidationWaves == t.consolidationWaves &&
+           s.binFill == t.binFill &&
            s.sampledFraction == t.sampledFraction &&
            s.siteTraffic == t.siteTraffic;
 }

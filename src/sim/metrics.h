@@ -89,6 +89,22 @@ struct KernelStats
     double compactionOps = 0.0;
     int64_t compactionThreads = 0;
 
+    /** Consolidated queue-build prologue work (Strategy::Consolidate):
+     *  per-parent extent gathering plus writing/reading one queue entry
+     *  per child. Whole-grid exact — never extrapolated. The bin
+     *  diagnostics feed the explain report's cost terms. */
+    bool hasConsolidation = false;
+    double queueBuildTransactions = 0.0;
+    double queueBuildOps = 0.0;
+    int64_t queueBuildThreads = 0;
+    int64_t consolidationGroups = 0;  //!< bin groups (one queue each)
+    int64_t consolidationParents = 0; //!< outer iterations served
+    int64_t consolidationEntries = 0; //!< total queued child work items
+    int64_t consolidationWaves = 0;   //!< full-lane consumption passes
+    /** Bin fill efficiency: entries / (waves x lanes), 1.0 = no idle
+     *  lanes in any consumption wave. */
+    double binFill = 1.0;
+
     /** Fraction of blocks whose traffic was measured (rest extrapolated). */
     double sampledFraction = 1.0;
 
@@ -144,6 +160,7 @@ struct SimReport
     double mallocMs = 0.0;
     double combinerMs = 0.0;
     double compactionMs = 0.0;
+    double queueBuildMs = 0.0;
     /** @} */
 
     /** Achieved DRAM bandwidth GB/s (diagnostics). */

@@ -129,10 +129,34 @@ computeTiming(const KernelStats &stats, const DeviceConfig &device)
                                   cyclesPerSec * 1e3;
     }
 
+    // Consolidated queue build (Strategy::Consolidate): the bin-build
+    // prologue gathers per-parent extents and writes one queue entry per
+    // child; consumption reads the entries back. Charged as its own
+    // stage — the skew-robustness of consolidation has to pay for the
+    // queue round trip.
+    if (stats.hasConsolidation) {
+        const double qWarps = std::max(
+            1.0, static_cast<double>(stats.queueBuildThreads) /
+                     device.warpSize);
+        const double qBw = std::min(
+            device.dramBandwidthGBs * 1e9,
+            std::min(qWarps, static_cast<double>(
+                                 device.numSMs * 64)) *
+                outstandingPerWarp * device.transactionBytes / latencySec);
+        const double qBytes =
+            stats.queueBuildTransactions * device.transactionBytes;
+        report.queueBuildMs = device.kernelLaunchOverheadUs * 1e-3 +
+                              qBytes / std::max(qBw, 1.0) * 1e3 +
+                              stats.queueBuildOps / 32.0 /
+                                  std::max(2.0 * device.numSMs, 1.0) /
+                                  cyclesPerSec * 1e3;
+    }
+
     report.totalMs = report.launchMs +
                      std::max(report.computeMs, report.memoryMs) +
                      report.blockOverheadMs + report.mallocMs +
-                     report.combinerMs + report.compactionMs;
+                     report.combinerMs + report.compactionMs +
+                     report.queueBuildMs;
     return report;
 }
 

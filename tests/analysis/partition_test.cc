@@ -199,6 +199,41 @@ TEST(PartitionOuter, DataDependentOuterSizeIsHardFiltered)
               std::string::npos);
 }
 
+TEST(PartitionOuter, RuntimeSizedOuterFiltersAtFleetSweepTime)
+{
+    // At fleet-sweep time a data-dependent root extent reaches the
+    // partitioner as a placeholder value (often 0 or negative, since
+    // the size expression cannot be evaluated before launch). The
+    // sweep's verdict must name the real reason — the runtime-sized
+    // domain — not the accidental "empty outer domain" the placeholder
+    // would otherwise trip.
+    const Program prog = dataSizedRoot();
+    for (const int64_t placeholder : {int64_t(0), int64_t(-1)}) {
+        const ShardPlan plan = partitionOuter(
+            prog, decisionWithRootSpan(1, SpanType::all()), placeholder,
+            2);
+        EXPECT_FALSE(plan.valid);
+        EXPECT_NE(plan.verdict.find("not known at launch"),
+                  std::string::npos)
+            << "placeholder " << placeholder << ": " << plan.verdict;
+        EXPECT_EQ(plan.verdict.find("empty outer domain"),
+                  std::string::npos)
+            << plan.verdict;
+    }
+    // A single device never shards, so the dynamic root domain stays
+    // runnable there — the fleet sweep's N=1 row must remain feasible.
+    const ShardPlan single = partitionOuter(
+        prog, decisionWithRootSpan(1, SpanType::all()), 0, 1);
+    EXPECT_TRUE(single.valid);
+    EXPECT_NE(single.verdict.find("single device"), std::string::npos);
+    // A launch-known empty domain still gets the empty verdict.
+    const ShardPlan empty = partitionOuter(
+        mapRoot(), decisionWithRootSpan(1, SpanType::all()), 0, 2);
+    EXPECT_FALSE(empty.valid);
+    EXPECT_NE(empty.verdict.find("empty outer domain"),
+              std::string::npos);
+}
+
 TEST(PartitionOuter, StarvingSplitPointsAreRejected)
 {
     const Program prog = mapRoot();

@@ -61,6 +61,7 @@ expectBitIdentical(const SimReport &full, const SimReport &classed,
     EXPECT_EQ(full.mallocMs, classed.mallocMs);
     EXPECT_EQ(full.combinerMs, classed.combinerMs);
     EXPECT_EQ(full.compactionMs, classed.compactionMs);
+    EXPECT_EQ(full.queueBuildMs, classed.queueBuildMs);
     EXPECT_EQ(full.achievedBandwidth, classed.achievedBandwidth);
     EXPECT_EQ(full.residentWarps, classed.residentWarps);
     EXPECT_EQ(full.blocksPerSM, classed.blocksPerSM);
@@ -86,6 +87,15 @@ expectBitIdentical(const SimReport &full, const SimReport &classed,
     EXPECT_EQ(s.compactionTransactions, t.compactionTransactions);
     EXPECT_EQ(s.compactionOps, t.compactionOps);
     EXPECT_EQ(s.compactionThreads, t.compactionThreads);
+    EXPECT_EQ(s.hasConsolidation, t.hasConsolidation);
+    EXPECT_EQ(s.queueBuildTransactions, t.queueBuildTransactions);
+    EXPECT_EQ(s.queueBuildOps, t.queueBuildOps);
+    EXPECT_EQ(s.queueBuildThreads, t.queueBuildThreads);
+    EXPECT_EQ(s.consolidationGroups, t.consolidationGroups);
+    EXPECT_EQ(s.consolidationParents, t.consolidationParents);
+    EXPECT_EQ(s.consolidationEntries, t.consolidationEntries);
+    EXPECT_EQ(s.consolidationWaves, t.consolidationWaves);
+    EXPECT_EQ(s.binFill, t.binFill);
     EXPECT_EQ(s.sampledFraction, t.sampledFraction);
 
     ASSERT_EQ(s.siteTraffic.size(), t.siteTraffic.size());

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Seeded randomized property test for runtime-sized nested domains.
+ * A deterministic generator assembles CSR-shaped workloads (SpMV and
+ * BFS frontier expansion) over random shapes and row-length
+ * distributions — skewed, uniform, and empty-heavy — and checks the
+ * simulator against the sequential reference interpreter for exact bit
+ * parity under every fixed strategy, the searched mapping, and both
+ * consolidation granularities. The consolidated queue consumes each
+ * parent's children in ascending order (parent-major concatenation), so
+ * even floating-point reductions must match the reference bit for bit.
+ * Any failure reproduces exactly from the seed in the SCOPED_TRACE.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dynsize.h"
+#include "sim/gpu.h"
+#include "support/rng.h"
+
+namespace npp {
+namespace {
+
+/** One strategy point of the sweep: a strategy plus (for Consolidate)
+ *  the bin granularity. */
+struct StrategyPoint
+{
+    const char *name;
+    Strategy strategy;
+    BinGranularity granularity;
+};
+
+const StrategyPoint kSweep[] = {
+    {"MultiDim", Strategy::MultiDim, BinGranularity::Warp},
+    {"OneD", Strategy::OneD, BinGranularity::Warp},
+    {"ThreadBlockThread", Strategy::ThreadBlockThread, BinGranularity::Warp},
+    {"WarpBased", Strategy::WarpBased, BinGranularity::Warp},
+    {"ConsolidateWarp", Strategy::Consolidate, BinGranularity::Warp},
+    {"ConsolidateBlock", Strategy::Consolidate, BinGranularity::Block},
+};
+
+/** Empty arrays are rejected by the binding layer; an all-empty CSR
+ *  matrix (possible under EmptyHeavy with few rows) gets one slot of
+ *  padding that no rowStart window ever references. */
+void
+padEmpty(CsrMatrix &m)
+{
+    if (m.cols.empty()) {
+        m.cols.push_back(0.0);
+        m.vals.push_back(0.0);
+    }
+}
+
+RowDist
+pickDist(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0: return RowDist::Uniform;
+      case 1: return RowDist::Skewed;
+      default: return RowDist::EmptyHeavy;
+    }
+}
+
+/** Reference-vs-simulator parity for SpMV on one random matrix, under
+ *  one strategy point. Outputs must be bit-identical (tolerance 0). */
+void
+checkSpmv(const CsrMatrix &mIn, const StrategyPoint &sp)
+{
+    SCOPED_TRACE(std::string("spmv under ") + sp.name);
+    CsrMatrix m = mIn;
+    padEmpty(m);
+    SpmvProgram s = buildSpmv();
+
+    std::vector<double> x(m.rows, 0.0);
+    Rng rng(97);
+    for (auto &v : x)
+        v = rng.uniform(-1, 1);
+
+    std::vector<double> refY(m.rows, 0.0);
+    {
+        std::vector<double> xr = x;
+        Bindings args = s.bind(m, xr, refY);
+        ReferenceInterp().run(*s.prog, args);
+    }
+
+    std::vector<double> simY(m.rows, 0.0);
+    {
+        std::vector<double> xr = x;
+        Bindings args = s.bind(m, xr, simY);
+        CompileOptions copts;
+        copts.strategy = sp.strategy;
+        copts.binGranularity = sp.granularity;
+        Gpu gpu;
+        gpu.compileAndRun(*s.prog, args, copts);
+    }
+    EXPECT_LE(maxAbsDiff(refY, simY), 0.0);
+}
+
+/** Reference-vs-simulator parity for one BFS frontier expansion over a
+ *  random graph, under one strategy point. The `next` marks are
+ *  idempotent constant stores and `deg` holds per-vertex degrees, so
+ *  both outputs are order-independent and must be bit-identical. */
+void
+checkBfs(const CsrMatrix &gIn, const StrategyPoint &sp, Rng &rng)
+{
+    SCOPED_TRACE(std::string("bfs under ") + sp.name);
+    CsrMatrix g = gIn;
+    padEmpty(g);
+    BfsFrontierProgram b = buildBfsFrontier();
+
+    const int64_t fsize = 1 + rng.below(g.rows);
+    std::vector<double> frontier(fsize);
+    for (auto &v : frontier)
+        v = static_cast<double>(rng.below(g.rows));
+
+    std::vector<double> refNext(g.rows, 0.0), refDeg(fsize, 0.0);
+    {
+        std::vector<double> f = frontier;
+        Bindings args = b.bind(g, f, refNext, refDeg);
+        ReferenceInterp().run(*b.prog, args);
+    }
+
+    std::vector<double> simNext(g.rows, 0.0), simDeg(fsize, 0.0);
+    {
+        std::vector<double> f = frontier;
+        Bindings args = b.bind(g, f, simNext, simDeg);
+        CompileOptions copts;
+        copts.strategy = sp.strategy;
+        copts.binGranularity = sp.granularity;
+        Gpu gpu;
+        gpu.compileAndRun(*b.prog, args, copts);
+    }
+    EXPECT_LE(maxAbsDiff(refNext, simNext), 0.0);
+    EXPECT_LE(maxAbsDiff(refDeg, simDeg), 0.0);
+}
+
+class DynSizeRandom : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DynSizeRandom, SpmvParityEveryStrategy)
+{
+    const uint64_t seed = GetParam();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    const int64_t rows = 1 + rng.below(400);
+    const int64_t avgDeg = 1 + rng.below(12);
+    const RowDist dist = pickDist(rng);
+    SCOPED_TRACE(std::string(rowDistName(dist)) + " rows=" +
+                 std::to_string(rows) + " avgDeg=" +
+                 std::to_string(avgDeg));
+    const CsrMatrix m = makeCsr(rows, avgDeg, dist, seed * 7919 + 1);
+    for (const StrategyPoint &sp : kSweep)
+        checkSpmv(m, sp);
+}
+
+TEST_P(DynSizeRandom, BfsParityEveryStrategy)
+{
+    const uint64_t seed = GetParam();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed ^ 0x5eed);
+    const int64_t rows = 2 + rng.below(300);
+    const int64_t avgDeg = 1 + rng.below(10);
+    const RowDist dist = pickDist(rng);
+    SCOPED_TRACE(std::string(rowDistName(dist)) + " rows=" +
+                 std::to_string(rows) + " avgDeg=" +
+                 std::to_string(avgDeg));
+    const CsrMatrix g = makeCsr(rows, avgDeg, dist, seed * 6271 + 3);
+    for (const StrategyPoint &sp : kSweep)
+        checkBfs(g, sp, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynSizeRandom,
+                         ::testing::Range<uint64_t>(1, 13));
+
+//
+// Degenerate shapes the generator may miss: every strategy point must
+// survive a single row, a single heavy row, and an all-empty matrix.
+//
+
+TEST(DynSizeEdge, SingleRow)
+{
+    const CsrMatrix m = makeCsr(1, 6, RowDist::Uniform, 5);
+    for (const StrategyPoint &sp : kSweep)
+        checkSpmv(m, sp);
+}
+
+TEST(DynSizeEdge, OneHeavyRowAmongEmpties)
+{
+    CsrMatrix m = makeCsr(64, 1, RowDist::EmptyHeavy, 9);
+    for (const StrategyPoint &sp : kSweep)
+        checkSpmv(m, sp);
+}
+
+TEST(DynSizeEdge, AllRowsEmpty)
+{
+    CsrMatrix m;
+    m.rows = 37;
+    m.rowStart.assign(m.rows + 1, 0.0);
+    for (const StrategyPoint &sp : kSweep)
+        checkSpmv(m, sp);
+}
+
+} // namespace
+} // namespace npp

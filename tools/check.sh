@@ -13,6 +13,9 @@
 #                               # the default AND asan trees
 #   tools/check.sh multidev     # multi-device sharding suite in the
 #                               # default AND asan trees
+#   tools/check.sh dynsize      # runtime-sized-domain suite (randomized
+#                               # parity + consolidation differentials)
+#                               # in the default AND asan trees
 #   tools/check.sh all          # all four builds, in order
 #
 # Every ctest invocation runs the full suite, including the classed
@@ -28,7 +31,11 @@
 # files and malformed requests exercise the deserializer under
 # sanitizers. The `multidev` job runs the outer-domain partitioner and
 # fleet-sharding contracts (N=1 bit identity, shard/fleet cache-key
-# separation) in the default and asan trees. Each server-suite test creates its own temp
+# separation) in the default and asan trees. The `dynsize` job runs the
+# runtime-sized-domain suite (seeded randomized CSR parity, the
+# consolidation-vs-static differential, and the mapping-service
+# consolidation-verdict regression, labeled `dynsize`) in the default
+# and asan trees. Each server-suite test creates its own temp
 # NPP_EVAL_CACHE_DIR, so parallel jobs never share cache state.
 #
 # Each job uses its own build directory (build/, build-asan/,
@@ -95,6 +102,16 @@ multidev)
     cmake --build build-asan -j
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L multidev
     ;;
+dynsize)
+    echo "== check: dynsize (build) =="
+    cmake -B build -S .
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L dynsize
+    echo "== check: dynsize (build-asan) =="
+    cmake -B build-asan -S . -DNPP_ASAN=ON
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L dynsize
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
@@ -102,7 +119,7 @@ all)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|multidev|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|multidev|dynsize|all]" >&2
     exit 2
     ;;
 esac

@@ -5,7 +5,8 @@
  * the generated constraints, the candidate search outcome, the selected
  * mapping, the generated CUDA, and a simulated run.
  *
- *     nppc <program> [--strategy=multidim|1d|tbt|warp] [--size=key=N]...
+ *     nppc <program> [--strategy=multidim|1d|tbt|warp|consolidate]
+ *                    [--size=key=N]...
  *                    [--ir] [--constraints] [--mapping] [--cuda]
  *                    [--run] [--explain] [--devices=N] [--trace=FILE]
  *                    [--stats=FILE] [--all]
@@ -37,7 +38,7 @@
  * pseudo-programs ping / stats / shutdown become typed requests.
  *
  * programs: sumrows, sumcols, weightedrows, weightedcols, pagerank,
- *           mandelbrot
+ *           mandelbrot, spmv
  */
 
 #include <cstdio>
@@ -46,10 +47,12 @@
 #include <map>
 #include <string>
 
+#include "analysis/consolidate.h"
 #include "ir/printer.h"
 #include "server/json.h"
 #include "server/programs.h"
 #include "server/server.h"
+#include "sim/consolidation.h"
 #include "sim/evalcache.h"
 #include "sim/fleet.h"
 #include "sim/gpu.h"
@@ -81,7 +84,8 @@ usage()
         "       nppc serve --socket=PATH [--hold-eval-ms=N]\n"
         "       nppc <program|ping|stats|shutdown> --client=PATH [...]\n"
         "  programs: %s\n"
-        "  options:  --strategy=multidim|1d|tbt|warp --size=key=N\n"
+        "  options:  --strategy=multidim|1d|tbt|warp|consolidate\n"
+        "            --size=key=N\n"
         "            --ir --constraints --mapping --cuda --run --all\n"
         "            --explain --devices=N --trace=FILE --stats=FILE\n",
         join(demoProgramNames(), " ").c_str());
@@ -218,6 +222,8 @@ main(int argc, char **argv)
             strategy = Strategy::ThreadBlockThread, strategyStr = "tbt";
         else if (arg == "--strategy=warp")
             strategy = Strategy::WarpBased, strategyStr = "warp";
+        else if (arg == "--strategy=consolidate")
+            strategy = Strategy::Consolidate, strategyStr = "consolidate";
         else
             return usage();
     }
@@ -284,6 +290,22 @@ main(int argc, char **argv)
         compiled.spec.fleet.verdict = fleetChoice.best.plan.verdict;
         compiled.explanation.fleetNote = formatFleetChoice(fleetChoice);
         compiled.explanation.fleetJson = fleetChoiceJson(fleetChoice);
+    }
+
+    // Runtime-sized inner domains: sweep the consolidation candidates
+    // so --explain names why consolidation won or lost against the best
+    // static mapping.
+    if (explain && hasDynamicInnerExtent(*demo->prog)) {
+        Bindings consArgs(*demo->prog);
+        demo->bind(consArgs);
+        ExecOptions consOpts;
+        consOpts.metricsOnly = true;
+        const ConsolidationChoice consChoice = searchConsolidation(
+            gpu, *demo->prog, consArgs, copts, consOpts);
+        compiled.explanation.consolidationNote =
+            formatConsolidationChoice(consChoice);
+        compiled.explanation.consolidationJson =
+            consolidationChoiceJson(consChoice);
     }
 
     if (showIr)
