@@ -205,6 +205,8 @@ formatSearchExplanation(const SearchExplanation &ex)
         os << ex.fleetNote;
     if (!ex.consolidationNote.empty())
         os << ex.consolidationNote;
+    if (!ex.predictNote.empty())
+        os << ex.predictNote;
     return os.str();
 }
 
@@ -253,6 +255,8 @@ searchExplanationJson(const SearchExplanation &ex)
         os << ",\"fleet\":" << ex.fleetJson;
     if (!ex.consolidationJson.empty())
         os << ",\"consolidation\":" << ex.consolidationJson;
+    if (!ex.predictJson.empty())
+        os << ",\"predict\":" << ex.predictJson;
     os << "}";
     return os.str();
 }

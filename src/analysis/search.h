@@ -152,6 +152,20 @@ struct SearchExplanation
     /** consolidationChoiceJson() object for the JSON export. */
     std::string consolidationJson;
     /** @} */
+
+    /** @name Predictive-pruning annotations
+     * Filled by the predict layer (predict/predict.h) when a sweep ran
+     * under the learned cost model: per-candidate predicted times,
+     * survive/prune verdicts, and the exactly-simulated survivors.
+     * Rendered alongside the search report when non-empty (same
+     * contract as the fleet and consolidation annotations).
+     *  @{
+     */
+    /** PredictSweep::note() text: ranking + pruning verdicts. */
+    std::string predictNote;
+    /** PredictSweep::toJson() object for the JSON export. */
+    std::string predictJson;
+    /** @} */
 };
 
 /** Search outcome. */

@@ -1,0 +1,186 @@
+#include "predict/features.h"
+
+#include <cmath>
+
+#include "analysis/consolidate.h"
+#include "analysis/constraint.h"
+#include "analysis/model.h"
+#include "ir/traverse.h"
+#include "support/logging.h"
+
+namespace npp {
+
+namespace {
+
+double
+log2p1(double v)
+{
+    return std::log2(v > 0 ? v + 1.0 : 1.0);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+predictFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "bias",
+        "num_levels",
+        "l0_size_log2",
+        "l1_size_log2",
+        "l0_must_span_all",
+        "l1_must_span_all",
+        "l0_splittable",
+        "l1_splittable",
+        "dynamic_inner_extent",
+        "patterns_map",
+        "patterns_zipwith",
+        "patterns_foreach",
+        "patterns_filter",
+        "patterns_reduce",
+        "patterns_groupby",
+        "access_sites",
+        "exec_count_log2",
+        "traffic_bytes_log2",
+        "write_fraction",
+        "l0_unit_stride_fraction",
+        "l1_unit_stride_fraction",
+        "nonaffine_fraction",
+        "l0_dim",
+        "l0_block_log2",
+        "l0_span_kind",
+        "l0_span_factor_log2",
+        "l1_dim",
+        "l1_block_log2",
+        "l1_span_kind",
+        "l1_span_factor_log2",
+        "threads_per_block_log2",
+        "total_blocks_log2",
+        "dop_log2",
+        "model_total_ms_log2",
+        "model_memory_ms_log2",
+        "model_compute_ms_log2",
+        "model_overhead_ms_log2",
+        "model_transactions_log2",
+        "device_num_sms",
+        "device_warp_size",
+        "device_max_threads_log2",
+        "device_bandwidth_log2",
+        "exec_max_sampled_log2",
+        "exec_site_stats",
+    };
+    return names;
+}
+
+PredictFeatures
+extractFeatures(const Program &prog, const MappingDecision &mapping,
+                const DeviceConfig &device, const ExecOptions &eopts,
+                const std::unordered_map<int, double> &paramValues)
+{
+    PredictFeatures f;
+    auto &v = f.v;
+
+    AnalysisEnv env;
+    env.prog = &prog;
+    env.paramValues = paramValues;
+    const ConstraintSet cset = buildConstraints(prog, env, device);
+
+    int i = 0;
+    v[i++] = 1.0; // bias
+    v[i++] = static_cast<double>(cset.numLevels);
+    for (int lv = 0; lv < 2; lv++)
+        v[i++] = lv < cset.numLevels ? log2p1(cset.levelSizes[lv]) : 0.0;
+    for (int lv = 0; lv < 2; lv++)
+        v[i++] = lv < cset.numLevels && cset.mustSpanAll[lv] ? 1.0 : 0.0;
+    for (int lv = 0; lv < 2; lv++)
+        v[i++] = lv < cset.numLevels && cset.splittable[lv] ? 1.0 : 0.0;
+    v[i++] = hasDynamicInnerExtent(prog) ? 1.0 : 0.0;
+
+    // Pattern-kind census (structural: pre-order IR walk, no addresses).
+    double kinds[6] = {0, 0, 0, 0, 0, 0};
+    for (const auto &[pat, level] : collectPatterns(prog.root())) {
+        (void)level;
+        kinds[static_cast<int>(pat->kind)] += 1.0;
+    }
+    for (double k : kinds)
+        v[i++] = k;
+
+    // Access-site summary: how much of the traffic is unit-stride along
+    // each level (what the coalesce constraint rewards), how much is
+    // written, how much resists the affine analysis entirely.
+    double execTotal = 0.0, bytesTotal = 0.0, writeExec = 0.0;
+    double unitStride[2] = {0.0, 0.0};
+    double nonAffine = 0.0;
+    for (const AccessSite &site : cset.accesses) {
+        execTotal += site.execCount;
+        bytesTotal += site.execCount * site.bytes;
+        if (site.isWrite)
+            writeExec += site.execCount;
+        for (int lv = 0; lv < 2 && lv < cset.numLevels; lv++) {
+            if (site.affine[lv] && std::abs(site.coeff[lv]) == 1.0)
+                unitStride[lv] += site.execCount;
+        }
+        bool affineAll = true;
+        for (int lv = 0; lv < cset.numLevels; lv++)
+            affineAll = affineAll && site.affine[lv];
+        if (!affineAll)
+            nonAffine += site.execCount;
+    }
+    v[i++] = static_cast<double>(cset.accesses.size());
+    v[i++] = log2p1(execTotal);
+    v[i++] = log2p1(bytesTotal);
+    v[i++] = execTotal > 0 ? writeExec / execTotal : 0.0;
+    v[i++] = execTotal > 0 ? unitStride[0] / execTotal : 0.0;
+    v[i++] = execTotal > 0 ? unitStride[1] / execTotal : 0.0;
+    v[i++] = execTotal > 0 ? nonAffine / execTotal : 0.0;
+
+    // Mapping parameters per level (-1 marks an absent level so a
+    // 1-level mapping can never alias a 2-level one feature-wise).
+    for (int lv = 0; lv < 2; lv++) {
+        if (lv < mapping.numLevels()) {
+            const LevelMapping &l = mapping.levels[lv];
+            v[i++] = static_cast<double>(l.dim);
+            v[i++] = log2p1(static_cast<double>(l.blockSize) - 1.0);
+            v[i++] = static_cast<double>(l.span.kind);
+            v[i++] = log2p1(static_cast<double>(l.span.factor) - 1.0);
+        } else {
+            v[i++] = -1.0;
+            v[i++] = 0.0;
+            v[i++] = -1.0;
+            v[i++] = 0.0;
+        }
+    }
+
+    std::vector<int64_t> sizes;
+    for (int lv = 0; lv < cset.numLevels; lv++)
+        sizes.push_back(
+            std::max<int64_t>(1, std::llround(cset.levelSizes[lv])));
+    const LaunchGeometry geom = makeGeometry(mapping, sizes);
+    v[i++] = log2p1(static_cast<double>(mapping.threadsPerBlock()) - 1.0);
+    v[i++] = log2p1(static_cast<double>(geom.totalBlocks) - 1.0);
+    v[i++] = log2p1(mapping.dop(cset.levelSizes));
+
+    // The analytical model's estimate is itself a feature: the regressor
+    // learns a correction on top of the paper's static model rather than
+    // rediscovering it from raw counts.
+    const ModelEstimate est = staticEstimate(mapping, cset, device);
+    v[i++] = log2p1(est.totalMs);
+    v[i++] = log2p1(est.memoryMs);
+    v[i++] = log2p1(est.computeMs);
+    v[i++] = log2p1(est.overheadMs);
+    v[i++] = log2p1(est.predictedTransactions);
+
+    v[i++] = static_cast<double>(device.numSMs);
+    v[i++] = static_cast<double>(device.warpSize);
+    v[i++] = log2p1(static_cast<double>(device.maxThreadsPerBlock));
+    v[i++] = log2p1(device.dramBandwidthGBs);
+
+    v[i++] = log2p1(static_cast<double>(eopts.maxSampledBlocks));
+    v[i++] = eopts.siteStats ? 1.0 : 0.0;
+
+    NPP_ASSERT(i == kPredictFeatureCount,
+               "feature schema drifted from kPredictFeatureCount");
+    return f;
+}
+
+} // namespace npp

@@ -1,0 +1,357 @@
+#include "predict/model.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace npp {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t
+fnvBytes(const void *data, size_t n, uint64_t h = kFnvBasis)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+constexpr char kModelMagic[8] = {'N', 'P', 'P', 'P', 'R', 'D', '1', '\n'};
+
+void
+putF64(std::string &buf, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    buf.append(reinterpret_cast<const char *>(&bits), sizeof bits);
+}
+
+void
+putU64(std::string &buf, uint64_t v)
+{
+    buf.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+void
+putU32(std::string &buf, uint32_t v)
+{
+    buf.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+/** Bounds-checked reader: overruns latch ok=false (same discipline as
+ *  the eval cache's ByteReader). */
+struct Reader
+{
+    const char *p;
+    size_t n;
+    size_t off = 0;
+    bool ok = true;
+
+    bool
+    take(void *out, size_t count)
+    {
+        if (!ok || n - off < count) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(out, p + off, count);
+        off += count;
+        return true;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        take(&v, sizeof v);
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        take(&v, sizeof v);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+};
+
+/** Solve A x = b in place (A symmetric positive definite after the
+ *  ridge term; partial-pivot Gaussian elimination for safety). Returns
+ *  false on a (numerically) singular system. */
+bool
+solveLinear(std::vector<std::vector<double>> &a, std::vector<double> &b)
+{
+    const size_t n = b.size();
+    for (size_t col = 0; col < n; col++) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < n; r++) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot][col]) < 1e-12)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (size_t r = col + 1; r < n; r++) {
+            const double factor = a[r][col] / a[col][col];
+            if (factor == 0.0)
+                continue;
+            for (size_t c = col; c < n; c++)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+    for (size_t col = n; col-- > 0;) {
+        double acc = b[col];
+        for (size_t c = col + 1; c < n; c++)
+            acc -= a[col][c] * b[c];
+        b[col] = acc / a[col][col];
+    }
+    return true;
+}
+
+} // namespace
+
+double
+PredictModel::predictMs(const PredictFeatures &f) const
+{
+    double z = intercept;
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        z += weights[j] * (f.v[j] - mean[j]) / scale[j];
+    const double ms = std::exp(z) - 1.0;
+    return ms > 0.0 ? ms : 0.0;
+}
+
+std::optional<PredictModel>
+trainPredictModel(const std::vector<PredictSample> &samples, double lambda)
+{
+    if (samples.empty())
+        return std::nullopt;
+    const size_t n = samples.size();
+    constexpr int d = kPredictFeatureCount;
+
+    PredictModel m;
+    m.trainedSamples = n;
+    m.ridgeLambda = lambda;
+    m.mean.assign(d, 0.0);
+    m.scale.assign(d, 1.0);
+    m.weights.assign(d, 0.0);
+
+    for (const PredictSample &s : samples)
+        for (int j = 0; j < d; j++)
+            m.mean[j] += s.features.v[j];
+    for (int j = 0; j < d; j++)
+        m.mean[j] /= static_cast<double>(n);
+    std::vector<double> var(d, 0.0);
+    for (const PredictSample &s : samples) {
+        for (int j = 0; j < d; j++) {
+            const double dlt = s.features.v[j] - m.mean[j];
+            var[j] += dlt * dlt;
+        }
+    }
+    for (int j = 0; j < d; j++) {
+        const double sd = std::sqrt(var[j] / static_cast<double>(n));
+        // Constant features (the bias, single-device sweeps' device
+        // params) standardize to zero with scale 1 instead of dividing
+        // by ~0; the ridge term keeps their weights at 0.
+        m.scale[j] = sd > 1e-9 ? sd : 1.0;
+    }
+
+    // Normal equations on standardized X and centered log target.
+    double yMean = 0.0;
+    std::vector<double> ys(n);
+    for (size_t i = 0; i < n; i++) {
+        ys[i] = std::log1p(std::max(0.0, samples[i].measuredMs));
+        yMean += ys[i];
+    }
+    yMean /= static_cast<double>(n);
+    m.intercept = yMean;
+
+    std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+    std::vector<double> xty(d, 0.0);
+    std::vector<double> z(d);
+    for (size_t i = 0; i < n; i++) {
+        for (int j = 0; j < d; j++)
+            z[j] = (samples[i].features.v[j] - m.mean[j]) / m.scale[j];
+        const double yc = ys[i] - yMean;
+        for (int j = 0; j < d; j++) {
+            xty[j] += z[j] * yc;
+            for (int k = j; k < d; k++)
+                xtx[j][k] += z[j] * z[k];
+        }
+    }
+    for (int j = 0; j < d; j++) {
+        for (int k = 0; k < j; k++)
+            xtx[j][k] = xtx[k][j];
+        xtx[j][j] += lambda * static_cast<double>(n);
+    }
+    if (!solveLinear(xtx, xty)) {
+        NPP_WARN("predict model: singular normal equations ({} samples); "
+                 "no model produced",
+                 n);
+        return std::nullopt;
+    }
+    m.weights = std::move(xty);
+    return m;
+}
+
+bool
+savePredictModel(const PredictModel &model, const std::string &path)
+{
+    std::string payload;
+    putU64(payload, model.trainedSamples);
+    putF64(payload, model.ridgeLambda);
+    putF64(payload, model.intercept);
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        putF64(payload, model.mean[j]);
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        putF64(payload, model.scale[j]);
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        putF64(payload, model.weights[j]);
+
+    std::string header;
+    header.append(kModelMagic, sizeof kModelMagic);
+    putU32(header, kPredictModelFormatVersion);
+    putU32(header, model.featureVersion);
+    putU32(header, kPredictFeatureCount);
+    putU64(header, payload.size());
+    putU64(header, fnvBytes(payload.data(), payload.size()));
+
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    std::string tmpPath = dir + "/.nppmodel.XXXXXX";
+    const int fd = ::mkstemp(tmpPath.data());
+    if (fd < 0) {
+        NPP_WARN("predict model: cannot create temp file in {} ({})", dir,
+                 std::strerror(errno));
+        return false;
+    }
+    const std::string all = header + payload;
+    size_t off = 0;
+    bool wrote = true;
+    while (off < all.size()) {
+        const ssize_t w = ::write(fd, all.data() + off, all.size() - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            wrote = false;
+            break;
+        }
+        off += static_cast<size_t>(w);
+    }
+    ::close(fd);
+    if (!wrote || std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+        NPP_WARN("predict model: cannot write {} ({})", path,
+                 std::strerror(errno));
+        ::unlink(tmpPath.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<PredictModel>
+loadPredictModel(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string data;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        data.append(buf, got);
+    const bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr)
+        return std::nullopt;
+
+    Reader r{data.data(), data.size()};
+    char magic[sizeof kModelMagic];
+    if (!r.take(magic, sizeof magic) ||
+        std::memcmp(magic, kModelMagic, sizeof magic) != 0)
+        return std::nullopt;
+    if (r.u32() != kPredictModelFormatVersion)
+        return std::nullopt;
+    const uint32_t featureVersion = r.u32();
+    if (!r.ok || featureVersion != kPredictFeatureVersion)
+        return std::nullopt;
+    if (r.u32() != kPredictFeatureCount)
+        return std::nullopt;
+    const uint64_t payloadSize = r.u64();
+    const uint64_t payloadFnv = r.u64();
+    if (!r.ok || r.n - r.off != payloadSize)
+        return std::nullopt;
+    if (fnvBytes(r.p + r.off, payloadSize) != payloadFnv)
+        return std::nullopt;
+
+    PredictModel m;
+    m.featureVersion = featureVersion;
+    m.trainedSamples = r.u64();
+    m.ridgeLambda = r.f64();
+    m.intercept = r.f64();
+    m.mean.resize(kPredictFeatureCount);
+    m.scale.resize(kPredictFeatureCount);
+    m.weights.resize(kPredictFeatureCount);
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        m.mean[j] = r.f64();
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        m.scale[j] = r.f64();
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        m.weights[j] = r.f64();
+    if (!r.ok || r.off != r.n)
+        return std::nullopt;
+    for (int j = 0; j < kPredictFeatureCount; j++) {
+        if (!std::isfinite(m.mean[j]) || !std::isfinite(m.scale[j]) ||
+            !std::isfinite(m.weights[j]) || m.scale[j] == 0.0)
+            return std::nullopt;
+    }
+    if (!std::isfinite(m.intercept))
+        return std::nullopt;
+    return m;
+}
+
+std::string
+formatPredictModel(const PredictModel &model)
+{
+    std::ostringstream os;
+    os << fmt("predict model: feature schema v{}, {} features, trained "
+              "on {} samples (ridge lambda={})\n",
+              model.featureVersion, kPredictFeatureCount,
+              model.trainedSamples, model.ridgeLambda);
+    os << fmt("  intercept (mean log1p ms): {}\n",
+              fixed(model.intercept, 6));
+    const std::vector<std::string> &names = predictFeatureNames();
+    for (int j = 0; j < kPredictFeatureCount; j++) {
+        os << fmt("  [{}] {}  w={}  mean={}  scale={}\n", j,
+                  padRight(names[j], 26), fixed(model.weights[j], 6),
+                  fixed(model.mean[j], 4), fixed(model.scale[j], 4));
+    }
+    return os.str();
+}
+
+} // namespace npp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The learned cost model: ridge regression (normal equations, plain
+ * C++) over the engineered features of predict/features.h, fit to
+ * log-scaled simulated times. Predictions are used only for *ranking*
+ * candidates — the exact simulator remains the oracle for whatever
+ * survives pruning — so a modest regressor that orders mappings
+ * correctly is enough; absolute calibration is a non-goal.
+ *
+ * Persistence follows the eval cache's disk-entry discipline: a
+ * versioned, checksummed binary file (magic, format version, feature
+ * schema version, feature count, payload FNV-1a). Any mismatch —
+ * truncation, bit rot, a schema bump, a renamed foreign file — makes
+ * loadPredictModel return "no model", never a half-trusted one; callers
+ * then fall back to the full sweep.
+ */
+
+#ifndef NPP_PREDICT_MODEL_H
+#define NPP_PREDICT_MODEL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predict/samples.h"
+
+namespace npp {
+
+/** Bump on any change to the serialized model layout. */
+inline constexpr uint32_t kPredictModelFormatVersion = 1;
+
+/** A trained ridge model (standardized features, log1p target). */
+struct PredictModel
+{
+    uint32_t featureVersion = kPredictFeatureVersion;
+    uint64_t trainedSamples = 0;
+    double ridgeLambda = 0.0;
+
+    /** Per-feature standardization (x - mean) / scale; scale 1 for
+     *  constant features. Size == kPredictFeatureCount. */
+    std::vector<double> mean;
+    std::vector<double> scale;
+
+    /** Weights over standardized features plus intercept (last). */
+    std::vector<double> weights;
+    double intercept = 0.0;
+
+    /** Predicted milliseconds for one feature vector (inverse of the
+     *  log1p target transform; clamped non-negative). */
+    double predictMs(const PredictFeatures &f) const;
+};
+
+/**
+ * Fit ridge regression on log1p(measuredMs). Deterministic for a fixed
+ * sample order. Returns nullopt when there are no samples (nothing to
+ * fit) — callers treat that exactly like a missing model file.
+ */
+std::optional<PredictModel>
+trainPredictModel(const std::vector<PredictSample> &samples,
+                  double lambda = 1e-3);
+
+/** Serialize + atomically write the model file (temp + rename). Returns
+ *  false with a warning on I/O failure. */
+bool savePredictModel(const PredictModel &model, const std::string &path);
+
+/** Load + validate a model file. Every failure mode — missing file,
+ *  short header, bad magic, wrong format or feature-schema version,
+ *  checksum mismatch, payload under/over-run — returns nullopt. */
+std::optional<PredictModel> loadPredictModel(const std::string &path);
+
+/** Human-readable model summary (nppc show-predictor). */
+std::string formatPredictModel(const PredictModel &model);
+
+} // namespace npp
+
+#endif // NPP_PREDICT_MODEL_H

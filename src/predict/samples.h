@@ -1,0 +1,82 @@
+/**
+ * @file
+ * On-disk store of (feature vector, simulated time) training pairs,
+ * harvested write-through from every exact simulation when
+ * NPP_PREDICT_DIR points at a directory (the same alongside-the-cache
+ * idea as NPP_EVAL_CACHE_DIR). Each process appends to its own
+ * `samples-<pid>.nppsmp` file so concurrent sweeps never interleave
+ * records; every record is individually checksummed and carries the
+ * feature-schema version, so a reader skips (and counts) corrupt,
+ * truncated, or stale-schema records instead of trusting them —
+ * mirroring the eval cache's hostile-file discipline.
+ */
+
+#ifndef NPP_PREDICT_SAMPLES_H
+#define NPP_PREDICT_SAMPLES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/features.h"
+
+namespace npp {
+
+/** One labeled training pair. */
+struct PredictSample
+{
+    PredictFeatures features;
+    double measuredMs = 0.0;
+};
+
+/** What loadPredictSamples saw on disk. */
+struct SampleLoadStats
+{
+    uint64_t files = 0;
+    uint64_t records = 0;  //!< valid records loaded
+    uint64_t rejected = 0; //!< corrupt/truncated/wrong-version records
+};
+
+/**
+ * Append-only writer for one process. Thread-safe (sweeps harvest from
+ * the parallel task pool); append failures warn once and disable the
+ * writer — harvesting is an observer, never an error path.
+ */
+class SampleWriter
+{
+  public:
+    /** Creates `dir` if missing; an empty dir disables the writer. */
+    explicit SampleWriter(std::string dir);
+    ~SampleWriter();
+
+    SampleWriter(const SampleWriter &) = delete;
+    SampleWriter &operator=(const SampleWriter &) = delete;
+
+    bool enabled() const;
+
+    /** Serialize + checksum + append one record. */
+    void append(const PredictSample &sample);
+
+    /** Records appended by this writer so far. */
+    uint64_t appended() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/**
+ * Read every `*.nppsmp` file under `dir` (lexicographic file order, so
+ * training sees a deterministic sample order for a fixed directory
+ * state). Invalid records are skipped and counted in `stats`.
+ */
+std::vector<PredictSample>
+loadPredictSamples(const std::string &dir, SampleLoadStats *stats = nullptr);
+
+/** Count valid records under `dir` without materializing them (the
+ *  sample-store size reported by --stats and the serve stats request). */
+uint64_t countPredictSamples(const std::string &dir);
+
+} // namespace npp
+
+#endif // NPP_PREDICT_SAMPLES_H

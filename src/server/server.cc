@@ -18,6 +18,7 @@
 
 #include "analysis/consolidate.h"
 #include "analysis/search.h"
+#include "predict/predict.h"
 #include "server/json.h"
 #include "server/programs.h"
 #include "sim/consolidation.h"
@@ -56,6 +57,10 @@ struct EvalOutcome
     /** Consolidation sweep result (programs with a runtime-sized inner
      *  domain); empty for static-shaped programs. */
     std::string consolidationJson;
+    /** Predictive-pruning provenance (NPP_PREDICT=1 servers): the
+     *  ranked candidates, survive/prune verdicts, and empirical winner.
+     *  Empty when the predictor is off. */
+    std::string predictJson;
 };
 
 bool
@@ -194,6 +199,16 @@ struct MappingServer::Impl
                 formatConsolidationChoice(choice);
             compiled.explanation.consolidationJson =
                 out->consolidationJson;
+        }
+        if (PredictRuntime::instance().active()) {
+            // Predictive provenance: rank + prune + exactly simulate the
+            // survivors, and report every verdict alongside the
+            // score-based selection the response is built from.
+            const PredictSweep sweep = PredictRuntime::instance().sweep(
+                gpu, *demo.prog, args, copts);
+            out->predictJson = sweep.toJson();
+            compiled.explanation.predictNote = sweep.note();
+            compiled.explanation.predictJson = out->predictJson;
         }
         out->explanation = formatSearchExplanation(compiled.explanation);
         return out;
@@ -343,6 +358,8 @@ struct MappingServer::Impl
             resp += "\"consolidation\":" + outcome->consolidationJson +
                     ",";
         }
+        if (!outcome->predictJson.empty())
+            resp += "\"predict\":" + outcome->predictJson + ",";
         resp += fmt("\"coalesced\":{},", leader ? "false" : "true");
         resp += fmt("\"coalesce_model\":\"{}\",", kCoalesceModelVersion);
         resp += "\"report\":" +
@@ -366,7 +383,7 @@ struct MappingServer::Impl
                     "\"max_us\":{}},",
                     timer.count, timer.totalUs, timer.maxUs);
         resp += "\"eval_cache\":" + EvalCache::instance().stats().toJson() +
-                "}";
+                ",\"predict\":" + predictStatsJson() + "}";
         return resp;
     }
 

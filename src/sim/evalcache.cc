@@ -995,6 +995,34 @@ EvalCache::resetCounters()
     impl_->diskRejects = 0;
 }
 
+namespace {
+
+std::mutex gObserverMutex;
+ExactEvalObserver gObserver;
+
+/** Copy-then-call: a concurrent setExactEvalObserver never races a
+ *  running callback, and the callback runs outside the lock. */
+void
+notifyExactEval(const ExactEvalInfo &info)
+{
+    ExactEvalObserver obs;
+    {
+        std::lock_guard<std::mutex> lock(gObserverMutex);
+        obs = gObserver;
+    }
+    if (obs)
+        obs(info);
+}
+
+} // namespace
+
+void
+setExactEvalObserver(ExactEvalObserver observer)
+{
+    std::lock_guard<std::mutex> lock(gObserverMutex);
+    gObserver = std::move(observer);
+}
+
 SimReport
 cachedCompileAndRun(const Gpu &gpu, const Program &prog,
                     const Bindings &args, const CompileOptions &copts,
@@ -1006,8 +1034,17 @@ cachedCompileAndRun(const Gpu &gpu, const Program &prog,
     eo.metricsOnly = !wantOutputs;
     if (tierOut)
         *tierOut = EvalTier::Simulated;
-    if (!cache.enabled())
-        return gpu.compileAndRun(prog, args, copts, eo);
+    // The executed mapping is nameable without compiling only under
+    // Strategy::Fixed (compile may still apply hard spans; our own
+    // sweeps enumerate hard-feasible candidates, so the two agree).
+    const MappingDecision *mapping =
+        copts.strategy == Strategy::Fixed ? &copts.fixedMapping : nullptr;
+    if (!cache.enabled()) {
+        SimReport report = gpu.compileAndRun(prog, args, copts, eo);
+        notifyExactEval({&prog, mapping, &copts.paramValues, &eo,
+                         &gpu.config(), &report});
+        return report;
+    }
 
     const uint64_t specSeed = EvalCache::combine(
         EvalCache::combine(EvalCache::hashProgram(prog),
@@ -1020,6 +1057,8 @@ cachedCompileAndRun(const Gpu &gpu, const Program &prog,
         return *hit;
     SimReport report = gpu.compileAndRun(prog, args, copts, eo);
     cache.store(key, report, wantOutputs ? &args : nullptr);
+    notifyExactEval({&prog, mapping, &copts.paramValues, &eo,
+                     &gpu.config(), &report});
     return report;
 }
 
@@ -1033,8 +1072,12 @@ cachedRun(const Gpu &gpu, const KernelSpec &spec, const Bindings &args,
     eo.metricsOnly = !wantOutputs;
     if (tierOut)
         *tierOut = EvalTier::Simulated;
-    if (!cache.enabled())
-        return gpu.run(spec, args, eo);
+    if (!cache.enabled()) {
+        SimReport report = gpu.run(spec, args, eo);
+        notifyExactEval({spec.prog, &spec.mapping, nullptr, &eo,
+                         &gpu.config(), &report});
+        return report;
+    }
 
     const uint64_t key = EvalCache::combine(
         EvalCache::combine(specSeed, EvalCache::hashBindings(args)),
@@ -1043,6 +1086,8 @@ cachedRun(const Gpu &gpu, const KernelSpec &spec, const Bindings &args,
         return *hit;
     SimReport report = gpu.run(spec, args, eo);
     cache.store(key, report, wantOutputs ? &args : nullptr);
+    notifyExactEval({spec.prog, &spec.mapping, nullptr, &eo,
+                     &gpu.config(), &report});
     return report;
 }
 

@@ -44,6 +44,7 @@
 #define NPP_SIM_EVALCACHE_H
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -168,6 +169,39 @@ class EvalCache
     Impl *impl_;
     int64_t capacityBytes_ = 0;
 };
+
+/** @name Exact-evaluation observer
+ *
+ * Hook invoked after every *genuinely simulated* evaluation that flows
+ * through the cached entry points (cache hits never fire it — they are
+ * replays of an evaluation that already fired). The predict layer
+ * installs a harvester here so every exact simulation becomes a labeled
+ * (features, time) training pair; sim/ cannot depend on predict/, so
+ * the hook is a plain setter. `mapping` is the executed decision when
+ * the call site can name one (cachedRun's spec, cachedCompileAndRun
+ * under Strategy::Fixed) and null otherwise; `paramValues` is null when
+ * the call site has no CompileOptions (cachedRun). The observer may be
+ * invoked concurrently (parallel sweeps) and must not re-enter the
+ * cached entry points.
+ *  @{
+ */
+struct ExactEvalInfo
+{
+    const Program *prog = nullptr;
+    const MappingDecision *mapping = nullptr;                //!< may be null
+    const std::unordered_map<int, double> *paramValues = nullptr; //!< may be null
+    const ExecOptions *eopts = nullptr;
+    const DeviceConfig *device = nullptr;
+    const SimReport *report = nullptr;
+};
+
+using ExactEvalObserver = std::function<void(const ExactEvalInfo &)>;
+
+/** Install (or clear, with an empty function) the process-global
+ *  observer. Thread-safe; the observer is copied per invocation so a
+ *  concurrent reinstall never races a running callback. */
+void setExactEvalObserver(ExactEvalObserver observer);
+/** @} */
 
 /**
  * Memoized Gpu::compileAndRun. `wantOutputs` selects functional fidelity:

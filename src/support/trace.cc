@@ -17,10 +17,12 @@ namespace npp {
 
 namespace {
 
-/** Default span cap: ~48 MB of event storage at worst; beyond it spans
- *  are counted as dropped instead of growing without bound (a sweep over
- *  a large figure can emit millions of cache-probe spans). Long
- *  multi-device sweeps can raise it with NPP_TRACE_MAX_SPANS. */
+/** Default span capacity: ~48 MB of event storage at worst. The span
+ *  store is a ring buffer — past the capacity the oldest spans are
+ *  overwritten (and counted as dropped), so a long sweep keeps its most
+ *  recent window instead of freezing the registry at startup spans (a
+ *  sweep over a large figure can emit millions of cache-probe spans).
+ *  Long multi-device sweeps can raise it with NPP_TRACE_MAX_SPANS. */
 constexpr int64_t kDefaultMaxSpans = int64_t(1) << 20;
 
 std::string
@@ -91,11 +93,26 @@ struct Trace::Impl
         std::chrono::steady_clock::now();
 
     mutable std::mutex mu;
+    /** Ring buffer: grows to maxSpans, then wraps. `head` is the next
+     *  overwrite slot — equivalently the oldest retained span — once
+     *  the buffer is full (0 while it is still growing). */
     std::vector<Span> spans;
+    size_t head = 0;
     size_t maxSpans = static_cast<size_t>(kDefaultMaxSpans);
     uint64_t dropped = 0;
     bool warnedDrop = false;
     std::map<std::string, double> counters;
+
+    /** Visit retained spans oldest-first (chronological order), however
+     *  the ring has wrapped. Caller holds `mu`. */
+    template <typename F>
+    void
+    eachSpan(F &&fn) const
+    {
+        const size_t n = spans.size();
+        for (size_t i = 0; i < n; i++)
+            fn(spans[(head + i) % n]);
+    }
 };
 
 Trace::Trace()
@@ -145,15 +162,20 @@ Trace::span(const char *name, double beginUs, double endUs)
     const int tid = currentThreadId();
     std::lock_guard<std::mutex> lock(impl_->mu);
     if (impl_->spans.size() >= impl_->maxSpans) {
+        // Ring wrap: keep the newest window, overwrite the oldest span
+        // and count it as dropped.
         impl_->dropped++;
         if (!impl_->warnedDrop) {
             impl_->warnedDrop = true;
-            NPP_WARN("trace span cap ({}) reached; further spans are "
-                     "dropped and counted as droppedSpans "
-                     "(dropped_spans in the flat-JSON export; raise the "
-                     "cap with NPP_TRACE_MAX_SPANS)",
+            NPP_WARN("trace span capacity ({}) reached; the registry "
+                     "now overwrites its oldest spans (overwrites are "
+                     "counted as droppedSpans / dropped_spans in the "
+                     "flat-JSON export; raise the capacity with "
+                     "NPP_TRACE_MAX_SPANS)",
                      impl_->maxSpans);
         }
+        impl_->spans[impl_->head] = {name, beginUs, endUs - beginUs, tid};
+        impl_->head = (impl_->head + 1) % impl_->maxSpans;
         return;
     }
     impl_->spans.push_back({name, beginUs, endUs - beginUs, tid});
@@ -166,7 +188,7 @@ Trace::chromeTraceJson() const
     std::ostringstream os;
     os << "{\"traceEvents\":[";
     bool first = true;
-    for (const Impl::Span &s : impl_->spans) {
+    impl_->eachSpan([&](const Impl::Span &s) {
         if (!first)
             os << ",";
         first = false;
@@ -174,7 +196,7 @@ Trace::chromeTraceJson() const
            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
            << ",\"ts\":" << jsonNumber(s.beginUs)
            << ",\"dur\":" << jsonNumber(std::max(s.durUs, 0.0)) << "}";
-    }
+    });
     os << "],\"displayTimeUnit\":\"ms\"}";
     return os.str();
 }
@@ -186,7 +208,7 @@ Trace::flatJson() const
 
     // Aggregate spans by name (std::map: deterministic output order).
     std::map<std::string, TraceTimerStat> timers;
-    for (const Impl::Span &s : impl_->spans) {
+    impl_->eachSpan([&](const Impl::Span &s) {
         TraceTimerStat &t = timers[s.name];
         if (t.count == 0) {
             t.minUs = s.durUs;
@@ -196,7 +218,7 @@ Trace::flatJson() const
         t.totalUs += s.durUs;
         t.minUs = std::min(t.minUs, s.durUs);
         t.maxUs = std::max(t.maxUs, s.durUs);
-    }
+    });
 
     std::ostringstream os;
     os << "{\"counters\":{";
@@ -270,9 +292,9 @@ Trace::timerStat(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(impl_->mu);
     TraceTimerStat t;
-    for (const Impl::Span &s : impl_->spans) {
+    impl_->eachSpan([&](const Impl::Span &s) {
         if (name != s.name)
-            continue;
+            return;
         if (t.count == 0) {
             t.minUs = s.durUs;
             t.maxUs = s.durUs;
@@ -281,7 +303,7 @@ Trace::timerStat(const std::string &name) const
         t.totalUs += s.durUs;
         t.minUs = std::min(t.minUs, s.durUs);
         t.maxUs = std::max(t.maxUs, s.durUs);
-    }
+    });
     return t;
 }
 
@@ -311,6 +333,7 @@ Trace::clear()
 {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->spans.clear();
+    impl_->head = 0;
     impl_->counters.clear();
     impl_->dropped = 0;
     impl_->warnedDrop = false;

@@ -21,6 +21,11 @@
  *    registry (the instrumented regions are milliseconds-coarse, so
  *    lock cost is irrelevant) that is safe under the task pool.
  *
+ * The span store is a bounded ring buffer (NPP_TRACE_MAX_SPANS slots,
+ * default 1<<20): once full, each new span overwrites the oldest one
+ * and bumps droppedSpans, so a long sweep's export always holds its
+ * most recent window rather than whatever happened first.
+ *
  * Exporters: chrome://tracing "traceEvents" JSON (load the file via the
  * about:tracing UI or Perfetto) and a flat JSON summary of counters and
  * per-name timer aggregates.
@@ -99,8 +104,10 @@ class Trace
     double counterValue(const std::string &name) const;
     TraceTimerStat timerStat(const std::string &name) const;
     uint64_t spanCount() const;
+    /** Spans overwritten by the ring buffer (each wrap evicts — and
+     *  counts — the oldest span). */
     uint64_t droppedSpans() const;
-    /** Span cap in effect (NPP_TRACE_MAX_SPANS, default 1<<20). */
+    /** Ring capacity in effect (NPP_TRACE_MAX_SPANS, default 1<<20). */
     uint64_t maxSpans() const;
     /** @} */
 

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Featurizer determinism: the feature vector is a pure function of
+ * structural program content, the mapping, and the device — never of
+ * pointer identity — so two independently built but structurally
+ * identical programs featurize bit-identically. Also pins the schema
+ * contract: kPredictFeatureCount named features, finite values, and
+ * sensitivity to the mapping (distinct mappings must not collapse to
+ * one vector, or the ranker would be blind).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compile.h"
+#include "predict/features.h"
+#include "server/programs.h"
+#include "sim/gpu.h"
+
+using namespace npp;
+
+namespace {
+
+std::unique_ptr<DemoProgram>
+build(const std::string &name)
+{
+    std::string error;
+    std::unique_ptr<DemoProgram> demo = buildDemoProgram(
+        name, {{"rows", 256}, {"cols", 256}}, &error);
+    EXPECT_NE(demo, nullptr) << error;
+    return demo;
+}
+
+TEST(PredictFeatures, SchemaNamesMatchCount)
+{
+    const std::vector<std::string> &names = predictFeatureNames();
+    ASSERT_EQ(static_cast<int>(names.size()), kPredictFeatureCount);
+    for (const std::string &n : names)
+        EXPECT_FALSE(n.empty());
+}
+
+TEST(PredictFeatures, IdenticalProgramsFeaturizeBitIdentically)
+{
+    // Two separate builds: different heap addresses, identical
+    // structure. Any pointer-derived feature would differ here.
+    std::unique_ptr<DemoProgram> a = build("sumrows");
+    std::unique_ptr<DemoProgram> b = build("sumrows");
+    ASSERT_NE(a->prog.get(), b->prog.get());
+
+    Gpu gpu;
+    CompileOptions copts;
+    copts.paramValues = a->params;
+    const MappingDecision mapping =
+        compileProgram(*a->prog, gpu.config(), copts).spec.mapping;
+
+    const ExecOptions eopts;
+    const PredictFeatures fa =
+        extractFeatures(*a->prog, mapping, gpu.config(), eopts, a->params);
+    const PredictFeatures fb =
+        extractFeatures(*b->prog, mapping, gpu.config(), eopts, b->params);
+    for (int j = 0; j < kPredictFeatureCount; j++) {
+        EXPECT_EQ(fa.v[j], fb.v[j]) << predictFeatureNames()[j];
+        EXPECT_TRUE(std::isfinite(fa.v[j])) << predictFeatureNames()[j];
+    }
+}
+
+TEST(PredictFeatures, RepeatedExtractionIsStable)
+{
+    std::unique_ptr<DemoProgram> demo = build("weightedcols");
+    Gpu gpu;
+    CompileOptions copts;
+    copts.paramValues = demo->params;
+    const MappingDecision mapping =
+        compileProgram(*demo->prog, gpu.config(), copts).spec.mapping;
+    const ExecOptions eopts;
+    const PredictFeatures first = extractFeatures(
+        *demo->prog, mapping, gpu.config(), eopts, demo->params);
+    for (int rep = 0; rep < 3; rep++) {
+        const PredictFeatures again = extractFeatures(
+            *demo->prog, mapping, gpu.config(), eopts, demo->params);
+        EXPECT_EQ(first.v, again.v);
+    }
+}
+
+TEST(PredictFeatures, DistinctMappingsFeaturizeDistinctly)
+{
+    std::unique_ptr<DemoProgram> demo = build("sumrows");
+    Gpu gpu;
+    CompileOptions copts;
+    copts.strategy = Strategy::MultiDim;
+    copts.paramValues = demo->params;
+    copts.keepCandidates = true;
+    const CompileResult compiled =
+        compileProgram(*demo->prog, gpu.config(), copts);
+    ASSERT_GE(compiled.candidates.size(), 2u);
+
+    const ExecOptions eopts;
+    const PredictFeatures base =
+        extractFeatures(*demo->prog, compiled.spec.mapping, gpu.config(),
+                        eopts, demo->params);
+    // Every candidate that differs from the selection must produce a
+    // different vector — the mapping-parameter features see to it.
+    int distinct = 0;
+    for (const ScoredMapping &c : compiled.candidates) {
+        if (c.decision == compiled.spec.mapping)
+            continue;
+        const PredictFeatures f = extractFeatures(
+            *demo->prog, c.decision, gpu.config(), eopts, demo->params);
+        if (f.v != base.v)
+            distinct++;
+    }
+    EXPECT_GT(distinct, 0);
+}
+
+TEST(PredictFeatures, ParamValuesChangeSizeFeatures)
+{
+    std::string error;
+    std::unique_ptr<DemoProgram> small = buildDemoProgram(
+        "sumrows", {{"rows", 128}, {"cols", 128}}, &error);
+    std::unique_ptr<DemoProgram> large = buildDemoProgram(
+        "sumrows", {{"rows", 1024}, {"cols", 1024}}, &error);
+    ASSERT_NE(small, nullptr);
+    ASSERT_NE(large, nullptr);
+
+    Gpu gpu;
+    CompileOptions copts;
+    copts.paramValues = small->params;
+    const MappingDecision mapping =
+        compileProgram(*small->prog, gpu.config(), copts).spec.mapping;
+    const ExecOptions eopts;
+    const PredictFeatures fs = extractFeatures(
+        *small->prog, mapping, gpu.config(), eopts, small->params);
+    const PredictFeatures fl = extractFeatures(
+        *large->prog, mapping, gpu.config(), eopts, large->params);
+    EXPECT_NE(fs.v, fl.v);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Learned-model persistence discipline: a trained ridge model round
+ * trips through its checksummed file bit-identically, and a hostile
+ * file — any single flipped byte, any truncation point, a stale
+ * feature-schema version — loads as "no model" (nullopt), never as a
+ * half-trusted one. Mirrors tests/sim/evalcache_disk_test for the model
+ * format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "predict/model.h"
+#include "support/rng.h"
+
+using namespace npp;
+
+namespace {
+
+class PredictModelTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/nppprd_test_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        path_ = dir_ + "/model.nppprd";
+    }
+
+    void
+    TearDown() override
+    {
+        const std::string cmd = "rm -rf '" + dir_ + "'";
+        (void)!std::system(cmd.c_str());
+    }
+
+    std::string dir_;
+    std::string path_;
+};
+
+/** Deterministic synthetic training set: the time depends strongly on
+ *  feature 2 (plus noise-free smaller terms), so a working trainer must
+ *  learn to rank by it. */
+std::vector<PredictSample>
+makeSamples(int n)
+{
+    Rng rng(7);
+    std::vector<PredictSample> samples(n);
+    for (int i = 0; i < n; i++) {
+        PredictSample &s = samples[i];
+        for (int j = 0; j < kPredictFeatureCount; j++)
+            s.features.v[j] = rng.uniform(0, 4);
+        s.measuredMs = std::exp(0.9 * s.features.v[2] +
+                                0.1 * s.features.v[5]) -
+                       1.0;
+    }
+    return samples;
+}
+
+TEST_F(PredictModelTest, EmptyTrainingSetYieldsNoModel)
+{
+    EXPECT_FALSE(trainPredictModel({}).has_value());
+}
+
+TEST_F(PredictModelTest, TrainedModelRanksByTheDrivingFeature)
+{
+    const std::optional<PredictModel> model =
+        trainPredictModel(makeSamples(400));
+    ASSERT_TRUE(model.has_value());
+
+    PredictFeatures lo, hi;
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        lo.v[j] = hi.v[j] = 2.0;
+    lo.v[2] = 0.5;
+    hi.v[2] = 3.5;
+    EXPECT_LT(model->predictMs(lo), model->predictMs(hi));
+    EXPECT_GE(model->predictMs(lo), 0.0);
+}
+
+TEST_F(PredictModelTest, SaveLoadRoundTripsBitIdentically)
+{
+    const std::optional<PredictModel> model =
+        trainPredictModel(makeSamples(64));
+    ASSERT_TRUE(model.has_value());
+    ASSERT_TRUE(savePredictModel(*model, path_));
+
+    const std::optional<PredictModel> loaded = loadPredictModel(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->featureVersion, model->featureVersion);
+    EXPECT_EQ(loaded->trainedSamples, model->trainedSamples);
+    EXPECT_EQ(loaded->ridgeLambda, model->ridgeLambda);
+    EXPECT_EQ(loaded->intercept, model->intercept);
+    EXPECT_EQ(loaded->mean, model->mean);
+    EXPECT_EQ(loaded->scale, model->scale);
+    EXPECT_EQ(loaded->weights, model->weights);
+
+    // Same bits in, same prediction out.
+    PredictFeatures probe;
+    for (int j = 0; j < kPredictFeatureCount; j++)
+        probe.v[j] = 1.0 + 0.25 * j;
+    EXPECT_EQ(model->predictMs(probe), loaded->predictMs(probe));
+}
+
+TEST_F(PredictModelTest, MissingFileIsNoModel)
+{
+    EXPECT_FALSE(loadPredictModel(dir_ + "/nope.nppprd").has_value());
+}
+
+TEST_F(PredictModelTest, EveryTruncationPointIsRejected)
+{
+    const std::optional<PredictModel> model =
+        trainPredictModel(makeSamples(32));
+    ASSERT_TRUE(model.has_value());
+    ASSERT_TRUE(savePredictModel(*model, path_));
+
+    std::ifstream in(path_, std::ios::binary);
+    const std::string good((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(good.size(), 64u);
+
+    for (const size_t len :
+         {size_t(0), size_t(4), size_t(20), size_t(35), good.size() / 2,
+          good.size() - 1}) {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(good.data(), static_cast<std::streamsize>(len));
+        out.close();
+        EXPECT_FALSE(loadPredictModel(path_).has_value())
+            << "truncated to " << len << " bytes";
+    }
+    // Extra trailing bytes are an over-run, equally rejected.
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(good.data(), static_cast<std::streamsize>(good.size()));
+    out.put('\0');
+    out.close();
+    EXPECT_FALSE(loadPredictModel(path_).has_value());
+}
+
+TEST_F(PredictModelTest, EverySingleByteFlipIsRejected)
+{
+    const std::optional<PredictModel> model =
+        trainPredictModel(makeSamples(32));
+    ASSERT_TRUE(model.has_value());
+    ASSERT_TRUE(savePredictModel(*model, path_));
+
+    std::ifstream in(path_, std::ios::binary);
+    const std::string good((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    in.close();
+
+    // The header checks (magic, versions, count, payload size) guard
+    // the front; the payload FNV guards everything behind them. No
+    // single corrupted byte anywhere in the file may load.
+    for (size_t off = 0; off < good.size(); off++) {
+        std::string bad = good;
+        bad[off] = static_cast<char>(bad[off] ^ 0x5a);
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+        out.close();
+        EXPECT_FALSE(loadPredictModel(path_).has_value())
+            << "flipped byte at offset " << off;
+    }
+
+    // The pristine bytes still load — the rejects were the flips.
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(good.data(), static_cast<std::streamsize>(good.size()));
+    out.close();
+    EXPECT_TRUE(loadPredictModel(path_).has_value());
+}
+
+TEST_F(PredictModelTest, StaleFeatureSchemaVersionIsRejected)
+{
+    std::optional<PredictModel> model = trainPredictModel(makeSamples(32));
+    ASSERT_TRUE(model.has_value());
+    // A model trained against a future schema: featureVersion is part
+    // of the serialized header, so bump-and-save then reload must
+    // reject it exactly like a corrupt file.
+    model->featureVersion = kPredictFeatureVersion + 1;
+    ASSERT_TRUE(savePredictModel(*model, path_));
+    EXPECT_FALSE(loadPredictModel(path_).has_value());
+}
+
+TEST_F(PredictModelTest, FormatSummaryNamesEveryFeature)
+{
+    const std::optional<PredictModel> model =
+        trainPredictModel(makeSamples(32));
+    ASSERT_TRUE(model.has_value());
+    const std::string text = formatPredictModel(*model);
+    for (const std::string &name : predictFeatureNames())
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+} // namespace

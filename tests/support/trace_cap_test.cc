@@ -1,10 +1,11 @@
 /**
  * @file
- * NPP_TRACE_MAX_SPANS: the span-buffer cap is read from the environment
- * when the registry is first constructed, overflowing spans are dropped
- * (and counted), and the flat-JSON export names the cap and the drop
- * count. Runs as its own binary: the env var must be set before the
- * first Trace::instance() call of the process, so this cannot ride in
+ * NPP_TRACE_MAX_SPANS: the ring-buffer capacity is read from the
+ * environment when the registry is first constructed; once the ring is
+ * full each new span overwrites the oldest one (counted in
+ * droppedSpans), so the export retains the newest window. Runs as its
+ * own binary: the env var must be set before the first
+ * Trace::instance() call of the process, so this cannot ride in
  * support_trace_test.
  */
 
@@ -17,15 +18,22 @@
 namespace npp {
 namespace {
 
-TEST(TraceCap, EnvCapDropsOverflowingSpansAndExportsThem)
+TEST(TraceCap, RingOverwritesOldestSpansAndCountsThem)
 {
-    Trace &t = Trace::instance(); // env read happens here, cap = 8
+    Trace &t = Trace::instance(); // env read happens here, capacity = 8
     ASSERT_EQ(t.maxSpans(), 8u);
     t.setEnabled(true);
 
-    for (int i = 0; i < 20; i++) {
+    // 12 early spans under one name, then 8 late ones under another:
+    // the ring must hold exactly the 8 newest and count the 12
+    // overwritten (or never-retained) early spans as dropped.
+    for (int i = 0; i < 12; i++) {
         const double us = static_cast<double>(i);
-        t.span("cap.span", us, us + 0.5);
+        t.span("cap.early", us, us + 0.5);
+    }
+    for (int i = 12; i < 20; i++) {
+        const double us = static_cast<double>(i);
+        t.span("cap.late", us, us + 0.5);
     }
     EXPECT_EQ(t.spanCount(), 8u);
     EXPECT_EQ(t.droppedSpans(), 12u);
@@ -35,17 +43,30 @@ TEST(TraceCap, EnvCapDropsOverflowingSpansAndExportsThem)
     EXPECT_NE(flat.find("\"max_spans\":8"), std::string::npos);
     EXPECT_NE(flat.find("\"dropped_spans\":12"), std::string::npos);
 
-    // Timer statistics aggregate over the retained buffer only;
-    // dropped spans are visible solely through droppedSpans().
-    EXPECT_EQ(t.timerStat("cap.span").count, 8u);
+    // Newest-window semantics: every early span was overwritten; all 8
+    // retained spans are the late ones.
+    EXPECT_EQ(t.timerStat("cap.early").count, 0u);
+    EXPECT_EQ(t.timerStat("cap.late").count, 8u);
 
-    // clear() frees the buffer but keeps the cap.
+    // The chrome export walks the ring chronologically: the oldest
+    // retained span (ts=12) leads, the newest (ts=19) trails.
+    const std::string chrome = t.chromeTraceJson();
+    const size_t first = chrome.find("\"ts\":12");
+    const size_t last = chrome.find("\"ts\":19");
+    EXPECT_NE(first, std::string::npos);
+    EXPECT_NE(last, std::string::npos);
+    EXPECT_LT(first, last);
+    EXPECT_EQ(chrome.find("\"name\":\"cap.early\""), std::string::npos);
+
+    // clear() frees the buffer (and resets the ring head) but keeps the
+    // capacity.
     t.clear();
     EXPECT_EQ(t.spanCount(), 0u);
     EXPECT_EQ(t.droppedSpans(), 0u);
     EXPECT_EQ(t.maxSpans(), 8u);
-    t.span("cap.span", 0.0, 1.0);
+    t.span("cap.late", 0.0, 1.0);
     EXPECT_EQ(t.spanCount(), 1u);
+    EXPECT_EQ(t.timerStat("cap.late").count, 1u);
 }
 
 } // namespace

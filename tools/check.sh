@@ -16,6 +16,10 @@
 #   tools/check.sh dynsize      # runtime-sized-domain suite (randomized
 #                               # parity + consolidation differentials)
 #                               # in the default AND asan trees
+#   tools/check.sh predict      # learned-cost-model suite (featurizer
+#                               # determinism, hostile model files,
+#                               # pruned-vs-full sweep differential) in
+#                               # the default AND asan trees
 #   tools/check.sh all          # all four builds, in order
 #
 # Every ctest invocation runs the full suite, including the classed
@@ -35,7 +39,12 @@
 # runtime-sized-domain suite (seeded randomized CSR parity, the
 # consolidation-vs-static differential, and the mapping-service
 # consolidation-verdict regression, labeled `dynsize`) in the default
-# and asan trees. Each server-suite test creates its own temp
+# and asan trees. The `predict` job runs the learned-cost-model suite
+# (featurizer determinism across rebuilds, corrupt/truncated/stale
+# model files rejected as "no model", the pruned-vs-full sweep
+# differential on every demo program, and NPP_PREDICT* env hardening,
+# labeled `predict`) in the default and asan trees. Each server-suite
+# test creates its own temp
 # NPP_EVAL_CACHE_DIR, so parallel jobs never share cache state.
 #
 # Each job uses its own build directory (build/, build-asan/,
@@ -112,6 +121,16 @@ dynsize)
     cmake --build build-asan -j
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L dynsize
     ;;
+predict)
+    echo "== check: predict (build) =="
+    cmake -B build -S .
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L predict
+    echo "== check: predict (build-asan) =="
+    cmake -B build-asan -S . -DNPP_ASAN=ON
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)" -L predict
+    ;;
 all)
     run_job default build
     run_job asan build-asan -DNPP_ASAN=ON
@@ -119,7 +138,7 @@ all)
     run_job ubsan build-ubsan -DNPP_UBSAN=ON
     ;;
 *)
-    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|multidev|dynsize|all]" >&2
+    echo "usage: tools/check.sh [default|asan|tsan|ubsan|differential|coalesce|server|multidev|dynsize|predict|all]" >&2
     exit 2
     ;;
 esac

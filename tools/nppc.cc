@@ -12,6 +12,8 @@
  *                    [--stats=FILE] [--all]
  *     nppc serve --socket=PATH [--hold-eval-ms=N]
  *     nppc <program|ping|stats|shutdown> --client=PATH [...]
+ *     nppc train-predictor [--dir=PATH] [--model=PATH] [--lambda=X]
+ *     nppc show-predictor [--model=PATH]
  *
  * --explain prints the mapping-decision report (why this dim/block/span:
  * hard-filter verdicts, per-constraint score contributions, tie-breaks)
@@ -29,6 +31,15 @@
  * NPP_EVAL_CACHE_DIR at a directory and a second nppc process replays
  * the first one's evaluation from disk (the --stats export's
  * "eval_cache" object reports the tier counters).
+ *
+ * --predict runs the empirical mapping sweep under the learned cost
+ * model (predict/predict.h): candidates are ranked by predicted time
+ * and only the top NPP_PREDICT_TOPK are exactly simulated; without a
+ * trained model the sweep evaluates everything. Point NPP_PREDICT_DIR
+ * at a directory to harvest every exact simulation as a training pair,
+ * then `nppc train-predictor` fits the ridge model and
+ * `nppc show-predictor` prints its weights. The --stats export's
+ * "predict" object reports the pruning counters.
  *
  * `serve` turns the same pipeline into a long-lived mapping service on
  * a Unix socket (newline-delimited JSON requests; see src/server/
@@ -49,6 +60,7 @@
 
 #include "analysis/consolidate.h"
 #include "ir/printer.h"
+#include "predict/predict.h"
 #include "server/json.h"
 #include "server/programs.h"
 #include "server/server.h"
@@ -83,11 +95,15 @@ usage()
         "usage: nppc <program> [options]\n"
         "       nppc serve --socket=PATH [--hold-eval-ms=N]\n"
         "       nppc <program|ping|stats|shutdown> --client=PATH [...]\n"
+        "       nppc train-predictor [--dir=PATH] [--model=PATH]"
+        " [--lambda=X]\n"
+        "       nppc show-predictor [--model=PATH]\n"
         "  programs: %s\n"
         "  options:  --strategy=multidim|1d|tbt|warp|consolidate\n"
         "            --size=key=N\n"
         "            --ir --constraints --mapping --cuda --run --all\n"
-        "            --explain --devices=N --trace=FILE --stats=FILE\n",
+        "            --explain --devices=N --trace=FILE --stats=FILE\n"
+        "            --predict\n",
         join(demoProgramNames(), " ").c_str());
     return 2;
 }
@@ -110,6 +126,7 @@ runServe(int argc, char **argv)
         std::fprintf(stderr, "nppc serve: --socket=PATH is required\n");
         return 2;
     }
+    initPredictFromEnv();
     MappingServer server(opts);
     std::string error;
     if (!server.start(&error)) {
@@ -128,6 +145,83 @@ runServe(int argc, char **argv)
                 static_cast<unsigned long long>(stats.simulations),
                 static_cast<unsigned long long>(stats.coalesced),
                 static_cast<unsigned long long>(stats.errors));
+    return 0;
+}
+
+int
+runTrainPredictor(int argc, char **argv)
+{
+    PredictOptions opts = predictOptionsFromEnv();
+    double lambda = 1e-3;
+    for (int i = 2; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--dir=", 0) == 0) {
+            opts.sampleDir = arg.substr(std::strlen("--dir="));
+            opts.modelPath = opts.sampleDir + "/model.nppprd";
+        } else if (arg.rfind("--model=", 0) == 0)
+            opts.modelPath = arg.substr(std::strlen("--model="));
+        else if (arg.rfind("--lambda=", 0) == 0)
+            lambda = std::atof(arg.c_str() + std::strlen("--lambda="));
+        else
+            return usage();
+    }
+    if (opts.sampleDir.empty()) {
+        std::fprintf(stderr, "nppc train-predictor: no sample store "
+                             "(--dir=PATH or NPP_PREDICT_DIR)\n");
+        return 2;
+    }
+    SampleLoadStats loadStats;
+    const std::vector<PredictSample> samples =
+        loadPredictSamples(opts.sampleDir, &loadStats);
+    std::printf("sample store %s: %llu files, %llu records (%llu "
+                "rejected)\n",
+                opts.sampleDir.c_str(),
+                static_cast<unsigned long long>(loadStats.files),
+                static_cast<unsigned long long>(loadStats.records),
+                static_cast<unsigned long long>(loadStats.rejected));
+    const std::optional<PredictModel> model =
+        trainPredictModel(samples, lambda);
+    if (!model) {
+        std::fprintf(stderr,
+                     "nppc train-predictor: no model (empty store or "
+                     "singular fit)\n");
+        return 1;
+    }
+    if (!savePredictModel(*model, opts.modelPath))
+        return 1;
+    std::printf("trained on %llu samples; wrote %s\n",
+                static_cast<unsigned long long>(model->trainedSamples),
+                opts.modelPath.c_str());
+    return 0;
+}
+
+int
+runShowPredictor(int argc, char **argv)
+{
+    PredictOptions opts = predictOptionsFromEnv();
+    for (int i = 2; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--model=", 0) == 0)
+            opts.modelPath = arg.substr(std::strlen("--model="));
+        else
+            return usage();
+    }
+    if (opts.modelPath.empty()) {
+        std::fprintf(stderr, "nppc show-predictor: no model path "
+                             "(--model=PATH, NPP_PREDICT_MODEL, or "
+                             "NPP_PREDICT_DIR)\n");
+        return 2;
+    }
+    const std::optional<PredictModel> model =
+        loadPredictModel(opts.modelPath);
+    if (!model) {
+        std::fprintf(stderr,
+                     "nppc show-predictor: %s is not a usable model "
+                     "(missing, corrupt, or stale schema)\n",
+                     opts.modelPath.c_str());
+        return 1;
+    }
+    std::printf("%s", formatPredictModel(*model).c_str());
     return 0;
 }
 
@@ -172,9 +266,14 @@ main(int argc, char **argv)
     const std::string name = argv[1];
     if (name == "serve")
         return runServe(argc, argv);
+    if (name == "train-predictor")
+        return runTrainPredictor(argc, argv);
+    if (name == "show-predictor")
+        return runShowPredictor(argc, argv);
 
     bool showIr = false, showConstraints = false, showMapping = false,
-         showCuda = false, doRun = false, explain = false;
+         showCuda = false, doRun = false, explain = false,
+         predict = false;
     std::string tracePath, statsPath, clientSocket, strategyStr;
     std::map<std::string, int64_t> sizes;
     Strategy strategy = Strategy::MultiDim;
@@ -193,6 +292,8 @@ main(int argc, char **argv)
             doRun = true;
         else if (arg == "--explain")
             explain = true;
+        else if (arg == "--predict")
+            predict = true;
         else if (arg.rfind("--trace=", 0) == 0)
             tracePath = arg.substr(std::strlen("--trace="));
         else if (arg.rfind("--stats=", 0) == 0)
@@ -261,14 +362,44 @@ main(int argc, char **argv)
     if (!tracePath.empty())
         Trace::instance().setEnabled(true);
 
+    initPredictFromEnv();
     Gpu gpu;
     CompileOptions copts;
     copts.strategy = strategy;
     copts.paramValues = demo->params;
     copts.fuseMapReduce = demo->fuse;
     copts.explainSearch = explain;
+
+    // Predictor-guided empirical sweep: rank candidates with the learned
+    // model, exactly simulate the survivors, keep the fastest (full
+    // sweep without a model).
+    PredictSweep psweep;
+    if (predict) {
+        Bindings sweepArgs(*demo->prog);
+        demo->bind(sweepArgs);
+        psweep = PredictRuntime::instance().sweep(gpu, *demo->prog,
+                                                  sweepArgs, copts);
+    }
+
     CompileResult compiled =
         compileProgram(*demo->prog, gpu.config(), copts);
+    if (predict) {
+        compiled.explanation.predictNote = psweep.note();
+        compiled.explanation.predictJson = psweep.toJson();
+        if (!(compiled.spec.mapping == psweep.best)) {
+            // The sweep beat the score-based selection: recompile the
+            // rest of the pipeline against the empirical winner.
+            CompileOptions fixed = copts;
+            fixed.strategy = Strategy::Fixed;
+            fixed.fixedMapping = psweep.best;
+            fixed.explainSearch = false;
+            CompileResult winner =
+                compileProgram(*demo->prog, gpu.config(), fixed);
+            compiled.spec = winner.spec;
+            compiled.ownedProgram = winner.ownedProgram;
+            copts = fixed; // the cachedRun seed must match this spec
+        }
+    }
     // Seed for cachedRun: identifies how the spec above was produced.
     const uint64_t specSeed = EvalCache::combine(
         EvalCache::combine(EvalCache::hashProgram(*demo->prog),
@@ -353,6 +484,8 @@ main(int argc, char **argv)
         std::printf("== Multi-device ==\n%s\n",
                     formatFleetChoice(fleetChoice).c_str());
     }
+    if (predict && !explain)
+        std::printf("== Predictive sweep ==\n%s\n", psweep.note().c_str());
     if (showCuda)
         std::printf("== CUDA ==\n%s\n", compiled.spec.cudaSource.c_str());
     if (doRun) {
@@ -379,6 +512,7 @@ main(int argc, char **argv)
                 evalTierName(tier) + "\",\"report\":" +
                 report.toJson(gpu.config().transactionBytes) +
                 ",\"eval_cache\":" + EvalCache::instance().stats().toJson() +
+                ",\"predict\":" + predictStatsJson() +
                 (devices > 1
                      ? ",\"fleet\":" + fleetChoiceJson(fleetChoice)
                      : std::string()) +
